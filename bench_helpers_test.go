@@ -1,0 +1,12 @@
+package bitruss_test
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func pctName(pct int) string { return fmt.Sprintf("pct=%d", pct) }
+
+func tauName(tau float64) string { return fmt.Sprintf("tau=%g", tau) }

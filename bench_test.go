@@ -1,0 +1,176 @@
+// Benchmarks regenerating each table and figure of the paper's
+// evaluation at reduced scale (the full-size runs are produced by
+// cmd/bitbench; these benches track the same code paths in CI-sized
+// time). One benchmark per table/figure, as indexed in DESIGN.md §4.
+package bitruss_test
+
+import (
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/butterfly"
+	"repro/internal/core"
+	"repro/internal/exp"
+)
+
+// benchScale keeps every dataset small enough for `go test -bench=.`
+// to finish in minutes while exercising the identical code paths.
+const benchScale = 0.15
+
+func buildDataset(b *testing.B, name string) *bigraph.Graph {
+	b.Helper()
+	d, ok := exp.ByName(name)
+	if !ok {
+		b.Fatalf("unknown dataset %q", name)
+	}
+	return d.Build(benchScale)
+}
+
+func decompose(b *testing.B, g *bigraph.Graph, opt core.Options) *core.Result {
+	b.Helper()
+	res, err := core.Decompose(g, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkTable2Stats regenerates the Table II columns (butterfly
+// count, max support) for the whole synthetic suite.
+func BenchmarkTable2Stats(b *testing.B) {
+	graphs := make([]*bigraph.Graph, 0, 15)
+	for _, d := range exp.All() {
+		graphs = append(graphs, d.Build(benchScale))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var total int64
+		for _, g := range graphs {
+			t, sup := butterfly.CountAndSupports(g)
+			total += t
+			_ = sup
+		}
+		if total == 0 {
+			b.Fatal("no butterflies in the suite")
+		}
+	}
+}
+
+// BenchmarkFig5BSCountVsPeel regenerates Figure 5's measurement: a full
+// BiT-BS run whose metrics split counting from peeling.
+func BenchmarkFig5BSCountVsPeel(b *testing.B) {
+	g := buildDataset(b, "Github")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := decompose(b, g, core.Options{Algorithm: core.BiTBS})
+		if res.Metrics.PeelTime < res.Metrics.CountingTime {
+			b.Fatalf("peeling (%v) should dominate counting (%v) — Figure 5",
+				res.Metrics.PeelTime, res.Metrics.CountingTime)
+		}
+	}
+}
+
+// BenchmarkFig7UpdateHistogram regenerates the Figure 7 histogram on
+// the hub-heavy D-style stand-in.
+func BenchmarkFig7UpdateHistogram(b *testing.B) {
+	g := buildDataset(b, "D-style")
+	_, sup := butterfly.CountAndSupports(g)
+	var maxSup int64
+	for _, s := range sup {
+		if s > maxSup {
+			maxSup = s
+		}
+	}
+	bounds := []int64{maxSup / 5, 2 * maxSup / 5, 3 * maxSup / 5, 4 * maxSup / 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := decompose(b, g, core.Options{
+			Algorithm: core.BiTPC, Tau: 0.1, HistogramBounds: bounds,
+		})
+		b.ReportMetric(float64(res.Metrics.SupportUpdates), "updates")
+	}
+}
+
+// BenchmarkFig9AllAlgorithms regenerates one Figure 9 column per
+// sub-benchmark on the Github stand-in.
+func BenchmarkFig9AllAlgorithms(b *testing.B) {
+	g := buildDataset(b, "Github")
+	for _, a := range []core.Algorithm{core.BiTBS, core.BiTBU, core.BiTBUPlusPlus, core.BiTPC} {
+		b.Run(a.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				decompose(b, g, core.Options{Algorithm: a, Tau: 0.1})
+			}
+		})
+	}
+}
+
+// BenchmarkFig10UpdateCounts regenerates Figure 10: the support-update
+// totals of BU, BU++ and PC (reported as metrics).
+func BenchmarkFig10UpdateCounts(b *testing.B) {
+	g := buildDataset(b, "D-label")
+	for _, a := range []core.Algorithm{core.BiTBU, core.BiTBUPlusPlus, core.BiTPC} {
+		b.Run(a.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := decompose(b, g, core.Options{Algorithm: a, Tau: 0.1})
+				b.ReportMetric(float64(res.Metrics.SupportUpdates), "updates")
+			}
+		})
+	}
+}
+
+// BenchmarkFig11IndexSize regenerates Figure 11: peak BE-Index bytes
+// for the full index (BU/BU++) vs the compressed indexes of PC.
+func BenchmarkFig11IndexSize(b *testing.B) {
+	g := buildDataset(b, "Wiki-it")
+	for _, a := range []core.Algorithm{core.BiTBU, core.BiTPC} {
+		b.Run(a.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := decompose(b, g, core.Options{Algorithm: a, Tau: 0.1})
+				b.ReportMetric(float64(res.Metrics.PeakIndexBytes)/(1<<20), "MB-index")
+			}
+		})
+	}
+}
+
+// BenchmarkFig12Scalability regenerates Figure 12: decomposition time
+// under 20%/60%/100% vertex sampling.
+func BenchmarkFig12Scalability(b *testing.B) {
+	g := buildDataset(b, "Wiki-it")
+	for _, pct := range []int{20, 60, 100} {
+		sub := g
+		if pct < 100 {
+			s := g.SampleVertices(float64(pct)/100, newRand(int64(pct)))
+			sub = s.G
+		}
+		b.Run(pctName(pct), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				decompose(b, sub, core.Options{Algorithm: core.BiTBUPlusPlus})
+			}
+		})
+	}
+}
+
+// BenchmarkFig13BatchOpts regenerates Figure 13: BU vs BU+ vs BU++.
+func BenchmarkFig13BatchOpts(b *testing.B) {
+	g := buildDataset(b, "D-label")
+	for _, a := range []core.Algorithm{core.BiTBU, core.BiTBUPlus, core.BiTBUPlusPlus} {
+		b.Run(a.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				decompose(b, g, core.Options{Algorithm: a})
+			}
+		})
+	}
+}
+
+// BenchmarkFig14TauSweep regenerates Figure 14: BiT-PC at several τ.
+func BenchmarkFig14TauSweep(b *testing.B) {
+	g := buildDataset(b, "D-style")
+	for _, tau := range []float64{0.02, 0.05, 0.1, 0.2, 1} {
+		b.Run(tauName(tau), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := decompose(b, g, core.Options{Algorithm: core.BiTPC, Tau: tau})
+				b.ReportMetric(float64(res.Metrics.SupportUpdates), "updates")
+			}
+		})
+	}
+}

@@ -1,0 +1,315 @@
+package bitruss
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// figure1 builds the paper's running example through the public API.
+func figure1(t *testing.T) *Graph {
+	t.Helper()
+	g, err := FromEdges([][2]int{
+		{0, 0}, {0, 1},
+		{1, 0}, {1, 1},
+		{2, 0}, {2, 1}, {2, 2}, {2, 3},
+		{3, 1}, {3, 2}, {3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestQuickstartFigure1(t *testing.T) {
+	g := figure1(t)
+	if CountButterflies(g) != 4 {
+		t.Fatalf("⋈G = %d, want 4", CountButterflies(g))
+	}
+	want := map[[2]int]int64{
+		{0, 0}: 2, {0, 1}: 2, {1, 0}: 2, {1, 1}: 2, {2, 0}: 2, {2, 1}: 2,
+		{2, 2}: 1, {3, 1}: 1, {3, 2}: 1,
+		{2, 3}: 0, {3, 4}: 0,
+	}
+	for _, a := range Algorithms() {
+		res, err := Decompose(g, Options{Algorithm: a})
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		for pair, phi := range want {
+			got, ok := res.BitrussOf(pair[0], pair[1])
+			if !ok {
+				t.Fatalf("%v: edge %v missing", a, pair)
+			}
+			if got != phi {
+				t.Errorf("%v: φ%v = %d, want %d", a, pair, got, phi)
+			}
+		}
+		if _, ok := res.BitrussOf(0, 4); ok {
+			t.Errorf("%v: BitrussOf on a non-edge reported ok", a)
+		}
+		if _, ok := res.BitrussOf(-1, 0); ok {
+			t.Errorf("%v: BitrussOf out of range reported ok", a)
+		}
+	}
+}
+
+// TestAlgorithmsAgreeQuick is the top-level property test: on random
+// edge lists, every algorithm produces identical bitruss numbers.
+func TestAlgorithmsAgreeQuick(t *testing.T) {
+	f := func(raw []uint16, tauSel uint8) bool {
+		var b Builder
+		b.SetLayerSizes(12, 15)
+		for _, r := range raw {
+			b.AddEdge(int(r%12), int((r>>4)%15))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		ref, err := Decompose(g, Options{Algorithm: BUPlusPlus})
+		if err != nil {
+			return false
+		}
+		taus := []float64{0.02, 0.1, 0.3, 1}
+		for _, a := range []Algorithm{BS, BU, BUPlus, PC} {
+			res, err := Decompose(g, Options{Algorithm: a, Tau: taus[int(tauSel)%len(taus)]})
+			if err != nil {
+				return false
+			}
+			if !reflect.DeepEqual(res.Phi, ref.Phi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommunitiesPublicView(t *testing.T) {
+	g := figure1(t)
+	res, err := Decompose(g, Options{Algorithm: PC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := res.Communities(2)
+	if len(c2) != 1 {
+		t.Fatalf("level-2 communities = %d, want 1", len(c2))
+	}
+	if !reflect.DeepEqual(c2[0].Upper, []int{0, 1, 2}) {
+		t.Errorf("level-2 Upper = %v, want [0 1 2]", c2[0].Upper)
+	}
+	if !reflect.DeepEqual(c2[0].Lower, []int{0, 1}) {
+		t.Errorf("level-2 Lower = %v, want [0 1]", c2[0].Lower)
+	}
+	if c2[0].Size() != 6 {
+		t.Errorf("level-2 size = %d, want 6", c2[0].Size())
+	}
+	levels := res.Levels()
+	if !reflect.DeepEqual(levels, []int64{0, 1, 2}) {
+		t.Errorf("Levels = %v, want [0 1 2]", levels)
+	}
+}
+
+func TestHierarchyPublicView(t *testing.T) {
+	g := figure1(t)
+	res, err := Decompose(g, Options{Algorithm: BUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := res.Hierarchy()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(roots))
+	}
+	depth := 0
+	for n := roots[0]; ; {
+		depth++
+		if len(n.Children) == 0 {
+			break
+		}
+		if len(n.Children) != 1 {
+			t.Fatalf("unexpected branching at level %d", n.K)
+		}
+		n = n.Children[0]
+	}
+	if depth != 3 {
+		t.Errorf("hierarchy depth = %d, want 3 (levels 0,1,2)", depth)
+	}
+}
+
+func TestKBitrussPublicView(t *testing.T) {
+	g := figure1(t)
+	res, err := Decompose(g, Options{Algorithm: BU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, parent := res.KBitruss(2)
+	if sub.NumEdges() != 6 {
+		t.Fatalf("2-bitruss has %d edges, want 6", sub.NumEdges())
+	}
+	if len(parent) != 6 {
+		t.Fatalf("parent mapping has %d entries", len(parent))
+	}
+	for se, pe := range parent {
+		su, sv := sub.Edge(se)
+		pu, pv := g.Edge(pe)
+		if su != pu || sv != pv {
+			t.Errorf("edge map broken at %d: (%d,%d) vs (%d,%d)", se, su, sv, pu, pv)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := GenerateZipf(30, 40, 400, 1.2, 1.1, 5)
+	for _, name := range []string{"g.txt", "g.bg"} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := g.Save(path, true); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		got, err := Load(path, true)
+		if err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		if got.NumEdges() != g.NumEdges() || got.NumUpper() != g.NumUpper() || got.NumLower() != g.NumLower() {
+			t.Errorf("%s: round trip changed the shape", name)
+		}
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	u := GenerateUniform(20, 20, 100, 1)
+	if u.NumEdges() == 0 {
+		t.Errorf("uniform generator produced no edges")
+	}
+	z := GenerateZipf(20, 20, 100, 1.5, 1.5, 1)
+	if z.NumEdges() == 0 {
+		t.Errorf("zipf generator produced no edges")
+	}
+	bl := GenerateBlocks(30, 30, []Block{{Upper: 5, Lower: 5, Density: 1}}, 10, 1)
+	if bl.NumEdges() < 25 {
+		t.Errorf("blocks generator missing planted edges: %d", bl.NumEdges())
+	}
+	bc := GenerateBloomChain(3, 4)
+	if bc.NumEdges() != 24 {
+		t.Errorf("bloom chain edges = %d, want 24", bc.NumEdges())
+	}
+}
+
+func TestSampleVerticesPublic(t *testing.T) {
+	g := GenerateUniform(100, 100, 2000, 3)
+	s := g.SampleVertices(0.5, 7)
+	if s.NumEdges() >= g.NumEdges() || s.NumEdges() == 0 {
+		t.Errorf("sampled %d of %d edges", s.NumEdges(), g.NumEdges())
+	}
+	s2 := g.SampleVertices(0.5, 7)
+	if s2.NumEdges() != s.NumEdges() {
+		t.Errorf("sampling not deterministic")
+	}
+}
+
+func TestCountVertexButterflies(t *testing.T) {
+	g := figure1(t)
+	total, upper, lower := CountVertexButterflies(g)
+	if total != 4 {
+		t.Fatalf("total = %d, want 4", total)
+	}
+	if len(upper) != 4 || len(lower) != 5 {
+		t.Fatalf("slices = (%d,%d), want (4,5)", len(upper), len(lower))
+	}
+	var sum int64
+	for _, c := range upper {
+		sum += c
+	}
+	for _, c := range lower {
+		sum += c
+	}
+	if sum != 4*total {
+		t.Errorf("Σ vertex counts = %d, want %d", sum, 4*total)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := figure1(t)
+	s := g.ComputeStats()
+	if s.NumEdges != 11 || s.NumUpper != 4 || s.NumLower != 5 {
+		t.Errorf("stats shape = %+v", s)
+	}
+	if s.MaxDegreeUpper != 4 || s.MaxDegreeLower != 4 {
+		t.Errorf("max degrees = (%d,%d), want (4,4)", s.MaxDegreeUpper, s.MaxDegreeLower)
+	}
+	if s.WedgeBound <= 0 {
+		t.Errorf("WedgeBound = %d", s.WedgeBound)
+	}
+}
+
+func TestMetricsExposed(t *testing.T) {
+	g := GenerateZipf(60, 60, 1500, 1.3, 1.3, 9)
+	res, err := Decompose(g, Options{Algorithm: PC, Tau: 0.1, HistogramBounds: []int64{10, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.TotalTime <= 0 || m.Iterations < 1 || m.TotalButterflies <= 0 {
+		t.Errorf("metrics not populated: %+v", m)
+	}
+	if len(m.UpdatesByOrigSupport) != 3 {
+		t.Errorf("histogram buckets = %d, want 3", len(m.UpdatesByOrigSupport))
+	}
+	if res.MaxPhi > res.MaxSupport {
+		t.Errorf("MaxPhi %d > MaxSupport %d", res.MaxPhi, res.MaxSupport)
+	}
+}
+
+func TestTipDecomposePublic(t *testing.T) {
+	g := figure1(t)
+	res := TipDecompose(g, true)
+	want := []int64{2, 2, 2, 1}
+	for u, w := range want {
+		if res.Theta[u] != w {
+			t.Errorf("θ(u%d) = %d, want %d", u, res.Theta[u], w)
+		}
+	}
+	k2 := res.KTip(2)
+	if len(k2) != 3 || k2[0] != 0 || k2[1] != 1 || k2[2] != 2 {
+		t.Errorf("2-tip = %v, want [0 1 2]", k2)
+	}
+	lower := TipDecompose(g, false)
+	if lower.TotalButterflies != 4 {
+		t.Errorf("⋈G = %d, want 4", lower.TotalButterflies)
+	}
+}
+
+func TestEdgeSupportPublic(t *testing.T) {
+	g := figure1(t)
+	if got := EdgeSupport(g, 2, 1); got != 3 { // (u2, v1) has support 3
+		t.Errorf("EdgeSupport(u2,v1) = %d, want 3", got)
+	}
+	if got := EdgeSupport(g, 0, 4); got != -1 {
+		t.Errorf("EdgeSupport on missing edge = %d, want -1", got)
+	}
+}
+
+func TestApproxCountPublic(t *testing.T) {
+	g := GenerateUniform(50, 60, 1200, 3)
+	exact := CountButterflies(g)
+	if got := ApproxCountButterflies(g, g.NumEdges(), 1); got != exact {
+		t.Errorf("full-sample estimate = %d, want %d", got, exact)
+	}
+}
+
+func TestBuilderChaining(t *testing.T) {
+	g, err := NewBuilder().AddEdge(0, 0).AddEdge(0, 1).AddEdge(1, 0).AddEdge(1, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decompose(g, Options{Algorithm: BUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi, _ := res.BitrussOf(0, 0); phi != 1 {
+		t.Errorf("φ(0,0) = %d, want 1 (single butterfly)", phi)
+	}
+}

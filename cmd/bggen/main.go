@@ -1,0 +1,23 @@
+// Command bggen generates synthetic bipartite graphs for experiments.
+//
+// Usage:
+//
+//	bggen -model zipf -nu 5000 -nl 60000 -m 350000 -su 1.9 -sl 0.85 -seed 1 -out g.bg
+//	bggen -model uniform -nu 1000 -nl 1000 -m 20000 -out g.txt
+//	bggen -model blocks -nu 200 -nl 200 -blocks 20x20x0.9,10x10x1.0 -bg 500 -out g.txt
+//	bggen -model dataset -name Wiki-it -scale 0.5 -out g.bg
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.BGGen(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bggen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,23 @@
+// Command bgstat prints the Table II summary row for a bipartite graph
+// file: layer sizes, edge count, butterfly count, maximum butterfly
+// support, and (optionally) the maximum bitruss and tip numbers.
+//
+// Usage:
+//
+//	bgstat -input graph.txt
+//	bgstat -input graph.bg -phi=false -tip
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.BGStat(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bgstat:", err)
+		os.Exit(1)
+	}
+}

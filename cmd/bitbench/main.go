@@ -1,0 +1,23 @@
+// Command bitbench regenerates the paper's evaluation (Table II and
+// Figures 5, 7, 9, 10, 11, 12, 13, 14) on the synthetic dataset suite.
+//
+// Usage:
+//
+//	bitbench -exp fig9                 # one experiment
+//	bitbench -exp all -scale 0.5       # the full evaluation, half size
+//	bitbench -exp fig14 -timeout 30s   # custom per-run budget
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.BitBench(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bitbench:", err)
+		os.Exit(1)
+	}
+}

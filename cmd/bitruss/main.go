@@ -1,0 +1,25 @@
+// Command bitruss decomposes a bipartite graph file and reports bitruss
+// numbers, either per edge or as a summary.
+//
+// Usage:
+//
+//	bitruss -input graph.txt -algo pc -tau 0.1 -output phi.txt
+//	bitruss -input graph.bg -algo bu++
+//
+// The input is a KONECT-style "u v" edge list (use -one-based for
+// 1-based indices) or the binary format produced by bggen (".bg").
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.Bitruss(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bitruss:", err)
+		os.Exit(1)
+	}
+}

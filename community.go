@@ -1,0 +1,88 @@
+package bitruss
+
+import (
+	"repro/internal/community"
+)
+
+// Community is one connected component of a k-bitruss: a group of
+// upper- and lower-layer vertices (layer-local indices) densely tied
+// together by butterflies.
+type Community struct {
+	// K is the bitruss level the community was extracted at.
+	K int64
+	// Upper and Lower list the member vertices, sorted ascending.
+	Upper []int
+	Lower []int
+	// Edges lists the member edge ids, sorted ascending.
+	Edges []int
+}
+
+// Size returns the number of member edges.
+func (c *Community) Size() int { return len(c.Edges) }
+
+// CommunityNode is a community plus its nested sub-communities at
+// higher bitruss levels.
+type CommunityNode struct {
+	Community
+	Children []*CommunityNode
+}
+
+// KBitruss returns the k-bitruss of the decomposed graph as a new Graph
+// together with the mapping from its edge ids to the original ones.
+func (r *Result) KBitruss(k int64) (*Graph, []int) {
+	sub := community.KBitruss(r.g.g, r.Phi, k)
+	parent := make([]int, len(sub.ParentEdge))
+	for i, p := range sub.ParentEdge {
+		parent[i] = int(p)
+	}
+	return &Graph{g: sub.G}, parent
+}
+
+// Communities returns the connected components of the k-bitruss,
+// largest first.
+func (r *Result) Communities(k int64) []Community {
+	out := community.Communities(r.g.g, r.Phi, k)
+	res := make([]Community, len(out))
+	for i := range out {
+		res[i] = r.toPublic(&out[i])
+	}
+	return res
+}
+
+// Levels returns the distinct bitruss numbers present, ascending.
+func (r *Result) Levels() []int64 { return community.Levels(r.Phi) }
+
+// Hierarchy returns the nested community forest across all populated
+// bitruss levels: each node's children are the next-level communities
+// contained in it (the paper's "nested research groups" view).
+func (r *Result) Hierarchy() []*CommunityNode {
+	roots := community.BuildHierarchy(r.g.g, r.Phi)
+	out := make([]*CommunityNode, len(roots))
+	for i, n := range roots {
+		out[i] = r.toPublicNode(n)
+	}
+	return out
+}
+
+func (r *Result) toPublic(c *community.Community) Community {
+	nl := r.g.g.NumLower()
+	pc := Community{K: c.K}
+	for _, u := range c.Upper {
+		pc.Upper = append(pc.Upper, int(u)-nl)
+	}
+	for _, v := range c.Lower {
+		pc.Lower = append(pc.Lower, int(v))
+	}
+	for _, e := range c.Edges {
+		pc.Edges = append(pc.Edges, int(e))
+	}
+	return pc
+}
+
+func (r *Result) toPublicNode(n *community.Node) *CommunityNode {
+	out := &CommunityNode{Community: r.toPublic(&n.Community)}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, r.toPublicNode(c))
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package bitruss
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Algorithm selects a decomposition strategy; all strategies compute the
+// same bitruss numbers.
+type Algorithm int
+
+const (
+	// BS is BiT-BS, the combination-based peeling baseline.
+	BS Algorithm = iota
+	// BU is BiT-BU, bottom-up peeling over the BE-Index.
+	BU
+	// BUPlus is BiT-BU+, BU with batch edge processing.
+	BUPlus
+	// BUPlusPlus is BiT-BU++, BU with batch edge and batch bloom
+	// processing — the best all-round choice on most graphs.
+	BUPlusPlus
+	// PC is BiT-PC, progressive compression; the strongest option on
+	// large graphs whose hub edges carry very high butterfly supports.
+	PC
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string { return a.core().String() }
+
+func (a Algorithm) core() core.Algorithm {
+	switch a {
+	case BS:
+		return core.BiTBS
+	case BU:
+		return core.BiTBU
+	case BUPlus:
+		return core.BiTBUPlus
+	case BUPlusPlus:
+		return core.BiTBUPlusPlus
+	case PC:
+		return core.BiTPC
+	default:
+		return core.Algorithm(int(a))
+	}
+}
+
+// Algorithms lists every available algorithm in the paper's order.
+func Algorithms() []Algorithm { return []Algorithm{BS, BU, BUPlus, BUPlusPlus, PC} }
+
+// DefaultTau is the default BiT-PC threshold decrement fraction.
+const DefaultTau = core.DefaultTau
+
+// Options configures Decompose. The zero value runs BiT-BS with the
+// paper's defaults; most callers want Algorithm: BUPlusPlus or PC.
+type Options struct {
+	// Algorithm selects the strategy (default BS, the paper baseline).
+	Algorithm Algorithm
+	// Tau is the BiT-PC threshold decrement fraction τ ∈ (0, 1];
+	// 0 selects DefaultTau. The paper recommends 0.05–0.2.
+	Tau float64
+	// HistogramBounds requests an update histogram bucketed by original
+	// edge support (ascending upper bounds; one overflow bucket is
+	// appended). Used to regenerate Figure 7.
+	HistogramBounds []int64
+	// Workers parallelises the counting phase when > 1.
+	Workers int
+	// Cancel, when non-nil, aborts the decomposition once closed;
+	// Decompose then returns ErrCancelled.
+	Cancel <-chan struct{}
+}
+
+// ErrCancelled reports that Options.Cancel fired mid-decomposition.
+var ErrCancelled = core.ErrCancelled
+
+// Metrics breaks down the cost of a decomposition.
+type Metrics struct {
+	CountingTime time.Duration // butterfly counting
+	IndexTime    time.Duration // BE-Index construction (all iterations)
+	ExtractTime  time.Duration // BiT-PC candidate extraction
+	PeelTime     time.Duration // the peeling process
+	TotalTime    time.Duration
+
+	SupportUpdates       int64   // butterfly support updates performed
+	UpdatesByOrigSupport []int64 // optional Figure 7 histogram
+	PeakIndexBytes       int64   // largest resident BE-Index size
+	Iterations           int     // BiT-PC candidate iterations
+	KMax                 int64   // upper bound on the largest bitruss number
+	TotalButterflies     int64   // ⋈G
+}
+
+// Result is a completed bitruss decomposition of one Graph.
+type Result struct {
+	g *Graph
+	// Phi is the bitruss number of every edge, indexed by edge id.
+	Phi []int64
+	// MaxPhi is the largest bitruss number in the graph (φ_emax).
+	MaxPhi int64
+	// MaxSupport is the largest butterfly support (⋈_emax).
+	MaxSupport int64
+	// Metrics is the cost breakdown.
+	Metrics Metrics
+}
+
+// Decompose computes the bitruss number of every edge of g.
+func Decompose(g *Graph, opt Options) (*Result, error) {
+	res, err := core.Decompose(g.g, core.Options{
+		Algorithm:       opt.Algorithm.core(),
+		Tau:             opt.Tau,
+		HistogramBounds: opt.HistogramBounds,
+		Workers:         opt.Workers,
+		Cancel:          opt.Cancel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		g:          g,
+		Phi:        res.Phi,
+		MaxPhi:     res.MaxPhi,
+		MaxSupport: res.MaxSupport,
+		Metrics: Metrics{
+			CountingTime:         res.Metrics.CountingTime,
+			IndexTime:            res.Metrics.IndexTime,
+			ExtractTime:          res.Metrics.ExtractTime,
+			PeelTime:             res.Metrics.PeelTime,
+			TotalTime:            res.Metrics.TotalTime,
+			SupportUpdates:       res.Metrics.SupportUpdates,
+			UpdatesByOrigSupport: res.Metrics.UpdatesByOrigSupport,
+			PeakIndexBytes:       res.Metrics.PeakIndexBytes,
+			Iterations:           res.Metrics.Iterations,
+			KMax:                 res.Metrics.KMax,
+			TotalButterflies:     res.Metrics.TotalButterflies,
+		},
+	}, nil
+}
+
+// Graph returns the graph this result was computed on.
+func (r *Result) Graph() *Graph { return r.g }
+
+// BitrussOf returns the bitruss number of the edge between upper-layer
+// vertex u and lower-layer vertex v, and whether that edge exists.
+func (r *Result) BitrussOf(u, v int) (int64, bool) {
+	e := r.g.EdgeID(u, v)
+	if e < 0 {
+		return 0, false
+	}
+	return r.Phi[e], true
+}

@@ -1,0 +1,64 @@
+// Fraud detection: find lockstep "fake like" rings in a user-page
+// network (the first motivating application of the paper's Section I).
+//
+// Fraudulent accounts are expensive to create, so fraud rings reuse a
+// small set of accounts to boost many target pages — which makes the
+// ring a dense biclique-like block, while organic activity is sparse
+// and scattered. The size of the ring is unknown up front; bitruss
+// decomposition reveals closely connected groups at every level of
+// granularity, so the investigator can walk down the hierarchy until
+// the suspicious core stands out.
+//
+// Run with: go run ./examples/frauddetection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bitruss "repro"
+)
+
+func main() {
+	// A platform with 400 users (upper layer) and 300 pages (lower
+	// layer). Two fraud rings are planted at the start of the id
+	// space: 12 accounts boosting 10 pages in lockstep, and a smaller
+	// 6x5 ring. 3000 organic likes form the background.
+	g := bitruss.GenerateBlocks(400, 300, []bitruss.Block{
+		{Upper: 12, Lower: 10, Density: 0.95},
+		{Upper: 6, Lower: 5, Density: 0.9},
+	}, 3000, 42)
+
+	fmt.Printf("user-page graph: %d users, %d pages, %d likes, %d butterflies\n\n",
+		g.NumUpper(), g.NumLower(), g.NumEdges(), bitruss.CountButterflies(g))
+
+	res, err := bitruss.Decompose(g, bitruss.Options{Algorithm: bitruss.PC, Tau: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Organic butterflies are rare, so genuine edges have tiny bitruss
+	// numbers; ring edges support each other and survive deep into the
+	// hierarchy. Walk the populated levels from the top until
+	// something non-trivial appears.
+	levels := res.Levels()
+	fmt.Println("communities from the most cohesive level down:")
+	shown := 0
+	for i := len(levels) - 1; i >= 0 && shown < 4; i-- {
+		k := levels[i]
+		if k == 0 {
+			break
+		}
+		for _, c := range res.Communities(k) {
+			fmt.Printf("  level %3d: %2d users x %2d pages (%d edges) users=%v\n",
+				c.K, len(c.Upper), len(c.Lower), c.Size(), c.Upper)
+			shown++
+		}
+	}
+
+	// The deepest community is the primary suspect set.
+	top := res.Communities(levels[len(levels)-1])[0]
+	fmt.Printf("\nprimary suspects (level %d): users %v boosting pages %v\n",
+		top.K, top.Upper, top.Lower)
+	fmt.Println("expected ring: users [0..11] on pages [0..9]")
+}

@@ -1,0 +1,112 @@
+// Recommendation: use the bitruss hierarchy of a user-item graph to
+// find users at different similarity levels and recommend the items
+// their closest peers bought (the third motivating application of the
+// paper's Section I: "the denser the subgraph is, the more similar the
+// users/items are").
+//
+// Run with: go run ./examples/recommendation
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	bitruss "repro"
+)
+
+func main() {
+	// A shop with 300 users and 200 items: three taste clusters of
+	// decreasing tightness plus uniform browsing noise.
+	g := bitruss.GenerateBlocks(300, 200, []bitruss.Block{
+		{Upper: 25, Lower: 18, Density: 0.8}, // cluster A
+		{Upper: 30, Lower: 22, Density: 0.6}, // cluster B
+		{Upper: 40, Lower: 30, Density: 0.4}, // cluster C
+	}, 2500, 7)
+	res, err := bitruss.Decompose(g, bitruss.Options{Algorithm: bitruss.PC, Tau: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user-item graph: %d users, %d items, %d purchases, max bitruss %d\n\n",
+		g.NumUpper(), g.NumLower(), g.NumEdges(), res.MaxPhi)
+
+	const target = 3 // a user from cluster A
+	fmt.Printf("recommendations for user %d at decreasing similarity levels:\n", target)
+
+	levels := res.Levels()
+	owned := ownedItems(g, target)
+	lastPeers := -1
+	shown := 0
+	for i := len(levels) - 1; i >= 0 && shown < 10; i-- {
+		k := levels[i]
+		if k == 0 {
+			continue
+		}
+		comm, ok := communityOf(res, k, target)
+		if !ok {
+			continue
+		}
+		// Only report levels where the peer group actually widens.
+		if len(comm.Upper) == lastPeers {
+			continue
+		}
+		lastPeers = len(comm.Upper)
+		recs := recommend(g, comm.Upper, owned, 5)
+		fmt.Printf("  level %3d: %3d peers -> top items %v\n", k, len(comm.Upper)-1, recs)
+		shown++
+	}
+}
+
+// ownedItems returns the items user u already has.
+func ownedItems(g *bitruss.Graph, u int) map[int]bool {
+	owned := map[int]bool{}
+	for e := 0; e < g.NumEdges(); e++ {
+		eu, ev := g.Edge(e)
+		if eu == u {
+			owned[ev] = true
+		}
+	}
+	return owned
+}
+
+// communityOf finds the level-k community containing user u.
+func communityOf(res *bitruss.Result, k int64, u int) (bitruss.Community, bool) {
+	for _, c := range res.Communities(k) {
+		for _, member := range c.Upper {
+			if member == u {
+				return c, true
+			}
+		}
+	}
+	return bitruss.Community{}, false
+}
+
+// recommend counts, over the peer group, the items the target does not
+// own yet and returns the most popular ones.
+func recommend(g *bitruss.Graph, peers []int, owned map[int]bool, topN int) []int {
+	inPeers := map[int]bool{}
+	for _, p := range peers {
+		inPeers[p] = true
+	}
+	count := map[int]int{}
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.Edge(e)
+		if inPeers[u] && !owned[v] {
+			count[v]++
+		}
+	}
+	items := make([]int, 0, len(count))
+	for v := range count {
+		items = append(items, v)
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if count[items[i]] != count[items[j]] {
+			return count[items[i]] > count[items[j]]
+		}
+		return items[i] < items[j]
+	})
+	if len(items) > topN {
+		items = items[:topN]
+	}
+	return items
+}

@@ -1,0 +1,44 @@
+package bitruss
+
+import "repro/internal/gen"
+
+// GenerateUniform returns a random bipartite graph with nUpper x nLower
+// vertices and up to m uniformly random edges (duplicates merged).
+// Deterministic for a fixed seed.
+func GenerateUniform(nUpper, nLower, m int, seed int64) *Graph {
+	return &Graph{g: gen.Uniform(nUpper, nLower, m, seed)}
+}
+
+// GenerateZipf returns a random bipartite graph whose endpoints follow
+// Zipf-like distributions with the given exponents; larger exponents
+// concentrate the edges on fewer hub vertices, reproducing the skewed
+// degree distributions of real-world graphs. Deterministic for a fixed
+// seed.
+func GenerateZipf(nUpper, nLower, m int, sUpper, sLower float64, seed int64) *Graph {
+	return &Graph{g: gen.Zipf(nUpper, nLower, m, sUpper, sLower, seed)}
+}
+
+// Block describes one planted community for GenerateBlocks.
+type Block struct {
+	Upper   int     // upper-layer vertices in the block
+	Lower   int     // lower-layer vertices in the block
+	Density float64 // probability of each intra-block edge
+}
+
+// GenerateBlocks plants dense bipartite communities over a sparse
+// uniform background — the shape of fraud rings and of user–item
+// clusters. Blocks occupy disjoint vertex ranges starting at index 0 of
+// each layer. Deterministic for a fixed seed.
+func GenerateBlocks(nUpper, nLower int, blocks []Block, backgroundEdges int, seed int64) *Graph {
+	cfg := make([]gen.BlockConfig, len(blocks))
+	for i, b := range blocks {
+		cfg[i] = gen.BlockConfig{Upper: b.Upper, Lower: b.Lower, Density: b.Density}
+	}
+	return &Graph{g: gen.Blocks(nUpper, nLower, cfg, backgroundEdges, seed)}
+}
+
+// GenerateBloomChain returns c vertex-disjoint (2, k)-bicliques — a
+// graph whose BE-Index is exactly c blooms.
+func GenerateBloomChain(c, k int) *Graph {
+	return &Graph{g: gen.BloomChain(c, k)}
+}

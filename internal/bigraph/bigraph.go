@@ -1,0 +1,206 @@
+// Package bigraph provides the bipartite-graph substrate used by every
+// other package in this repository: an immutable compressed-sparse-row
+// representation of an undirected bipartite graph G(V=(U,L), E) together
+// with the vertex priorities of Definition 7 of the paper.
+//
+// Vertex identifiers follow the paper's convention that every upper-layer
+// vertex has a larger id than every lower-layer vertex: the lower layer
+// occupies ids [0, NumLower) and the upper layer ids
+// [NumLower, NumLower+NumUpper).
+//
+// Adjacency lists are sorted by ascending vertex priority so that the
+// "neighbours with lower priority than u" scans required by the wedge
+// procedures of Algorithms 3 and 6 are prefix scans with early exit.
+package bigraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge between an upper-layer vertex U and a
+// lower-layer vertex V, both as graph-global vertex ids (so U >= NumLower
+// and V < NumLower always hold).
+type Edge struct {
+	U int32 // upper-layer endpoint (global id)
+	V int32 // lower-layer endpoint (global id)
+}
+
+// Graph is an immutable bipartite graph. The zero value is an empty graph.
+//
+// Edge ids are dense in [0, NumEdges) and stable for the lifetime of the
+// Graph; all per-edge algorithm state (butterfly supports, bitruss numbers)
+// is indexed by edge id.
+type Graph struct {
+	numLower int32
+	numUpper int32
+
+	edges []Edge // edge id -> endpoints, sorted by (U, V)
+
+	offsets []int32 // CSR offsets, len NumVertices+1
+	nbrs    []int32 // neighbour vertex ids, sorted by ascending rank
+	eids    []int32 // edge ids parallel to nbrs
+
+	rank []int32 // rank[v] in [0, NumVertices); larger rank = larger priority
+}
+
+// NumLower returns the number of lower-layer vertices |L(G)|.
+func (g *Graph) NumLower() int { return int(g.numLower) }
+
+// NumUpper returns the number of upper-layer vertices |U(G)|.
+func (g *Graph) NumUpper() int { return int(g.numUpper) }
+
+// NumVertices returns |V(G)| = |U(G)| + |L(G)|.
+func (g *Graph) NumVertices() int { return int(g.numLower + g.numUpper) }
+
+// NumEdges returns |E(G)|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// IsUpper reports whether vertex v belongs to the upper layer U(G).
+func (g *Graph) IsUpper(v int32) bool { return v >= g.numLower }
+
+// Edge returns the endpoints of edge e.
+func (g *Graph) Edge(e int32) Edge { return g.edges[e] }
+
+// Edges returns the full edge slice. The caller must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Degree returns d(v), the number of neighbours of vertex v.
+func (g *Graph) Degree(v int32) int32 { return g.offsets[v+1] - g.offsets[v] }
+
+// Neighbors returns the neighbour vertex ids of v and the parallel edge
+// ids, both sorted by ascending priority of the neighbour. The caller must
+// not modify the returned slices.
+func (g *Graph) Neighbors(v int32) (nbrs, eids []int32) {
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	return g.nbrs[lo:hi], g.eids[lo:hi]
+}
+
+// Rank returns the priority rank of vertex v: rank(a) > rank(b) exactly
+// when p(a) > p(b) in the sense of Definition 7 (degree first, vertex id
+// as tie-break). Ranks are a permutation of [0, NumVertices).
+func (g *Graph) Rank(v int32) int32 { return g.rank[v] }
+
+// PriorityLess reports whether p(a) < p(b).
+func (g *Graph) PriorityLess(a, b int32) bool { return g.rank[a] < g.rank[b] }
+
+// OtherEndpoint returns the endpoint of edge e that is not v.
+func (g *Graph) OtherEndpoint(e, v int32) int32 {
+	ed := g.edges[e]
+	if ed.U == v {
+		return ed.V
+	}
+	return ed.U
+}
+
+// HasEdge reports whether an edge between u and v exists, and returns its
+// edge id if so. It runs in O(log d) on the smaller adjacency list.
+func (g *Graph) HasEdge(u, v int32) (int32, bool) {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	nbrs, eids := g.Neighbors(u)
+	// Adjacency is sorted by rank, not by vertex id, so do a linear scan;
+	// the list is the smaller of the two by construction.
+	for i, w := range nbrs {
+		if w == v {
+			return eids[i], true
+		}
+	}
+	return -1, false
+}
+
+// EdgeID returns the edge id of the edge between global vertex ids u and
+// v, or -1 if no such edge exists.
+func (g *Graph) EdgeID(u, v int32) int32 {
+	if id, ok := g.HasEdge(u, v); ok {
+		return id
+	}
+	return -1
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("bigraph{|U|=%d |L|=%d |E|=%d}", g.numUpper, g.numLower, len(g.edges))
+}
+
+// build constructs the CSR arrays and priority ranks from a deduplicated,
+// sorted edge slice. It is shared by Builder.Build and the subgraph
+// constructors.
+func build(numUpper, numLower int32, edges []Edge) *Graph {
+	g := &Graph{
+		numLower: numLower,
+		numUpper: numUpper,
+		edges:    edges,
+	}
+	n := int(numLower + numUpper)
+	m := len(edges)
+
+	// Degrees.
+	deg := make([]int32, n)
+	for _, e := range edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+
+	// Priority ranks (Definition 7): sort vertices by (degree, id)
+	// ascending; position in that order is the rank, so a larger rank
+	// means a larger priority.
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if deg[a] != deg[b] {
+			return deg[a] < deg[b]
+		}
+		return a < b
+	})
+	g.rank = make([]int32, n)
+	for r, v := range order {
+		g.rank[v] = int32(r)
+	}
+
+	// CSR fill.
+	g.offsets = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		g.offsets[v+1] = g.offsets[v] + deg[v]
+	}
+	g.nbrs = make([]int32, 2*m)
+	g.eids = make([]int32, 2*m)
+	cursor := make([]int32, n)
+	copy(cursor, g.offsets[:n])
+	for id, e := range edges {
+		g.nbrs[cursor[e.U]] = e.V
+		g.eids[cursor[e.U]] = int32(id)
+		cursor[e.U]++
+		g.nbrs[cursor[e.V]] = e.U
+		g.eids[cursor[e.V]] = int32(id)
+		cursor[e.V]++
+	}
+
+	// Sort each adjacency segment by ascending neighbour rank so that
+	// lower-priority neighbours form a prefix.
+	for v := 0; v < n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		seg := adjSegment{nbrs: g.nbrs[lo:hi], eids: g.eids[lo:hi], rank: g.rank}
+		sort.Sort(seg)
+	}
+	return g
+}
+
+type adjSegment struct {
+	nbrs []int32
+	eids []int32
+	rank []int32
+}
+
+func (s adjSegment) Len() int { return len(s.nbrs) }
+func (s adjSegment) Less(i, j int) bool {
+	return s.rank[s.nbrs[i]] < s.rank[s.nbrs[j]]
+}
+func (s adjSegment) Swap(i, j int) {
+	s.nbrs[i], s.nbrs[j] = s.nbrs[j], s.nbrs[i]
+	s.eids[i], s.eids[j] = s.eids[j], s.eids[i]
+}

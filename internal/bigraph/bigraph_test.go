@@ -1,0 +1,340 @@
+package bigraph
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// figure1 builds the paper's Figure 1 graph locally (testgraphs depends on
+// this package, so we re-declare the 11 edges here to avoid an import
+// cycle in tests).
+func figure1(t *testing.T) *Graph {
+	t.Helper()
+	pairs := [][2]int{
+		{0, 0}, {0, 1},
+		{1, 0}, {1, 1},
+		{2, 0}, {2, 1}, {2, 2}, {2, 3},
+		{3, 1}, {3, 2}, {3, 4},
+	}
+	g, err := FromEdges(pairs)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+func TestBuilderBasicShape(t *testing.T) {
+	g := figure1(t)
+	if got, want := g.NumUpper(), 4; got != want {
+		t.Errorf("NumUpper = %d, want %d", got, want)
+	}
+	if got, want := g.NumLower(), 5; got != want {
+		t.Errorf("NumLower = %d, want %d", got, want)
+	}
+	if got, want := g.NumEdges(), 11; got != want {
+		t.Errorf("NumEdges = %d, want %d", got, want)
+	}
+	if got, want := g.NumVertices(), 9; got != want {
+		t.Errorf("NumVertices = %d, want %d", got, want)
+	}
+}
+
+func TestUpperIDsExceedLowerIDs(t *testing.T) {
+	g := figure1(t)
+	for _, e := range g.Edges() {
+		if !g.IsUpper(e.U) {
+			t.Fatalf("edge %v: U endpoint not in upper layer", e)
+		}
+		if g.IsUpper(e.V) {
+			t.Fatalf("edge %v: V endpoint not in lower layer", e)
+		}
+		if e.U <= e.V {
+			t.Fatalf("edge %v: upper id must exceed lower id (paper Section II)", e)
+		}
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := figure1(t)
+	// Lower layer: v0..v4 have global ids 0..4.
+	wantLower := []int32{3, 4, 2, 1, 1}
+	for v, want := range wantLower {
+		if got := g.Degree(int32(v)); got != want {
+			t.Errorf("d(v%d) = %d, want %d", v, got, want)
+		}
+	}
+	// Upper layer: u0..u3 have global ids 5..8.
+	wantUpper := []int32{2, 2, 4, 3}
+	for u, want := range wantUpper {
+		if got := g.Degree(int32(g.NumLower() + u)); got != want {
+			t.Errorf("d(u%d) = %d, want %d", u, got, want)
+		}
+	}
+}
+
+func TestBuilderDuplicatesMerged(t *testing.T) {
+	var b Builder
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got, want := g.NumEdges(), 2; got != want {
+		t.Errorf("NumEdges = %d, want %d", got, want)
+	}
+	if got, want := b.Duplicates(), 2; got != want {
+		t.Errorf("Duplicates = %d, want %d", got, want)
+	}
+}
+
+func TestBuilderNegativeVertex(t *testing.T) {
+	var b Builder
+	b.AddEdge(-1, 0)
+	if _, err := b.Build(); !errors.Is(err, ErrNegativeVertex) {
+		t.Fatalf("Build error = %v, want ErrNegativeVertex", err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	var b Builder
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Errorf("empty graph has %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	s := ComputeStats(g)
+	if s.NumEdges != 0 || s.WedgeBound != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestSetLayerSizesKeepsIsolatedVertices(t *testing.T) {
+	var b Builder
+	b.AddEdge(0, 0)
+	b.SetLayerSizes(10, 7)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.NumUpper() != 10 || g.NumLower() != 7 {
+		t.Errorf("layers = (%d,%d), want (10,7)", g.NumUpper(), g.NumLower())
+	}
+	s := ComputeStats(g)
+	if s.IsolatedUppr != 9 || s.IsolatedLowr != 6 {
+		t.Errorf("isolated = (%d,%d), want (9,6)", s.IsolatedUppr, s.IsolatedLowr)
+	}
+}
+
+func TestRankIsPermutationOrderedByDegreeThenID(t *testing.T) {
+	g := figure1(t)
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	for v := 0; v < n; v++ {
+		r := g.Rank(int32(v))
+		if r < 0 || int(r) >= n {
+			t.Fatalf("rank(%d) = %d out of range", v, r)
+		}
+		if seen[r] {
+			t.Fatalf("rank %d assigned twice", r)
+		}
+		seen[r] = true
+	}
+	// Priority order: degree first, then id (Definition 7).
+	for a := int32(0); a < int32(n); a++ {
+		for b := int32(0); b < int32(n); b++ {
+			da, db := g.Degree(a), g.Degree(b)
+			wantLess := da < db || (da == db && a < b)
+			if got := g.PriorityLess(a, b); got != wantLess {
+				t.Errorf("PriorityLess(%d,%d) = %v, want %v (deg %d vs %d)", a, b, got, wantLess, da, db)
+			}
+		}
+	}
+}
+
+func TestAdjacencySortedByRank(t *testing.T) {
+	g := figure1(t)
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		nbrs, eids := g.Neighbors(v)
+		if len(nbrs) != len(eids) {
+			t.Fatalf("v=%d: nbr/eid length mismatch", v)
+		}
+		for i := 1; i < len(nbrs); i++ {
+			if g.Rank(nbrs[i-1]) >= g.Rank(nbrs[i]) {
+				t.Errorf("v=%d: adjacency not sorted by ascending rank", v)
+			}
+		}
+		for i, w := range nbrs {
+			e := g.Edge(eids[i])
+			if e.U != v && e.V != v {
+				t.Errorf("v=%d: edge %d does not touch v", v, eids[i])
+			}
+			if g.OtherEndpoint(eids[i], v) != w {
+				t.Errorf("v=%d: OtherEndpoint mismatch for edge %d", v, eids[i])
+			}
+		}
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := figure1(t)
+	u0 := int32(g.NumLower() + 0)
+	v0, v2 := int32(0), int32(2)
+	if _, ok := g.HasEdge(u0, v0); !ok {
+		t.Errorf("HasEdge(u0,v0) = false, want true")
+	}
+	if _, ok := g.HasEdge(v0, u0); !ok {
+		t.Errorf("HasEdge(v0,u0) = false, want true (order independent)")
+	}
+	if _, ok := g.HasEdge(u0, v2); ok {
+		t.Errorf("HasEdge(u0,v2) = true, want false")
+	}
+	if id := g.EdgeID(u0, v2); id != -1 {
+		t.Errorf("EdgeID(u0,v2) = %d, want -1", id)
+	}
+	id := g.EdgeID(u0, v0)
+	e := g.Edge(id)
+	if e.U != u0 || e.V != v0 {
+		t.Errorf("EdgeID round trip: got %v", e)
+	}
+}
+
+func TestInducedByEdges(t *testing.T) {
+	g := figure1(t)
+	keep := make([]bool, g.NumEdges())
+	// Keep only edges incident to v1 (global id 1).
+	want := 0
+	for e := 0; e < g.NumEdges(); e++ {
+		if g.Edge(int32(e)).V == 1 {
+			keep[e] = true
+			want++
+		}
+	}
+	sub := g.InducedByEdges(keep)
+	if sub.G.NumEdges() != want {
+		t.Fatalf("subgraph edges = %d, want %d", sub.G.NumEdges(), want)
+	}
+	if sub.G.NumVertices() != g.NumVertices() {
+		t.Errorf("subgraph must preserve vertex ids")
+	}
+	for se := 0; se < sub.G.NumEdges(); se++ {
+		pe := sub.ParentEdge[se]
+		if sub.G.Edge(int32(se)) != g.Edge(pe) {
+			t.Errorf("edge map broken at sub edge %d", se)
+		}
+	}
+	if got := sub.G.Degree(1); int(got) != want {
+		t.Errorf("d(v1) in subgraph = %d, want %d", got, want)
+	}
+}
+
+func TestSampleVerticesFullFraction(t *testing.T) {
+	g := figure1(t)
+	sub := g.SampleVertices(1.0, rand.New(rand.NewSource(1)))
+	if sub.G.NumEdges() != g.NumEdges() {
+		t.Errorf("fraction 1 should keep all edges: got %d", sub.G.NumEdges())
+	}
+}
+
+func TestSampleVerticesDeterministicAndInduced(t *testing.T) {
+	g := randomGraph(t, 40, 60, 300, 7)
+	s1 := g.SampleVertices(0.5, rand.New(rand.NewSource(42)))
+	s2 := g.SampleVertices(0.5, rand.New(rand.NewSource(42)))
+	if s1.G.NumEdges() != s2.G.NumEdges() {
+		t.Fatalf("same seed produced different subgraphs: %d vs %d", s1.G.NumEdges(), s2.G.NumEdges())
+	}
+	if s1.G.NumEdges() >= g.NumEdges() {
+		t.Fatalf("sampling half the vertices kept all %d edges", g.NumEdges())
+	}
+	// Every kept edge must come from the parent.
+	for se := 0; se < s1.G.NumEdges(); se++ {
+		if s1.G.Edge(int32(se)) != g.Edge(s1.ParentEdge[se]) {
+			t.Fatalf("edge mapping broken")
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := figure1(t)
+	c := g.Clone()
+	if c.NumEdges() != g.NumEdges() || c.NumVertices() != g.NumVertices() {
+		t.Fatalf("clone shape mismatch")
+	}
+	for e := int32(0); e < int32(g.NumEdges()); e++ {
+		if c.Edge(e) != g.Edge(e) {
+			t.Fatalf("clone edge %d differs", e)
+		}
+	}
+}
+
+func TestStatsWedgeBound(t *testing.T) {
+	// Path u0-v0-u1: two edges. d(u0)=1, d(v0)=2, d(u1)=1.
+	g, err := FromEdges([][2]int{{0, 0}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(g)
+	if s.WedgeBound != 2 { // min(1,2) + min(1,2)
+		t.Errorf("WedgeBound = %d, want 2", s.WedgeBound)
+	}
+	if s.MaxDegLower != 2 || s.MaxDegUpper != 1 {
+		t.Errorf("max degrees = (%d,%d), want (1,2)", s.MaxDegUpper, s.MaxDegLower)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := figure1(t)
+	hLower := DegreeHistogram(g, false)
+	// Lower degrees: 3,4,2,1,1.
+	want := map[int32]int{1: 2, 2: 1, 3: 1, 4: 1}
+	for k, v := range want {
+		if hLower[k] != v {
+			t.Errorf("lower histogram[%d] = %d, want %d", k, hLower[k], v)
+		}
+	}
+	hUpper := DegreeHistogram(g, true)
+	total := 0
+	for _, v := range hUpper {
+		total += v
+	}
+	if total != g.NumUpper() {
+		t.Errorf("upper histogram covers %d vertices, want %d", total, g.NumUpper())
+	}
+}
+
+func TestEdgesSortedStable(t *testing.T) {
+	g := figure1(t)
+	edges := g.Edges()
+	sorted := sort.SliceIsSorted(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	if !sorted {
+		t.Errorf("edge list not sorted by (U,V)")
+	}
+}
+
+// randomGraph builds a random simple bipartite graph for tests in this
+// package (the dedicated generator package is tested separately).
+func randomGraph(t *testing.T, nu, nl, m int, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var b Builder
+	b.SetLayerSizes(nu, nl)
+	for i := 0; i < m; i++ {
+		b.AddEdge(rng.Intn(nu), rng.Intn(nl))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("random build: %v", err)
+	}
+	return g
+}

@@ -1,0 +1,125 @@
+package bigraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrNegativeVertex is returned by Builder.Build when an edge references a
+// negative layer index.
+var ErrNegativeVertex = errors.New("bigraph: negative vertex index")
+
+// Builder accumulates edges given as (upper-layer index, lower-layer
+// index) pairs, both 0-based within their layer, and produces an immutable
+// Graph. Duplicate edges are silently merged; the number of duplicates is
+// reported by Duplicates after Build.
+//
+// The zero value is ready to use.
+type Builder struct {
+	edges      []layerEdge
+	maxUpper   int32 // 1 + largest upper index seen
+	maxLower   int32 // 1 + largest lower index seen
+	duplicates int
+	err        error
+}
+
+type layerEdge struct {
+	u int32 // upper-layer index
+	v int32 // lower-layer index
+}
+
+// AddEdge records an edge between upper-layer vertex u and lower-layer
+// vertex v (both 0-based within their layer). Negative indices poison the
+// builder; the error surfaces from Build.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || v < 0 {
+		if b.err == nil {
+			b.err = fmt.Errorf("%w: (%d, %d)", ErrNegativeVertex, u, v)
+		}
+		return
+	}
+	if int32(u) >= b.maxUpper {
+		b.maxUpper = int32(u) + 1
+	}
+	if int32(v) >= b.maxLower {
+		b.maxLower = int32(v) + 1
+	}
+	b.edges = append(b.edges, layerEdge{u: int32(u), v: int32(v)})
+}
+
+// SetLayerSizes forces the layer sizes to at least nUpper x nLower so that
+// isolated trailing vertices are preserved. Build still grows the layers
+// if an edge references a larger index.
+func (b *Builder) SetLayerSizes(nUpper, nLower int) {
+	if int32(nUpper) > b.maxUpper {
+		b.maxUpper = int32(nUpper)
+	}
+	if int32(nLower) > b.maxLower {
+		b.maxLower = int32(nLower)
+	}
+}
+
+// Duplicates reports how many duplicate edges the last Build merged.
+func (b *Builder) Duplicates() int { return b.duplicates }
+
+// NumEdgesAdded returns the number of AddEdge calls so far (duplicates
+// included).
+func (b *Builder) NumEdgesAdded() int { return len(b.edges) }
+
+// Build produces the immutable Graph. The builder can be reused (its edge
+// buffer is consumed).
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	numLower, numUpper := b.maxLower, b.maxUpper
+
+	// Translate to global ids: lower vertices keep their index, upper
+	// vertices are shifted past the lower layer so that u.id > v.id for
+	// every u in U(G), v in L(G), as assumed in Section II of the paper.
+	edges := make([]Edge, len(b.edges))
+	for i, le := range b.edges {
+		edges[i] = Edge{U: numLower + le.u, V: le.v}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	// Deduplicate in place.
+	b.duplicates = 0
+	out := edges[:0]
+	for i, e := range edges {
+		if i > 0 && e == edges[i-1] {
+			b.duplicates++
+			continue
+		}
+		out = append(out, e)
+	}
+	edges = out
+
+	b.edges = nil
+	return build(numUpper, numLower, edges), nil
+}
+
+// MustBuild is Build for graphs that are known valid (tests, examples);
+// it panics on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromEdges is a convenience constructor: it builds a graph from
+// (upperIndex, lowerIndex) pairs.
+func FromEdges(pairs [][2]int) (*Graph, error) {
+	var b Builder
+	for _, p := range pairs {
+		b.AddEdge(p[0], p[1])
+	}
+	return b.Build()
+}

@@ -1,0 +1,104 @@
+package bigraph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestBuilderInvariantsQuick checks structural invariants of the CSR
+// construction over arbitrary edge lists.
+func TestBuilderInvariantsQuick(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var b Builder
+		for _, r := range raw {
+			b.AddEdge(int(r%97), int((r>>8)%89))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		// Degree sum equals twice the edge count.
+		var degSum int64
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			degSum += int64(g.Degree(v))
+		}
+		if degSum != 2*int64(g.NumEdges()) {
+			return false
+		}
+		// Ranks form a permutation consistent with (degree, id).
+		seen := make([]bool, g.NumVertices())
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			r := g.Rank(v)
+			if r < 0 || int(r) >= g.NumVertices() || seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		// Every adjacency segment is sorted by rank and mirrors edges.
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			nbrs, eids := g.Neighbors(v)
+			for i := range nbrs {
+				if i > 0 && g.Rank(nbrs[i-1]) >= g.Rank(nbrs[i]) {
+					return false
+				}
+				if g.OtherEndpoint(eids[i], v) != nbrs[i] {
+					return false
+				}
+			}
+		}
+		// Each edge appears in exactly two adjacency segments.
+		count := make([]int, g.NumEdges())
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			_, eids := g.Neighbors(v)
+			for _, e := range eids {
+				count[e]++
+			}
+		}
+		for _, c := range count {
+			if c != 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInducedSubgraphQuick checks that induced subgraphs preserve edge
+// identity and never invent edges.
+func TestInducedSubgraphQuick(t *testing.T) {
+	f := func(raw []uint32, mask uint32) bool {
+		var b Builder
+		for _, r := range raw {
+			b.AddEdge(int(r%31), int((r>>8)%29))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		keep := make([]bool, g.NumEdges())
+		kept := 0
+		for e := range keep {
+			keep[e] = (uint32(e)^mask)&3 != 0
+			if keep[e] {
+				kept++
+			}
+		}
+		sub := g.InducedByEdges(keep)
+		if sub.G.NumEdges() != kept {
+			return false
+		}
+		for se := 0; se < sub.G.NumEdges(); se++ {
+			pe := sub.ParentEdge[se]
+			if !keep[pe] || sub.G.Edge(int32(se)) != g.Edge(pe) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

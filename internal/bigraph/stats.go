@@ -1,0 +1,68 @@
+package bigraph
+
+// Stats summarises structural properties of a graph; it backs the dataset
+// summary columns of Table II that do not require butterfly counting.
+type Stats struct {
+	NumUpper     int
+	NumLower     int
+	NumEdges     int
+	MaxDegUpper  int32
+	MaxDegLower  int32
+	IsolatedUppr int
+	IsolatedLowr int
+	// WedgeBound is sum over edges (u,v) of min{d(u), d(v)}: the paper's
+	// bound on counting time, index size and index construction time.
+	WedgeBound int64
+}
+
+// ComputeStats walks the graph once and fills a Stats value.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{
+		NumUpper: g.NumUpper(),
+		NumLower: g.NumLower(),
+		NumEdges: g.NumEdges(),
+	}
+	for v := int32(0); v < g.numLower; v++ {
+		d := g.Degree(v)
+		if d > s.MaxDegLower {
+			s.MaxDegLower = d
+		}
+		if d == 0 {
+			s.IsolatedLowr++
+		}
+	}
+	for v := g.numLower; v < g.numLower+g.numUpper; v++ {
+		d := g.Degree(v)
+		if d > s.MaxDegUpper {
+			s.MaxDegUpper = d
+		}
+		if d == 0 {
+			s.IsolatedUppr++
+		}
+	}
+	for _, e := range g.edges {
+		du, dv := g.Degree(e.U), g.Degree(e.V)
+		if du < dv {
+			s.WedgeBound += int64(du)
+		} else {
+			s.WedgeBound += int64(dv)
+		}
+	}
+	return s
+}
+
+// DegreeHistogram returns a map degree -> number of vertices with that
+// degree, for the requested layer (true selects the upper layer).
+func DegreeHistogram(g *Graph, upper bool) map[int32]int {
+	h := make(map[int32]int)
+	var lo, hi int32
+	if upper {
+		lo, hi = g.numLower, g.numLower+g.numUpper
+	} else {
+		lo, hi = 0, g.numLower
+	}
+	for v := lo; v < hi; v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}

@@ -1,0 +1,77 @@
+package bigraph
+
+import "math/rand"
+
+// Subgraph couples an induced subgraph with the mapping from its edge ids
+// back to the parent graph's edge ids.
+type Subgraph struct {
+	G *Graph
+	// ParentEdge maps a subgraph edge id to the corresponding edge id in
+	// the parent graph.
+	ParentEdge []int32
+}
+
+// InducedByEdges builds the subgraph containing exactly the parent edges
+// for which keep[e] is true. Vertex ids and layer sizes are preserved, so
+// per-vertex arrays sized for the parent remain valid; only degrees,
+// ranks, and edge ids change.
+func (g *Graph) InducedByEdges(keep []bool) Subgraph {
+	kept := 0
+	for _, k := range keep {
+		if k {
+			kept++
+		}
+	}
+	edges := make([]Edge, 0, kept)
+	parent := make([]int32, 0, kept)
+	for e, k := range keep {
+		if k {
+			edges = append(edges, g.edges[e])
+			parent = append(parent, int32(e))
+		}
+	}
+	// g.edges is sorted by (U, V); filtering preserves that order.
+	return Subgraph{G: build(g.numUpper, g.numLower, edges), ParentEdge: parent}
+}
+
+// SampleVertices builds the induced subgraph on a uniformly random subset
+// of the vertices: each vertex of either layer is kept independently...
+// no — following Section VI of the paper, a fixed fraction of vertices is
+// sampled without replacement from each layer, and the subgraph keeps the
+// edges whose two endpoints are both sampled. Vertex ids and layer sizes
+// are preserved (unsampled vertices become isolated).
+//
+// fraction must lie in (0, 1]; fraction == 1 returns a copy of g.
+func (g *Graph) SampleVertices(fraction float64, rng *rand.Rand) Subgraph {
+	if fraction >= 1 {
+		keep := make([]bool, g.NumEdges())
+		for i := range keep {
+			keep[i] = true
+		}
+		return g.InducedByEdges(keep)
+	}
+	n := g.NumVertices()
+	chosen := make([]bool, n)
+	pick := func(lo, hi int32) {
+		count := int(float64(hi-lo) * fraction)
+		perm := rng.Perm(int(hi - lo))
+		for i := 0; i < count; i++ {
+			chosen[lo+int32(perm[i])] = true
+		}
+	}
+	pick(0, g.numLower)
+	pick(g.numLower, g.numLower+g.numUpper)
+
+	keep := make([]bool, g.NumEdges())
+	for e, ed := range g.edges {
+		keep[e] = chosen[ed.U] && chosen[ed.V]
+	}
+	return g.InducedByEdges(keep)
+}
+
+// Clone returns a deep copy of g with identical ids.
+func (g *Graph) Clone() *Graph {
+	edges := make([]Edge, len(g.edges))
+	copy(edges, g.edges)
+	return build(g.numUpper, g.numLower, edges)
+}

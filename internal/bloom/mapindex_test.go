@@ -1,0 +1,100 @@
+package bloom
+
+import (
+	"testing"
+
+	"repro/internal/bucket"
+	"repro/internal/butterfly"
+	"repro/internal/testgraphs"
+)
+
+func TestMapIndexFreshSupports(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := randomGraph(20, 25, 220, seed)
+		ix := BuildMap(g)
+		_, want := butterfly.CountAndSupports(g)
+		for e := range want {
+			if got := ix.Support(int32(e)); got != want[e] {
+				t.Errorf("seed %d: support(e%d) = %d, want %d", seed, e, got, want[e])
+			}
+		}
+		if flat := Build(g); flat.NumBlooms() != ix.NumBlooms() {
+			t.Errorf("seed %d: map index has %d blooms, flat has %d",
+				seed, ix.NumBlooms(), flat.NumBlooms())
+		}
+	}
+}
+
+// peelPhi runs a minimal BiT-BU peel over any index with the
+// RemoveEdge contract and returns the bitruss numbers.
+type removeEdger interface {
+	Support(e int32) int64
+	RemoveEdge(e int32, clamp int64, fn UpdateFunc)
+}
+
+func peelPhi(m int, ix removeEdger) []int64 {
+	vals := make([]int64, m)
+	for e := 0; e < m; e++ {
+		vals[e] = ix.Support(int32(e))
+	}
+	q := bucket.New(vals)
+	phi := make([]int64, m)
+	for q.Len() > 0 {
+		e, s := q.PopMin()
+		phi[e] = s
+		ix.RemoveEdge(e, s, func(f int32, ns int64) { q.Update(f, ns) })
+	}
+	return phi
+}
+
+// TestMapIndexPeelEquivalence: a full bottom-up peel over the map
+// layout and the flat layout must yield identical bitruss numbers.
+func TestMapIndexPeelEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := randomGraph(25, 30, 320, seed)
+		flat := peelPhi(g.NumEdges(), Build(g))
+		mapped := peelPhi(g.NumEdges(), BuildMap(g))
+		for e := range flat {
+			if flat[e] != mapped[e] {
+				t.Fatalf("seed %d: φ(e%d) = %d (flat) vs %d (map)", seed, e, flat[e], mapped[e])
+			}
+		}
+	}
+	// And on the paper's example.
+	g := testgraphs.Figure1()
+	flat := peelPhi(g.NumEdges(), Build(g))
+	mapped := peelPhi(g.NumEdges(), BuildMap(g))
+	for e := range flat {
+		if flat[e] != mapped[e] {
+			t.Fatalf("figure 1: φ(e%d) = %d (flat) vs %d (map)", e, flat[e], mapped[e])
+		}
+	}
+}
+
+func BenchmarkMapIndexRemoveEdgeSequential(b *testing.B) {
+	g := randomGraph(800, 900, 20000, 1)
+	m := int32(g.NumEdges())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ix := BuildMap(g)
+		b.StartTimer()
+		for e := int32(0); e < m; e++ {
+			ix.RemoveEdge(e, 0, nil)
+		}
+	}
+}
+
+func BenchmarkFlatIndexRemoveEdgeSequential(b *testing.B) {
+	g := randomGraph(800, 900, 20000, 1)
+	m := int32(g.NumEdges())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ix := Build(g)
+		b.StartTimer()
+		for e := int32(0); e < m; e++ {
+			ix.RemoveEdge(e, 0, nil)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package bucket provides the bucket priority queue that drives the
+// peeling processes of Algorithms 1, 4, 5 and 7: edges keyed by their
+// current butterfly support, with O(1) pop-min, decrease, and whole-bucket
+// extraction (the "set S of edges with minimum butterfly support" of
+// Algorithm 5 line 4).
+//
+// The implementation is the classical array-of-doubly-linked-lists used
+// in O(m) core decomposition: one list head per support value plus a
+// monotone scan pointer. Updates that move an item below the pointer move
+// the pointer back, so the structure stays correct even for non-monotone
+// workloads.
+package bucket
+
+// Queue is a bucket priority queue over items 0..n-1. Create one with New.
+type Queue struct {
+	head []int32 // head[v]: first item with value v, or -1
+	next []int32 // next[i]: following item in i's bucket, or -1
+	prev []int32 // prev[i]: preceding item, or -1 (head)
+	val  []int64 // current value of each item
+	in   []bool  // whether the item is still queued
+	cur  int64   // scan pointer: no non-empty bucket below cur
+	size int
+}
+
+// New builds a queue containing items 0..len(values)-1 with the given
+// initial values. Values must be non-negative.
+func New(values []int64) *Queue {
+	n := len(values)
+	maxVal := int64(0)
+	for _, v := range values {
+		if v < 0 {
+			panic("bucket: negative value")
+		}
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	q := &Queue{
+		head: make([]int32, maxVal+1),
+		next: make([]int32, n),
+		prev: make([]int32, n),
+		val:  make([]int64, n),
+		in:   make([]bool, n),
+		size: n,
+	}
+	for i := range q.head {
+		q.head[i] = -1
+	}
+	// Insert in reverse so buckets iterate in ascending item order.
+	for i := n - 1; i >= 0; i-- {
+		q.val[i] = values[i]
+		q.in[i] = true
+		q.push(int32(i), values[i])
+	}
+	return q
+}
+
+func (q *Queue) push(item int32, v int64) {
+	h := q.head[v]
+	q.next[item] = h
+	q.prev[item] = -1
+	if h >= 0 {
+		q.prev[h] = item
+	}
+	q.head[v] = item
+}
+
+func (q *Queue) unlink(item int32) {
+	v := q.val[item]
+	if p := q.prev[item]; p >= 0 {
+		q.next[p] = q.next[item]
+	} else {
+		q.head[v] = q.next[item]
+	}
+	if nx := q.next[item]; nx >= 0 {
+		q.prev[nx] = q.prev[item]
+	}
+}
+
+// Len returns the number of items still queued.
+func (q *Queue) Len() int { return q.size }
+
+// Contains reports whether item is still queued.
+func (q *Queue) Contains(item int32) bool { return q.in[item] }
+
+// Value returns the current value of item (valid even after removal).
+func (q *Queue) Value(item int32) int64 { return q.val[item] }
+
+// advance moves the scan pointer to the first non-empty bucket. The queue
+// must be non-empty.
+func (q *Queue) advance() {
+	for q.head[q.cur] < 0 {
+		q.cur++
+	}
+}
+
+// MinValue returns the smallest value currently queued. It panics on an
+// empty queue.
+func (q *Queue) MinValue() int64 {
+	if q.size == 0 {
+		panic("bucket: MinValue on empty queue")
+	}
+	q.advance()
+	return q.cur
+}
+
+// PopMin removes and returns an item with the smallest value.
+func (q *Queue) PopMin() (item int32, value int64) {
+	if q.size == 0 {
+		panic("bucket: PopMin on empty queue")
+	}
+	q.advance()
+	item = q.head[q.cur]
+	q.unlink(item)
+	q.in[item] = false
+	q.size--
+	return item, q.cur
+}
+
+// PopMinBucket removes every item that currently has the minimum value
+// and appends them to buf (which may be nil), returning the batch and the
+// common value. This is the batch-edge-processing primitive of BiT-BU++.
+func (q *Queue) PopMinBucket(buf []int32) ([]int32, int64) {
+	if q.size == 0 {
+		panic("bucket: PopMinBucket on empty queue")
+	}
+	q.advance()
+	v := q.cur
+	for it := q.head[v]; it >= 0; it = q.head[v] {
+		q.unlink(it)
+		q.in[it] = false
+		q.size--
+		buf = append(buf, it)
+	}
+	return buf, v
+}
+
+// Update changes the value of a queued item, relocating it to the new
+// bucket. Updating an item that was already popped or removed is a no-op
+// so that peeling loops may update affected edges blindly.
+func (q *Queue) Update(item int32, newVal int64) {
+	if !q.in[item] {
+		q.val[item] = newVal
+		return
+	}
+	if newVal < 0 {
+		panic("bucket: negative value")
+	}
+	if newVal == q.val[item] {
+		return
+	}
+	q.unlink(item)
+	if int(newVal) >= len(q.head) {
+		grown := make([]int32, newVal+1)
+		copy(grown, q.head)
+		for i := len(q.head); i < len(grown); i++ {
+			grown[i] = -1
+		}
+		q.head = grown
+	}
+	q.val[item] = newVal
+	q.push(item, newVal)
+	if newVal < q.cur {
+		q.cur = newVal
+	}
+}
+
+// Remove deletes item from the queue without reporting it.
+func (q *Queue) Remove(item int32) {
+	if !q.in[item] {
+		return
+	}
+	q.unlink(item)
+	q.in[item] = false
+	q.size--
+}

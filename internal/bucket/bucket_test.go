@@ -1,0 +1,187 @@
+package bucket
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPopMinOrder(t *testing.T) {
+	q := New([]int64{5, 1, 3, 1, 0})
+	wantOrder := []int64{0, 1, 1, 3, 5}
+	for i, want := range wantOrder {
+		if q.Len() != len(wantOrder)-i {
+			t.Fatalf("Len = %d, want %d", q.Len(), len(wantOrder)-i)
+		}
+		if got := q.MinValue(); got != want {
+			t.Fatalf("MinValue = %d, want %d", got, want)
+		}
+		_, v := q.PopMin()
+		if v != want {
+			t.Fatalf("pop %d: value = %d, want %d", i, v, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty at end")
+	}
+}
+
+func TestPopMinBucketBatch(t *testing.T) {
+	q := New([]int64{2, 1, 2, 1, 1, 7})
+	batch, v := q.PopMinBucket(nil)
+	if v != 1 {
+		t.Fatalf("batch value = %d, want 1", v)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("batch size = %d, want 3", len(batch))
+	}
+	seen := map[int32]bool{}
+	for _, it := range batch {
+		seen[it] = true
+		if q.Contains(it) {
+			t.Errorf("item %d still queued after batch pop", it)
+		}
+	}
+	if !seen[1] || !seen[3] || !seen[4] {
+		t.Errorf("batch = %v, want items 1,3,4", batch)
+	}
+	if q.Len() != 3 {
+		t.Errorf("Len = %d, want 3", q.Len())
+	}
+}
+
+func TestUpdateMovesBuckets(t *testing.T) {
+	q := New([]int64{4, 4, 4})
+	q.Update(1, 0)
+	it, v := q.PopMin()
+	if it != 1 || v != 0 {
+		t.Fatalf("PopMin = (%d,%d), want (1,0)", it, v)
+	}
+	// Increase beyond the initial max: head must grow.
+	q.Update(0, 100)
+	it, v = q.PopMin()
+	if it != 2 || v != 4 {
+		t.Fatalf("PopMin = (%d,%d), want (2,4)", it, v)
+	}
+	it, v = q.PopMin()
+	if it != 0 || v != 100 {
+		t.Fatalf("PopMin = (%d,%d), want (0,100)", it, v)
+	}
+}
+
+func TestUpdateBelowScanPointer(t *testing.T) {
+	q := New([]int64{3, 5, 9})
+	if _, v := q.PopMin(); v != 3 {
+		t.Fatalf("first pop = %d, want 3", v)
+	}
+	// The scan pointer sits at 3; moving item 2 down to 1 must be seen.
+	q.Update(2, 1)
+	it, v := q.PopMin()
+	if it != 2 || v != 1 {
+		t.Fatalf("PopMin = (%d,%d), want (2,1)", it, v)
+	}
+}
+
+func TestUpdatePoppedItemIsRecorded(t *testing.T) {
+	q := New([]int64{0, 2})
+	it, _ := q.PopMin()
+	q.Update(it, 42)
+	if q.Contains(it) {
+		t.Fatalf("popped item must not re-enter the queue")
+	}
+	if q.Value(it) != 42 {
+		t.Fatalf("Value = %d, want 42 recorded", q.Value(it))
+	}
+}
+
+func TestRemove(t *testing.T) {
+	q := New([]int64{1, 1, 2})
+	q.Remove(0)
+	q.Remove(0) // idempotent
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	it, _ := q.PopMin()
+	if it != 1 {
+		t.Fatalf("PopMin = %d, want 1", it)
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	q := New(nil)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("PopMin on empty queue did not panic")
+		}
+	}()
+	q.PopMin()
+}
+
+func TestNegativeValuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("New with negative value did not panic")
+		}
+	}()
+	New([]int64{-1})
+}
+
+// TestRandomAgainstReference stress-tests the queue against a naive
+// map-based implementation under random interleavings of updates, pops
+// and removals.
+func TestRandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const n = 200
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(50))
+	}
+	q := New(vals)
+	ref := make(map[int32]int64, n)
+	for i, v := range vals {
+		ref[int32(i)] = v
+	}
+	refMin := func() int64 {
+		min := int64(1 << 60)
+		for _, v := range ref {
+			if v < min {
+				min = v
+			}
+		}
+		return min
+	}
+	for step := 0; step < 2000 && len(ref) > 0; step++ {
+		switch rng.Intn(4) {
+		case 0: // pop min
+			it, v := q.PopMin()
+			if want := refMin(); v != want {
+				t.Fatalf("step %d: pop value %d, want min %d", step, v, want)
+			}
+			if ref[it] != v {
+				t.Fatalf("step %d: popped item %d has ref value %d, queue said %d", step, it, ref[it], v)
+			}
+			delete(ref, it)
+		case 1: // update a random queued item
+			for it := range ref {
+				nv := int64(rng.Intn(60))
+				q.Update(it, nv)
+				ref[it] = nv
+				break
+			}
+		case 2: // remove a random queued item
+			for it := range ref {
+				q.Remove(it)
+				delete(ref, it)
+				break
+			}
+		default: // check invariants
+			if q.Len() != len(ref) {
+				t.Fatalf("step %d: Len %d, want %d", step, q.Len(), len(ref))
+			}
+			if len(ref) > 0 {
+				if got, want := q.MinValue(), refMin(); got != want {
+					t.Fatalf("step %d: MinValue %d, want %d", step, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package butterfly
+
+import (
+	"testing"
+
+	"repro/internal/testgraphs"
+)
+
+func TestEdgeSupportMatchesBulkCounting(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := randomGraph(20, 25, 220, seed)
+		_, want := CountAndSupports(g)
+		for e := int32(0); e < int32(g.NumEdges()); e++ {
+			if got := EdgeSupport(g, e); got != want[e] {
+				t.Errorf("seed %d: EdgeSupport(e%d) = %d, want %d", seed, e, got, want[e])
+			}
+		}
+	}
+}
+
+func TestEdgeSupportClosedForms(t *testing.T) {
+	g := testgraphs.CompleteBiclique(5, 6)
+	for e := int32(0); e < int32(g.NumEdges()); e++ {
+		if got := EdgeSupport(g, e); got != 20 {
+			t.Errorf("K(5,6): EdgeSupport(e%d) = %d, want 20", e, got)
+		}
+	}
+	b := testgraphs.Bloom(9)
+	for e := int32(0); e < int32(b.NumEdges()); e++ {
+		if got := EdgeSupport(b, e); got != 8 {
+			t.Errorf("Bloom(9): EdgeSupport(e%d) = %d, want 8", e, got)
+		}
+	}
+}
+
+func TestApproxCountFullSampleIsExact(t *testing.T) {
+	g := randomGraph(30, 35, 500, 3)
+	exact := Count(g)
+	if got := ApproxCount(g, g.NumEdges(), 1); got != exact {
+		t.Errorf("full sample = %d, want exact %d", got, exact)
+	}
+	if got := ApproxCount(g, 10*g.NumEdges(), 1); got != exact {
+		t.Errorf("oversample = %d, want exact %d", got, exact)
+	}
+}
+
+func TestApproxCountUnbiasedOnRegularGraph(t *testing.T) {
+	// On K(a,b) every edge has identical support, so any sample size
+	// yields the exact count (up to rounding).
+	g := testgraphs.CompleteBiclique(6, 7)
+	exact := Count(g)
+	for _, s := range []int{1, 5, 20} {
+		if got := ApproxCount(g, s, 42); got != exact {
+			t.Errorf("samples=%d: estimate %d, want %d (regular graph)", s, got, exact)
+		}
+	}
+}
+
+func TestApproxCountWithinBand(t *testing.T) {
+	// Deterministic seeds; the estimator must land within a broad band
+	// of the truth on a skewed graph at 25% sampling.
+	g := randomGraph(80, 90, 2500, 9)
+	exact := Count(g)
+	for seed := int64(0); seed < 5; seed++ {
+		got := ApproxCount(g, g.NumEdges()/4, seed)
+		lo, hi := exact/2, 2*exact
+		if got < lo || got > hi {
+			t.Errorf("seed %d: estimate %d outside [%d, %d]", seed, got, lo, hi)
+		}
+	}
+}
+
+func TestApproxCountDegenerate(t *testing.T) {
+	g := testgraphs.Star(10)
+	if got := ApproxCount(g, 5, 1); got != 0 {
+		t.Errorf("star estimate = %d, want 0", got)
+	}
+	if got := ApproxCount(g, 0, 1); got != 0 {
+		t.Errorf("zero samples = %d, want 0", got)
+	}
+}

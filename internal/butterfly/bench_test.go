@@ -1,0 +1,35 @@
+package butterfly
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// Micro-benchmarks for the counting substrate: the serial
+// vertex-priority algorithm and the parallel extension (an ablation
+// beyond the paper, cf. its reference [26]).
+
+func BenchmarkCountAndSupports(b *testing.B) {
+	g := gen.Zipf(8000, 9000, 120000, 1.2, 1.1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountAndSupports(g)
+	}
+}
+
+func BenchmarkCountAndSupportsParallel(b *testing.B) {
+	g := gen.Zipf(8000, 9000, 120000, 1.2, 1.1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountAndSupportsParallel(g, 4)
+	}
+}
+
+func BenchmarkBruteForceCountSmall(b *testing.B) {
+	g := gen.Uniform(60, 70, 900, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BruteForceCount(g)
+	}
+}

@@ -1,0 +1,75 @@
+package butterfly
+
+import "repro/internal/bigraph"
+
+// Butterfly identifies one (2,2)-biclique by its vertices: U1 < U2 are
+// the upper-layer endpoints and V1 < V2 the lower-layer endpoints.
+type Butterfly struct {
+	U1, U2 int32
+	V1, V2 int32
+}
+
+// Enumerate calls fn once for every butterfly of g, in a deterministic
+// order. It runs in O(|U|^2 * dmax) time and is intended for testing and
+// for brute-force baselines on small graphs only.
+func Enumerate(g *bigraph.Graph, fn func(Butterfly)) {
+	nl := int32(g.NumLower())
+	n := int32(g.NumVertices())
+	mark := make([]bool, n)
+	common := make([]int32, 0, 16)
+	for u1 := nl; u1 < n; u1++ {
+		nbrs1, _ := g.Neighbors(u1)
+		for _, v := range nbrs1 {
+			mark[v] = true
+		}
+		for u2 := u1 + 1; u2 < n; u2++ {
+			common = common[:0]
+			nbrs2, _ := g.Neighbors(u2)
+			for _, v := range nbrs2 {
+				if mark[v] {
+					common = append(common, v)
+				}
+			}
+			// Sort the common neighbours by id so the emitted order is
+			// independent of adjacency layout.
+			insertionSort(common)
+			for i := 0; i < len(common); i++ {
+				for j := i + 1; j < len(common); j++ {
+					fn(Butterfly{U1: u1, U2: u2, V1: common[i], V2: common[j]})
+				}
+			}
+		}
+		for _, v := range nbrs1 {
+			mark[v] = false
+		}
+	}
+}
+
+func insertionSort(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// BruteForceCount counts butterflies by explicit enumeration.
+func BruteForceCount(g *bigraph.Graph) int64 {
+	var total int64
+	Enumerate(g, func(Butterfly) { total++ })
+	return total
+}
+
+// BruteForceEdgeSupports computes ⋈e by explicit enumeration.
+func BruteForceEdgeSupports(g *bigraph.Graph) []int64 {
+	sup := make([]int64, g.NumEdges())
+	Enumerate(g, func(b Butterfly) {
+		for _, e := range [4]int32{
+			g.EdgeID(b.U1, b.V1), g.EdgeID(b.U1, b.V2),
+			g.EdgeID(b.U2, b.V1), g.EdgeID(b.U2, b.V2),
+		} {
+			sup[e]++
+		}
+	})
+	return sup
+}

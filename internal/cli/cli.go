@@ -1,0 +1,255 @@
+// Package cli implements the logic of the command-line tools (bitruss,
+// bggen, bgstat, bitbench) behind testable functions; the main
+// packages under cmd/ are one-line wrappers.
+package cli
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bigraph"
+	"repro/internal/butterfly"
+	"repro/internal/core"
+	"repro/internal/dataio"
+	"repro/internal/exp"
+	"repro/internal/gen"
+)
+
+// ErrUsage reports invalid command-line arguments.
+var ErrUsage = errors.New("cli: bad usage")
+
+var algoNames = map[string]core.Algorithm{
+	"bs":   core.BiTBS,
+	"bu":   core.BiTBU,
+	"bu+":  core.BiTBUPlus,
+	"bu++": core.BiTBUPlusPlus,
+	"pc":   core.BiTPC,
+}
+
+// Bitruss implements the `bitruss` tool: decompose a graph file and
+// report bitruss numbers.
+func Bitruss(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bitruss", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	input := fs.String("input", "", "input graph file (required)")
+	oneBased := fs.Bool("one-based", false, "treat text vertex ids as 1-based (KONECT)")
+	algo := fs.String("algo", "bu++", "algorithm: bs, bu, bu+, bu++, pc")
+	tau := fs.Float64("tau", 0, "BiT-PC threshold decrement fraction (0 = default)")
+	workers := fs.Int("workers", 0, "parallel counting workers (0 = serial)")
+	output := fs.String("output", "", "write per-edge 'u v phi' lines here ('-' = stdout)")
+	summary := fs.Bool("summary", true, "print the decomposition summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *input == "" {
+		fmt.Fprintln(stderr, "bitruss: -input is required")
+		return ErrUsage
+	}
+	a, ok := algoNames[strings.ToLower(*algo)]
+	if !ok {
+		return fmt.Errorf("%w: unknown algorithm %q", ErrUsage, *algo)
+	}
+
+	g, err := dataio.LoadFile(*input, dataio.TextOptions{OneBased: *oneBased})
+	if err != nil {
+		return err
+	}
+	res, err := core.Decompose(g, core.Options{Algorithm: a, Tau: *tau, Workers: *workers})
+	if err != nil {
+		return err
+	}
+
+	if *summary {
+		m := res.Metrics
+		fmt.Fprintf(stdout, "graph      : |U|=%d |L|=%d |E|=%d\n", g.NumUpper(), g.NumLower(), g.NumEdges())
+		fmt.Fprintf(stdout, "algorithm  : %v\n", a)
+		fmt.Fprintf(stdout, "butterflies: %d\n", m.TotalButterflies)
+		fmt.Fprintf(stdout, "max support: %d\n", res.MaxSupport)
+		fmt.Fprintf(stdout, "max bitruss: %d\n", res.MaxPhi)
+		fmt.Fprintf(stdout, "updates    : %d\n", m.SupportUpdates)
+		fmt.Fprintf(stdout, "time       : total=%v counting=%v index=%v peel=%v\n",
+			m.TotalTime, m.CountingTime, m.IndexTime, m.PeelTime)
+		if a == core.BiTPC {
+			fmt.Fprintf(stdout, "iterations : %d (kmax=%d)\n", m.Iterations, m.KMax)
+		}
+		if m.PeakIndexBytes > 0 {
+			fmt.Fprintf(stdout, "index size : %.2f MB\n", float64(m.PeakIndexBytes)/(1<<20))
+		}
+	}
+	if *output != "" {
+		return writePhi(*output, g, res.Phi, *oneBased, stdout)
+	}
+	return nil
+}
+
+func writePhi(path string, g *bigraph.Graph, phi []int64, oneBased bool, stdout io.Writer) error {
+	var w *bufio.Writer
+	if path == "-" {
+		w = bufio.NewWriter(stdout)
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	base := 0
+	if oneBased {
+		base = 1
+	}
+	nl := int32(g.NumLower())
+	for e := int32(0); e < int32(g.NumEdges()); e++ {
+		ed := g.Edge(e)
+		fmt.Fprintf(w, "%d %d %d\n", int(ed.U-nl)+base, int(ed.V)+base, phi[e])
+	}
+	return w.Flush()
+}
+
+// BGGen implements the `bggen` tool: generate synthetic graphs.
+func BGGen(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bggen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "uniform", "uniform, zipf, zipf+bg, blocks, bloomchain, or dataset")
+	nu := fs.Int("nu", 1000, "upper-layer vertices")
+	nl := fs.Int("nl", 1000, "lower-layer vertices")
+	m := fs.Int("m", 10000, "edges to draw (duplicates merged)")
+	su := fs.Float64("su", 1.2, "zipf exponent, upper layer")
+	sl := fs.Float64("sl", 1.2, "zipf exponent, lower layer")
+	blocks := fs.String("blocks", "", "planted blocks as UxLxD comma list (blocks model)")
+	bg := fs.Int("bg", 0, "background edges (blocks and zipf+bg models)")
+	chain := fs.Int("chain", 4, "number of blooms (bloomchain model)")
+	k := fs.Int("k", 8, "bloom number (bloomchain model)")
+	name := fs.String("name", "", "dataset stand-in name (dataset model)")
+	scale := fs.Float64("scale", 1.0, "dataset scale (dataset model)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output file (required; .bg = binary)")
+	oneBased := fs.Bool("one-based", false, "write 1-based text ids")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Fprintln(stderr, "bggen: -out is required")
+		return ErrUsage
+	}
+
+	var g *bigraph.Graph
+	switch *model {
+	case "uniform":
+		g = gen.Uniform(*nu, *nl, *m, *seed)
+	case "zipf":
+		g = gen.Zipf(*nu, *nl, *m, *su, *sl, *seed)
+	case "zipf+bg":
+		g = gen.ZipfPlusUniform(*nu, *nl, *m, *su, *sl, *bg, *seed)
+	case "blocks":
+		cfg, err := ParseBlocks(*blocks)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrUsage, err)
+		}
+		g = gen.Blocks(*nu, *nl, cfg, *bg, *seed)
+	case "bloomchain":
+		g = gen.BloomChain(*chain, *k)
+	case "dataset":
+		d, ok := exp.ByName(*name)
+		if !ok {
+			return fmt.Errorf("%w: unknown dataset %q", ErrUsage, *name)
+		}
+		g = d.Build(*scale)
+	default:
+		return fmt.Errorf("%w: unknown model %q", ErrUsage, *model)
+	}
+
+	if err := dataio.SaveFile(*out, g, dataio.TextOptions{OneBased: *oneBased}); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s: |U|=%d |L|=%d |E|=%d\n", *out, g.NumUpper(), g.NumLower(), g.NumEdges())
+	return nil
+}
+
+// ParseBlocks parses a "UxLxD,UxLxD" planted-block specification.
+func ParseBlocks(spec string) ([]gen.BlockConfig, error) {
+	if spec == "" {
+		return nil, errors.New("blocks model needs -blocks UxLxD[,UxLxD...]")
+	}
+	var out []gen.BlockConfig
+	for _, part := range strings.Split(spec, ",") {
+		var b gen.BlockConfig
+		if _, err := fmt.Sscanf(part, "%dx%dx%f", &b.Upper, &b.Lower, &b.Density); err != nil {
+			return nil, fmt.Errorf("bad block %q: %v", part, err)
+		}
+		if b.Upper <= 0 || b.Lower <= 0 || b.Density < 0 || b.Density > 1 {
+			return nil, fmt.Errorf("bad block %q: out of range", part)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// BGStat implements the `bgstat` tool: the Table II summary row of a
+// graph file.
+func BGStat(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bgstat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	input := fs.String("input", "", "input graph file (required)")
+	oneBased := fs.Bool("one-based", false, "treat text vertex ids as 1-based")
+	phi := fs.Bool("phi", true, "also compute the maximum bitruss number (runs BiT-BU++)")
+	tipFlag := fs.Bool("tip", false, "also compute the maximum tip numbers of both layers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *input == "" {
+		fmt.Fprintln(stderr, "bgstat: -input is required")
+		return ErrUsage
+	}
+	g, err := dataio.LoadFile(*input, dataio.TextOptions{OneBased: *oneBased})
+	if err != nil {
+		return err
+	}
+	s := bigraph.ComputeStats(g)
+	total, sup := butterfly.CountAndSupports(g)
+	maxSup := int64(0)
+	for _, v := range sup {
+		if v > maxSup {
+			maxSup = v
+		}
+	}
+	fmt.Fprintf(stdout, "|E|         : %d\n", s.NumEdges)
+	fmt.Fprintf(stdout, "|U|         : %d (max degree %d, isolated %d)\n", s.NumUpper, s.MaxDegUpper, s.IsolatedUppr)
+	fmt.Fprintf(stdout, "|L|         : %d (max degree %d, isolated %d)\n", s.NumLower, s.MaxDegLower, s.IsolatedLowr)
+	fmt.Fprintf(stdout, "butterflies : %d\n", total)
+	fmt.Fprintf(stdout, "max support : %d\n", maxSup)
+	fmt.Fprintf(stdout, "wedge bound : %d (counting/index cost, Lemma 6)\n", s.WedgeBound)
+	if *phi {
+		res, err := core.Decompose(g, core.Options{Algorithm: core.BiTBUPlusPlus})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "max bitruss : %d (kmax bound %d)\n", res.MaxPhi, res.Metrics.KMax)
+	}
+	if *tipFlag {
+		up := tipDecompose(g, true)
+		low := tipDecompose(g, false)
+		fmt.Fprintf(stdout, "max tip     : upper %d, lower %d\n", up, low)
+	}
+	return nil
+}
+
+// BitBench implements the `bitbench` tool: regenerate the paper's
+// evaluation.
+func BitBench(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bitbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	expName := fs.String("exp", "all", "experiment to run: "+strings.Join(exp.Names(), ", ")+", or all")
+	scale := fs.Float64("scale", 1.0, "dataset size multiplier")
+	timeout := fs.Duration("timeout", 120*time.Second, "per-decomposition budget (0 = unlimited); timed-out runs print INF")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return exp.Run(*expName, exp.Config{Scale: *scale, Timeout: *timeout, Out: stdout})
+}

@@ -1,0 +1,215 @@
+package cli
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataio"
+)
+
+// TestEndToEndPipeline drives the tools the way a user would: generate
+// a graph, inspect it, decompose it, and validate the φ output file
+// against a direct library call.
+func TestEndToEndPipeline(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.txt")
+	phiPath := filepath.Join(dir, "phi.txt")
+
+	var out, errw bytes.Buffer
+	err := BGGen([]string{
+		"-model", "zipf", "-nu", "80", "-nl", "90", "-m", "1200",
+		"-su", "1.2", "-sl", "1.1", "-seed", "7", "-out", graphPath,
+	}, &out, &errw)
+	if err != nil {
+		t.Fatalf("bggen: %v (stderr: %s)", err, errw.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+graphPath) {
+		t.Errorf("bggen output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := BGStat([]string{"-input", graphPath, "-tip"}, &out, &errw); err != nil {
+		t.Fatalf("bgstat: %v", err)
+	}
+	for _, want := range []string{"|E|", "butterflies", "max bitruss", "max tip"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("bgstat output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	err = Bitruss([]string{
+		"-input", graphPath, "-algo", "pc", "-tau", "0.1", "-output", phiPath,
+	}, &out, &errw)
+	if err != nil {
+		t.Fatalf("bitruss: %v", err)
+	}
+	if !strings.Contains(out.String(), "max bitruss") {
+		t.Errorf("bitruss summary missing:\n%s", out.String())
+	}
+
+	// Validate the φ file against a direct decomposition.
+	g, err := dataio.LoadFile(graphPath, dataio.TextOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Decompose(g, core.Options{Algorithm: core.BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(phiPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 3 {
+			t.Fatalf("bad phi line %q", sc.Text())
+		}
+		u, _ := strconv.Atoi(fields[0])
+		v, _ := strconv.Atoi(fields[1])
+		phi, _ := strconv.ParseInt(fields[2], 10, 64)
+		e := g.EdgeID(int32(g.NumLower()+u), int32(v))
+		if e < 0 {
+			t.Fatalf("phi file references missing edge (%d,%d)", u, v)
+		}
+		if res.Phi[e] != phi {
+			t.Fatalf("phi file says φ(%d,%d)=%d, library says %d", u, v, phi, res.Phi[e])
+		}
+		lines++
+	}
+	if lines != g.NumEdges() {
+		t.Errorf("phi file has %d lines, want %d", lines, g.NumEdges())
+	}
+}
+
+func TestBitrussToStdout(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.bg")
+	var out, errw bytes.Buffer
+	if err := BGGen([]string{"-model", "bloomchain", "-chain", "2", "-k", "4", "-out", graphPath}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := Bitruss([]string{"-input", graphPath, "-output", "-", "-summary=false"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 16 { // 2 blooms x 8 edges
+		t.Fatalf("stdout phi lines = %d, want 16", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.HasSuffix(l, " 3") { // every edge of a 4-bloom has φ = 3
+			t.Errorf("line %q: want φ = 3", l)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"bitruss missing input", func() error { return Bitruss(nil, &out, &errw) }},
+		{"bitruss bad algo", func() error {
+			return Bitruss([]string{"-input", "x", "-algo", "nope"}, &out, &errw)
+		}},
+		{"bggen missing out", func() error { return BGGen(nil, &out, &errw) }},
+		{"bggen bad model", func() error {
+			return BGGen([]string{"-model", "nope", "-out", "x"}, &out, &errw)
+		}},
+		{"bggen bad dataset", func() error {
+			return BGGen([]string{"-model", "dataset", "-name", "nope", "-out", "x"}, &out, &errw)
+		}},
+		{"bgstat missing input", func() error { return BGStat(nil, &out, &errw) }},
+	}
+	for _, c := range cases {
+		if err := c.run(); !errors.Is(err, ErrUsage) {
+			t.Errorf("%s: err = %v, want ErrUsage", c.name, err)
+		}
+	}
+}
+
+func TestMissingFileErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	path := filepath.Join(t.TempDir(), "missing.txt")
+	if err := Bitruss([]string{"-input", path}, &out, &errw); err == nil {
+		t.Errorf("bitruss on missing file did not error")
+	}
+	if err := BGStat([]string{"-input", path}, &out, &errw); err == nil {
+		t.Errorf("bgstat on missing file did not error")
+	}
+}
+
+func TestParseBlocks(t *testing.T) {
+	good, err := ParseBlocks("10x20x0.5,3x4x1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(good) != 2 || good[0].Upper != 10 || good[1].Density != 1.0 {
+		t.Errorf("ParseBlocks = %+v", good)
+	}
+	for _, bad := range []string{"", "axbxc", "1x2", "0x5x0.5", "1x1x1.5"} {
+		if _, err := ParseBlocks(bad); err == nil {
+			t.Errorf("ParseBlocks(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBitBenchTinyRun(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := BitBench([]string{"-exp", "fig13", "-scale", "0.03", "-timeout", "30s"}, &out, &errw)
+	if err != nil {
+		t.Fatalf("bitbench: %v", err)
+	}
+	for _, want := range []string{"Figure 13", "BU++", "Github"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("bitbench output missing %q", want)
+		}
+	}
+}
+
+func TestBitBenchUnknownExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := BitBench([]string{"-exp", "fig99"}, &out, &errw); err == nil {
+		t.Errorf("unknown experiment accepted")
+	}
+}
+
+func TestBGGenAllModels(t *testing.T) {
+	dir := t.TempDir()
+	models := [][]string{
+		{"-model", "uniform", "-nu", "20", "-nl", "20", "-m", "100"},
+		{"-model", "zipf", "-nu", "20", "-nl", "20", "-m", "100"},
+		{"-model", "zipf+bg", "-nu", "20", "-nl", "20", "-m", "100", "-bg", "50"},
+		{"-model", "blocks", "-nu", "30", "-nl", "30", "-blocks", "5x5x1.0", "-bg", "20"},
+		{"-model", "bloomchain", "-chain", "3", "-k", "5"},
+		{"-model", "dataset", "-name", "Condmat", "-scale", "0.05"},
+	}
+	for i, args := range models {
+		path := filepath.Join(dir, fmt.Sprintf("g%d.bg", i))
+		var out, errw bytes.Buffer
+		if err := BGGen(append(args, "-out", path), &out, &errw); err != nil {
+			t.Fatalf("model %v: %v", args[1], err)
+		}
+		g, err := dataio.LoadFile(path, dataio.TextOptions{})
+		if err != nil {
+			t.Fatalf("model %v: reload: %v", args[1], err)
+		}
+		if g.NumEdges() == 0 {
+			t.Errorf("model %v produced an empty graph", args[1])
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package cli
+
+import (
+	"repro/internal/bigraph"
+	"repro/internal/tip"
+)
+
+// tipDecompose returns the maximum tip number of one layer.
+func tipDecompose(g *bigraph.Graph, upper bool) int64 {
+	return tip.Decompose(g, upper).MaxTheta
+}

@@ -1,0 +1,188 @@
+// Package community turns a bitruss decomposition into the structures
+// the paper's applications consume (Section I): k-bitruss subgraphs,
+// their connected components ("communities at different levels of
+// granularity"), and the nested hierarchy of communities across k.
+package community
+
+import (
+	"sort"
+
+	"repro/internal/bigraph"
+)
+
+// KBitrussEdges returns the edge mask of the k-bitruss H_k: by
+// Definition 5, an edge belongs to H_k exactly when its bitruss number
+// is at least k.
+func KBitrussEdges(phi []int64, k int64) []bool {
+	keep := make([]bool, len(phi))
+	for e, p := range phi {
+		keep[e] = p >= k
+	}
+	return keep
+}
+
+// KBitruss materialises the k-bitruss as a subgraph of g.
+func KBitruss(g *bigraph.Graph, phi []int64, k int64) bigraph.Subgraph {
+	return g.InducedByEdges(KBitrussEdges(phi, k))
+}
+
+// Community is one connected component of a k-bitruss.
+type Community struct {
+	K     int64   // the bitruss level this community was extracted at
+	Upper []int32 // member vertices of the upper layer (global ids, sorted)
+	Lower []int32 // member vertices of the lower layer (global ids, sorted)
+	Edges []int32 // member edges (ids of the decomposed graph, sorted)
+}
+
+// Size returns the number of member edges.
+func (c *Community) Size() int { return len(c.Edges) }
+
+// Communities returns the connected components of the k-bitruss of g,
+// largest first. Isolated vertices never appear in a community.
+func Communities(g *bigraph.Graph, phi []int64, k int64) []Community {
+	keep := KBitrussEdges(phi, k)
+	comp := edgeComponents(g, keep)
+	byComp := map[int32][]int32{}
+	for e, c := range comp {
+		if c >= 0 {
+			byComp[c] = append(byComp[c], int32(e))
+		}
+	}
+	out := make([]Community, 0, len(byComp))
+	for _, edges := range byComp {
+		out = append(out, buildCommunity(g, k, edges))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Edges) != len(out[j].Edges) {
+			return len(out[i].Edges) > len(out[j].Edges)
+		}
+		return out[i].Edges[0] < out[j].Edges[0]
+	})
+	return out
+}
+
+func buildCommunity(g *bigraph.Graph, k int64, edges []int32) Community {
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	seenU := map[int32]bool{}
+	seenL := map[int32]bool{}
+	for _, e := range edges {
+		ed := g.Edge(e)
+		seenU[ed.U] = true
+		seenL[ed.V] = true
+	}
+	c := Community{K: k, Edges: edges}
+	for u := range seenU {
+		c.Upper = append(c.Upper, u)
+	}
+	for v := range seenL {
+		c.Lower = append(c.Lower, v)
+	}
+	sort.Slice(c.Upper, func(i, j int) bool { return c.Upper[i] < c.Upper[j] })
+	sort.Slice(c.Lower, func(i, j int) bool { return c.Lower[i] < c.Lower[j] })
+	return c
+}
+
+// edgeComponents labels each kept edge with a connected-component id
+// (-1 for dropped edges) using union-find over vertices.
+func edgeComponents(g *bigraph.Graph, keep []bool) []int32 {
+	parent := make([]int32, g.NumVertices())
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for e, k := range keep {
+		if k {
+			ed := g.Edge(int32(e))
+			union(ed.U, ed.V)
+		}
+	}
+	comp := make([]int32, len(keep))
+	ids := map[int32]int32{}
+	for e, k := range keep {
+		if !k {
+			comp[e] = -1
+			continue
+		}
+		root := find(g.Edge(int32(e)).U)
+		id, ok := ids[root]
+		if !ok {
+			id = int32(len(ids))
+			ids[root] = id
+		}
+		comp[e] = id
+	}
+	return comp
+}
+
+// Levels returns the distinct bitruss numbers present, ascending.
+func Levels(phi []int64) []int64 {
+	seen := map[int64]bool{}
+	for _, p := range phi {
+		seen[p] = true
+	}
+	out := make([]int64, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Node is one community inside the nested bitruss hierarchy: its
+// children are the communities of the next-higher populated level that
+// are contained in it (e.g. the nested research groups of Section I).
+type Node struct {
+	Community
+	Children []*Node
+}
+
+// BuildHierarchy nests the communities of every populated bitruss level
+// and returns the roots (the components of the lowest level). Every
+// community of level k_{i+1} is connected inside exactly one community
+// of level k_i, so the result is a forest.
+func BuildHierarchy(g *bigraph.Graph, phi []int64) []*Node {
+	levels := Levels(phi)
+	if len(levels) == 0 {
+		return nil
+	}
+	var prev []*Node
+	// edgeOwner[e] = index into prev of the node owning edge e at the
+	// previous (lower) level.
+	edgeOwner := make([]int32, len(phi))
+	var roots []*Node
+	for li, k := range levels {
+		comms := Communities(g, phi, k)
+		nodes := make([]*Node, len(comms))
+		for i := range comms {
+			nodes[i] = &Node{Community: comms[i]}
+		}
+		if li == 0 {
+			roots = nodes
+		} else {
+			for _, n := range nodes {
+				parent := prev[edgeOwner[n.Edges[0]]]
+				parent.Children = append(parent.Children, n)
+			}
+		}
+		for i, n := range nodes {
+			for _, e := range n.Edges {
+				edgeOwner[e] = int32(i)
+			}
+		}
+		prev = nodes
+	}
+	return roots
+}

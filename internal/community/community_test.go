@@ -1,0 +1,209 @@
+package community
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/butterfly"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/testgraphs"
+)
+
+func phiOf(t *testing.T, g *bigraph.Graph) []int64 {
+	t.Helper()
+	res, err := core.Decompose(g, core.Options{Algorithm: core.BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Phi
+}
+
+func TestFigure1Communities(t *testing.T) {
+	g := testgraphs.Figure1()
+	phi := phiOf(t, g)
+	nl := int32(g.NumLower())
+
+	// H2 (Figure 4(c)): {u0,u1,u2} x {v0,v1}, one component, 6 edges.
+	c2 := Communities(g, phi, 2)
+	if len(c2) != 1 {
+		t.Fatalf("level 2: %d communities, want 1", len(c2))
+	}
+	if got := c2[0]; len(got.Edges) != 6 ||
+		len(got.Upper) != 3 || len(got.Lower) != 2 {
+		t.Errorf("level 2 community = %d edges, %d upper, %d lower; want 6,3,2",
+			len(got.Edges), len(got.Upper), len(got.Lower))
+	}
+	for _, u := range c2[0].Upper {
+		if u != nl+0 && u != nl+1 && u != nl+2 {
+			t.Errorf("level 2 contains unexpected upper vertex %d", u)
+		}
+	}
+
+	// H1 (Figure 4(b)): all four authors over v0,v1,v2 — 9 edges.
+	c1 := Communities(g, phi, 1)
+	if len(c1) != 1 || len(c1[0].Edges) != 9 {
+		t.Fatalf("level 1: got %d communities (first size %d), want 1 of size 9",
+			len(c1), len(c1[0].Edges))
+	}
+
+	// H0 is the whole (connected) graph.
+	c0 := Communities(g, phi, 0)
+	if len(c0) != 1 || len(c0[0].Edges) != g.NumEdges() {
+		t.Errorf("level 0: want one community with all edges")
+	}
+}
+
+func TestKBitrussInternalSupportInvariant(t *testing.T) {
+	// Every edge of H_k must be contained in at least k butterflies
+	// *within H_k* (Definition 4). Checked on random graphs for all
+	// populated levels.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 4; trial++ {
+		g := gen.Uniform(25, 30, 300, rng.Int63())
+		phi := phiOf(t, g)
+		for _, k := range Levels(phi) {
+			sub := KBitruss(g, phi, k)
+			sup := butterfly.EdgeSupports(sub.G)
+			for se, s := range sup {
+				if s < k {
+					t.Fatalf("trial %d level %d: edge %d has only %d butterflies inside H_k",
+						trial, k, sub.ParentEdge[se], s)
+				}
+			}
+		}
+	}
+}
+
+func TestKBitrussMaximality(t *testing.T) {
+	// H_k is maximal: no removed edge could be added back — i.e. the
+	// fixpoint peeling of the whole graph at threshold k equals H_k.
+	g := gen.Uniform(15, 18, 150, 9)
+	phi := phiOf(t, g)
+	for _, k := range Levels(phi) {
+		if k == 0 {
+			continue
+		}
+		// Fixpoint peeling from scratch at threshold k.
+		alive := make([]bool, g.NumEdges())
+		for e := range alive {
+			alive[e] = true
+		}
+		for {
+			sub := g.InducedByEdges(alive)
+			sup := butterfly.EdgeSupports(sub.G)
+			removed := false
+			for se, s := range sup {
+				if s < k {
+					alive[sub.ParentEdge[se]] = false
+					removed = true
+				}
+			}
+			if !removed {
+				break
+			}
+		}
+		want := KBitrussEdges(phi, k)
+		for e := range want {
+			if want[e] != alive[e] {
+				t.Fatalf("level %d: edge %d membership differs from fixpoint peel", k, e)
+			}
+		}
+	}
+}
+
+func TestDisconnectedCommunities(t *testing.T) {
+	g := gen.BloomChain(3, 4) // three vertex-disjoint 4-blooms
+	phi := phiOf(t, g)
+	c := Communities(g, phi, 3)
+	if len(c) != 3 {
+		t.Fatalf("got %d communities, want 3", len(c))
+	}
+	for _, comm := range c {
+		if len(comm.Edges) != 8 || len(comm.Upper) != 2 || len(comm.Lower) != 4 {
+			t.Errorf("community shape = (%d edges, %d upper, %d lower), want (8,2,4)",
+				len(comm.Edges), len(comm.Upper), len(comm.Lower))
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	phi := []int64{0, 2, 2, 5, 0, 1}
+	got := Levels(phi)
+	want := []int64{0, 1, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Levels = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Levels = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHierarchyFigure1(t *testing.T) {
+	g := testgraphs.Figure1()
+	phi := phiOf(t, g)
+	roots := BuildHierarchy(g, phi)
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(roots))
+	}
+	r := roots[0]
+	if r.K != 0 || len(r.Edges) != 11 {
+		t.Errorf("root: K=%d size=%d, want K=0 size=11", r.K, len(r.Edges))
+	}
+	if len(r.Children) != 1 {
+		t.Fatalf("root children = %d, want 1", len(r.Children))
+	}
+	mid := r.Children[0]
+	if mid.K != 1 || len(mid.Edges) != 9 {
+		t.Errorf("level-1 node: K=%d size=%d, want K=1 size=9", mid.K, len(mid.Edges))
+	}
+	if len(mid.Children) != 1 {
+		t.Fatalf("level-1 children = %d, want 1", len(mid.Children))
+	}
+	top := mid.Children[0]
+	if top.K != 2 || len(top.Edges) != 6 || len(top.Children) != 0 {
+		t.Errorf("leaf: K=%d size=%d children=%d, want K=2 size=6 leaf", top.K, len(top.Edges), len(top.Children))
+	}
+}
+
+func TestHierarchyNesting(t *testing.T) {
+	// Every child's edge set must be a subset of its parent's.
+	g := gen.Uniform(20, 25, 260, 17)
+	phi := phiOf(t, g)
+	roots := BuildHierarchy(g, phi)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		inParent := map[int32]bool{}
+		for _, e := range n.Edges {
+			inParent[e] = true
+		}
+		for _, c := range n.Children {
+			if c.K <= n.K {
+				t.Fatalf("child level %d not above parent level %d", c.K, n.K)
+			}
+			for _, e := range c.Edges {
+				if !inParent[e] {
+					t.Fatalf("child edge %d missing from parent (levels %d -> %d)", e, n.K, c.K)
+				}
+			}
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+}
+
+func TestEmptyPhi(t *testing.T) {
+	var b bigraph.Builder
+	g, _ := b.Build()
+	if got := BuildHierarchy(g, nil); got != nil {
+		t.Errorf("hierarchy of empty graph = %v, want nil", got)
+	}
+	if got := Communities(g, nil, 0); len(got) != 0 {
+		t.Errorf("communities of empty graph = %v", got)
+	}
+}

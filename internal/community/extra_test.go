@@ -1,0 +1,81 @@
+package community
+
+import (
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/testgraphs"
+)
+
+func TestCommunitiesAboveMaxLevelEmpty(t *testing.T) {
+	g := testgraphs.Figure1()
+	phi := phiOf(t, g)
+	if got := Communities(g, phi, 3); len(got) != 0 {
+		t.Errorf("communities above the max level = %v, want none", got)
+	}
+}
+
+func TestCommunitySortingLargestFirst(t *testing.T) {
+	// A 7-bloom and a 3-bloom with disjoint vertices share level 2:
+	// the bigger component must come first.
+	var bld bigraph.Builder
+	for v := 0; v < 7; v++ {
+		bld.AddEdge(0, v)
+		bld.AddEdge(1, v)
+	}
+	for v := 7; v < 10; v++ {
+		bld.AddEdge(2, v)
+		bld.AddEdge(3, v)
+	}
+	g, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := phiOf(t, g)
+	c := Communities(g, phi, 2)
+	if len(c) != 2 {
+		t.Fatalf("got %d communities, want 2", len(c))
+	}
+	if len(c[0].Edges) < len(c[1].Edges) {
+		t.Errorf("communities not sorted largest first: %d < %d", len(c[0].Edges), len(c[1].Edges))
+	}
+	if got := c[0].Size(); got != 14 {
+		t.Errorf("largest community size = %d, want 14", got)
+	}
+}
+
+func TestHierarchyDisjointRoots(t *testing.T) {
+	// Two disconnected blooms produce two hierarchy roots.
+	var bld bigraph.Builder
+	for v := 0; v < 4; v++ {
+		bld.AddEdge(0, v)
+		bld.AddEdge(1, v)
+	}
+	for v := 4; v < 9; v++ {
+		bld.AddEdge(2, v)
+		bld.AddEdge(3, v)
+	}
+	g, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := phiOf(t, g)
+	roots := BuildHierarchy(g, phi)
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(roots))
+	}
+	for _, r := range roots {
+		if r.K != 3 && r.K != 4 {
+			t.Errorf("root level = %d, want 3 or 4 (bloom sizes 4 and 5)", r.K)
+		}
+	}
+}
+
+func TestKBitrussAtZeroIsWholeGraph(t *testing.T) {
+	g := testgraphs.Figure1()
+	phi := phiOf(t, g)
+	sub := KBitruss(g, phi, 0)
+	if sub.G.NumEdges() != g.NumEdges() {
+		t.Errorf("0-bitruss has %d edges, want all %d", sub.G.NumEdges(), g.NumEdges())
+	}
+}

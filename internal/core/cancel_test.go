@@ -1,0 +1,50 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCancellation closes the cancel channel up front: every algorithm
+// must return ErrCancelled promptly instead of completing.
+func TestCancellation(t *testing.T) {
+	g := randomGraph(150, 150, 8000, 3)
+	ch := make(chan struct{})
+	close(ch)
+	for _, a := range allAlgorithms {
+		start := time.Now()
+		_, err := Decompose(g, Options{Algorithm: a, Cancel: ch})
+		if !errors.Is(err, ErrCancelled) {
+			t.Errorf("%v: err = %v, want ErrCancelled", a, err)
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Errorf("%v: cancellation took %v", a, d)
+		}
+	}
+}
+
+// TestNilCancelNeverFires makes sure a nil channel is inert.
+func TestNilCancelNeverFires(t *testing.T) {
+	g := randomGraph(20, 20, 150, 1)
+	for _, a := range allAlgorithms {
+		if _, err := Decompose(g, Options{Algorithm: a}); err != nil {
+			t.Errorf("%v: %v", a, err)
+		}
+	}
+}
+
+// TestCancellationMidway cancels from another goroutine while a larger
+// decomposition runs.
+func TestCancellationMidway(t *testing.T) {
+	g := randomGraph(400, 400, 60000, 5)
+	ch := make(chan struct{})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(ch)
+	}()
+	_, err := Decompose(g, Options{Algorithm: BiTBS, Cancel: ch})
+	if err != nil && !errors.Is(err, ErrCancelled) {
+		t.Errorf("err = %v, want nil or ErrCancelled", err)
+	}
+}

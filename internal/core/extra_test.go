@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/gen"
+	"repro/internal/testgraphs"
+)
+
+// TestBloomChainDecomposition: c disjoint k-blooms decompose to
+// φ ≡ k-1 on every edge, for every algorithm.
+func TestBloomChainDecomposition(t *testing.T) {
+	g := gen.BloomChain(4, 9)
+	for _, a := range allAlgorithms {
+		res := decompose(t, g, a)
+		for e, phi := range res.Phi {
+			if phi != 8 {
+				t.Errorf("%v: φ(e%d) = %d, want 8", a, e, phi)
+			}
+		}
+	}
+}
+
+// TestHubAndSpokesDecomposition: the Figure 2(a) construction holds a
+// single butterfly, so exactly its four edges have φ = 1.
+func TestHubAndSpokesDecomposition(t *testing.T) {
+	g := testgraphs.Figure2a(40)
+	nl := int32(g.NumLower())
+	butterflyEdges := map[int32]bool{
+		g.EdgeID(nl+0, 0): true, // (u0, v0)
+		g.EdgeID(nl+0, 1): true, // (u0, v1)
+		g.EdgeID(nl+1, 0): true, // (u1, v0)
+		g.EdgeID(nl+1, 1): true, // (u1, v1)
+	}
+	for _, a := range allAlgorithms {
+		res := decompose(t, g, a)
+		for e, phi := range res.Phi {
+			want := int64(0)
+			if butterflyEdges[int32(e)] {
+				want = 1
+			}
+			if phi != want {
+				t.Errorf("%v: φ(e%d) = %d, want %d", a, e, phi, want)
+			}
+		}
+	}
+}
+
+// TestPCIterationBound: BiT-PC runs at most ⌈kmax/α⌉ + 1 candidate
+// iterations.
+func TestPCIterationBound(t *testing.T) {
+	g := randomGraph(60, 70, 1400, 3)
+	for _, tau := range []float64{0.05, 0.25, 1} {
+		res, err := Decompose(g, Options{Algorithm: BiTPC, Tau: tau})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kmax := res.Metrics.KMax
+		alpha := int64(float64(kmax)*tau + 1)
+		bound := int(kmax/alpha) + 2
+		if res.Metrics.Iterations > bound {
+			t.Errorf("tau %v: %d iterations exceed bound %d (kmax %d)",
+				tau, res.Metrics.Iterations, bound, kmax)
+		}
+	}
+}
+
+// TestDefaultTauApplied: Tau == 0 must select the paper default rather
+// than failing validation.
+func TestDefaultTauApplied(t *testing.T) {
+	g := testgraphs.Figure1()
+	res, err := Decompose(g, Options{Algorithm: BiTPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxPhi != 2 {
+		t.Errorf("MaxPhi = %d, want 2", res.MaxPhi)
+	}
+}
+
+// TestMaxPhiConsistency: MaxPhi equals the maximum of Phi.
+func TestMaxPhiConsistency(t *testing.T) {
+	g := randomGraph(50, 50, 900, 11)
+	for _, a := range allAlgorithms {
+		res := decompose(t, g, a)
+		var want int64
+		for _, p := range res.Phi {
+			if p > want {
+				want = p
+			}
+		}
+		if res.MaxPhi != want {
+			t.Errorf("%v: MaxPhi = %d, want %d", a, res.MaxPhi, want)
+		}
+	}
+}
+
+// TestDuplicateHeavyGraph: graphs built with many duplicate edges (the
+// generators merge them) still decompose consistently.
+func TestDuplicateHeavyGraph(t *testing.T) {
+	g := gen.Zipf(20, 20, 3000, 1.8, 1.8, 5) // heavy dedup
+	naive := NaiveDecompose(g)
+	for _, a := range allAlgorithms {
+		res := decompose(t, g, a)
+		for e := range naive {
+			if res.Phi[e] != naive[e] {
+				t.Fatalf("%v: φ(e%d) = %d, want %d", a, e, res.Phi[e], naive[e])
+			}
+		}
+	}
+}
+
+// TestCompleteBicliqueLarge: a denser closed form than the small cases,
+// stressing the batch paths (every edge shares every bloom).
+func TestCompleteBicliqueLarge(t *testing.T) {
+	g := testgraphs.CompleteBiclique(12, 9)
+	want := int64(11 * 8)
+	for _, a := range allAlgorithms {
+		res := decompose(t, g, a)
+		for e, phi := range res.Phi {
+			if phi != want {
+				t.Fatalf("%v: φ(e%d) = %d, want %d", a, e, phi, want)
+			}
+		}
+	}
+}
+
+// TestIsolatedVerticesIgnored: padding layers with isolated vertices
+// must not change any bitruss number.
+func TestIsolatedVerticesIgnored(t *testing.T) {
+	base := testgraphs.Figure1()
+	var bld bigraph.Builder
+	for e := int32(0); e < int32(base.NumEdges()); e++ {
+		ed := base.Edge(e)
+		bld.AddEdge(int(ed.U)-base.NumLower(), int(ed.V))
+	}
+	bld.SetLayerSizes(50, 60)
+	padded, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes := decompose(t, base, BiTBUPlusPlus)
+	padRes := decompose(t, padded, BiTBUPlusPlus)
+	for e := 0; e < base.NumEdges(); e++ {
+		if refRes.Phi[e] != padRes.Phi[e] {
+			t.Errorf("padding changed φ(e%d): %d vs %d", e, refRes.Phi[e], padRes.Phi[e])
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"repro/internal/bigraph"
+	"repro/internal/butterfly"
+)
+
+// NaiveDecompose computes bitruss numbers straight from Definitions 4
+// and 5: for k = 0, 1, 2, ... it peels the current graph to the
+// (k+1)-bitruss fixpoint by repeatedly recounting butterflies from
+// scratch, assigning φ(e) = k to every edge that falls out. It makes no
+// use of supports bookkeeping, buckets, clamps or the BE-Index and is
+// the ground truth for the test suites. Exponentially slower than the
+// real algorithms; small graphs only.
+func NaiveDecompose(g *bigraph.Graph) []int64 {
+	m := g.NumEdges()
+	phi := make([]int64, m)
+	alive := make([]bool, m)
+	for e := range alive {
+		alive[e] = true
+	}
+	remaining := m
+	for k := int64(0); remaining > 0; k++ {
+		// Peel to the (k+1)-bitruss fixpoint.
+		for {
+			sub := g.InducedByEdges(alive)
+			if sub.G.NumEdges() == 0 {
+				remaining = 0
+				break
+			}
+			sup := butterfly.BruteForceEdgeSupports(sub.G)
+			removedAny := false
+			for se, s := range sup {
+				if s < k+1 {
+					pe := sub.ParentEdge[se]
+					phi[pe] = k
+					alive[pe] = false
+					remaining--
+					removedAny = true
+				}
+			}
+			if !removedAny {
+				break
+			}
+		}
+	}
+	return phi
+}

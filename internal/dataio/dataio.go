@@ -1,0 +1,194 @@
+// Package dataio reads and writes bipartite graphs in two formats:
+//
+//   - Text: the KONECT-style edge list the paper's datasets ship in.
+//     One "u v" pair per line (1-based layer indices by convention,
+//     configurable), '%' or '#' comment lines, blank lines ignored.
+//   - Binary: a compact little-endian format for large generated
+//     datasets (magic "BGR1", layer sizes, edge count, then u,v pairs
+//     as uint32).
+//
+// Both round-trip exactly through bigraph.Graph.
+package dataio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bigraph"
+)
+
+// TextOptions controls edge-list parsing.
+type TextOptions struct {
+	// OneBased treats vertex indices as 1-based (KONECT convention).
+	OneBased bool
+}
+
+// ErrFormat reports a malformed input file.
+var ErrFormat = errors.New("dataio: malformed input")
+
+// ReadText parses an edge-list from r.
+func ReadText(r io.Reader, opt TextOptions) (*bigraph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var b bigraph.Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") || strings.HasPrefix(text, "#") {
+			// Honour the layer-size hint WriteText emits so that graphs
+			// with trailing isolated vertices round-trip exactly.
+			var nu, nl int
+			if n, _ := fmt.Sscanf(text, "%% bipartite graph |U|=%d |L|=%d", &nu, &nl); n == 2 {
+				b.SetLayerSizes(nu, nl)
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%w: line %d: want 'u v', got %q", ErrFormat, line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, line, err)
+		}
+		if opt.OneBased {
+			u--
+			v--
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("%w: line %d: negative vertex after base adjustment", ErrFormat, line)
+		}
+		b.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// WriteText writes g as an edge list, one "u v" pair per line with
+// layer-local indices, prefixed by a comment header.
+func WriteText(w io.Writer, g *bigraph.Graph, opt TextOptions) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%% bipartite graph |U|=%d |L|=%d |E|=%d\n",
+		g.NumUpper(), g.NumLower(), g.NumEdges()); err != nil {
+		return err
+	}
+	base := 0
+	if opt.OneBased {
+		base = 1
+	}
+	nl := int32(g.NumLower())
+	for e := int32(0); e < int32(g.NumEdges()); e++ {
+		ed := g.Edge(e)
+		if _, err := fmt.Fprintf(bw, "%d %d\n", int(ed.U-nl)+base, int(ed.V)+base); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+const binaryMagic = "BGR1"
+
+// WriteBinary writes g in the compact binary format.
+func WriteBinary(w io.Writer, g *bigraph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := []uint32{uint32(g.NumUpper()), uint32(g.NumLower()), uint32(g.NumEdges())}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	nl := int32(g.NumLower())
+	buf := make([]byte, 8)
+	for e := int32(0); e < int32(g.NumEdges()); e++ {
+		ed := g.Edge(e)
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(ed.U-nl))
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(ed.V))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the compact binary format.
+func ReadBinary(r io.Reader) (*bigraph.Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrFormat, err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, magic)
+	}
+	var nu, nlr, m uint32
+	for _, p := range []*uint32{&nu, &nlr, &m} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("%w: truncated header: %v", ErrFormat, err)
+		}
+	}
+	var b bigraph.Builder
+	b.SetLayerSizes(int(nu), int(nlr))
+	buf := make([]byte, 8)
+	for i := uint32(0); i < m; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("%w: truncated edge %d: %v", ErrFormat, i, err)
+		}
+		u := binary.LittleEndian.Uint32(buf[0:4])
+		v := binary.LittleEndian.Uint32(buf[4:8])
+		if u >= nu || v >= nlr {
+			return nil, fmt.Errorf("%w: edge %d out of range", ErrFormat, i)
+		}
+		b.AddEdge(int(u), int(v))
+	}
+	return b.Build()
+}
+
+// LoadFile reads a graph, selecting the format from the file extension:
+// ".bg" binary, anything else text.
+func LoadFile(path string, opt TextOptions) (*bigraph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bg") {
+		return ReadBinary(f)
+	}
+	return ReadText(f, opt)
+}
+
+// SaveFile writes a graph, selecting the format from the file extension:
+// ".bg" binary, anything else text.
+func SaveFile(path string, g *bigraph.Graph, opt TextOptions) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if strings.HasSuffix(path, ".bg") {
+		err = WriteBinary(f, g)
+		return err
+	}
+	err = WriteText(f, g, opt)
+	return err
+}

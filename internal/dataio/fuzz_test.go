@@ -1,0 +1,61 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText feeds arbitrary bytes to the text parser: it must never
+// panic, and whatever it accepts must survive a write/read round trip.
+func FuzzReadText(f *testing.F) {
+	f.Add("1 1\n2 2\n")
+	f.Add("% comment\n# comment\n\n0 0\n")
+	f.Add("a b\n")
+	f.Add("1\n")
+	f.Add("% bipartite graph |U|=5 |L|=7\n1 1\n")
+	f.Add(strings.Repeat("3 4\n", 10))
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadText(strings.NewReader(in), TextOptions{OneBased: true})
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g, TextOptions{OneBased: true}); err != nil {
+			t.Fatalf("WriteText after accepting %q: %v", in, err)
+		}
+		g2, err := ReadText(&buf, TextOptions{OneBased: true})
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() || g2.NumUpper() != g.NumUpper() || g2.NumLower() != g.NumLower() {
+			t.Fatalf("round trip changed shape: %v -> %v", g, g2)
+		}
+	})
+}
+
+// FuzzReadBinary feeds arbitrary bytes to the binary parser: it must
+// never panic and must reject anything that does not round trip.
+func FuzzReadBinary(f *testing.F) {
+	f.Add([]byte("BGR1"))
+	f.Add([]byte("BGR1\x01\x00\x00\x00\x01\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("XXXX"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		g, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("WriteBinary after accepting input: %v", err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed the edge count")
+		}
+	})
+}

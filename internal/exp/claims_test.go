@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPaperClaimsOnHubStandIn pins the paper's central quantitative
+// claims as deterministic regression checks (update counts and index
+// bytes, not wall time) on a reduced hub-heavy dataset.
+func TestPaperClaimsOnHubStandIn(t *testing.T) {
+	d, ok := ByName("D-style")
+	if !ok {
+		t.Fatal("D-style stand-in missing")
+	}
+	g := d.Build(0.1)
+
+	res := map[core.Algorithm]*core.Result{}
+	for _, a := range []core.Algorithm{core.BiTBU, core.BiTBUPlus, core.BiTBUPlusPlus, core.BiTPC} {
+		r, err := core.Decompose(g, core.Options{Algorithm: a, Tau: harnessTau})
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		res[a] = r
+	}
+
+	// Figure 10: the batch optimisations and progressive compression
+	// each reduce the number of butterfly support updates.
+	bu := res[core.BiTBU].Metrics.SupportUpdates
+	bup := res[core.BiTBUPlus].Metrics.SupportUpdates
+	bupp := res[core.BiTBUPlusPlus].Metrics.SupportUpdates
+	pc := res[core.BiTPC].Metrics.SupportUpdates
+	if !(bu > bup && bu > bupp && bupp > pc) {
+		t.Errorf("update ordering violated: BU=%d BU+=%d BU++=%d PC=%d", bu, bup, bupp, pc)
+	}
+	// On the hub stand-in PC must cut at least half of BU's updates
+	// (the paper reports >90%% at full scale).
+	if pc*2 > bu {
+		t.Errorf("PC saved too little: %d vs BU's %d", pc, bu)
+	}
+
+	// Figure 11: the peak compressed index is smaller than the full
+	// BE-Index.
+	if res[core.BiTPC].Metrics.PeakIndexBytes >= res[core.BiTBU].Metrics.PeakIndexBytes {
+		t.Errorf("compressed index (%d B) not smaller than full (%d B)",
+			res[core.BiTPC].Metrics.PeakIndexBytes, res[core.BiTBU].Metrics.PeakIndexBytes)
+	}
+
+	// All algorithms agree on the decomposition itself.
+	ref := res[core.BiTBU].Phi
+	for a, r := range res {
+		for e := range ref {
+			if r.Phi[e] != ref[e] {
+				t.Fatalf("%v: φ(e%d) = %d, want %d", a, e, r.Phi[e], ref[e])
+			}
+		}
+	}
+}
+
+// TestCountingDominatedByPeelingBS pins the Figure 5 claim via the
+// metrics (time-based but with a 10x margin so it cannot flake: the
+// paper reports 2-4 orders of magnitude).
+func TestCountingDominatedByPeelingBS(t *testing.T) {
+	d, _ := ByName("Github")
+	g := d.Build(0.2)
+	r, err := core.Decompose(g, core.Options{Algorithm: core.BiTBS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics.PeelTime < r.Metrics.CountingTime {
+		t.Errorf("BiT-BS peeling (%v) faster than counting (%v): Figure 5 shape violated",
+			r.Metrics.PeelTime, r.Metrics.CountingTime)
+	}
+}

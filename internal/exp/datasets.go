@@ -1,0 +1,199 @@
+// Package exp is the experiment harness for Section VI of the paper: a
+// registry of synthetic stand-ins for the 15 KONECT datasets of Table
+// II, and one runner per table/figure that prints the same rows or
+// series the paper reports.
+//
+// The stand-ins preserve the *shape* of each original — layer-size
+// ratio, degree skew (hub-heavy vs flat), butterfly density — at
+// laptop scale (the originals range up to 1.4*10^8 edges and 2*10^13
+// butterflies; our substitutes keep the relative ordering of the
+// algorithms while finishing in seconds to minutes; see DESIGN.md
+// Section 3 for the substitution argument).
+package exp
+
+import (
+	"repro/internal/bigraph"
+	"repro/internal/gen"
+)
+
+// PaperRow records the original Table II row so reports can show
+// paper-vs-measured side by side.
+type PaperRow struct {
+	E, U, L     int64
+	Butterflies int64
+	MaxSup      int64
+	MaxPhi      int64
+}
+
+// Dataset is one synthetic stand-in.
+type Dataset struct {
+	// Name of the KONECT dataset this graph stands in for.
+	Name string
+	// Hub marks the skew-dominated datasets whose hub edges motivate
+	// BiT-PC (Section V-C).
+	Hub bool
+	// Paper is the original Table II row.
+	Paper PaperRow
+	// build constructs the graph; scale multiplies the edge budget.
+	build func(scale float64) *bigraph.Graph
+}
+
+// Build constructs the stand-in graph at the given scale (1.0 is the
+// default experiment size; benchmarks use smaller scales). The result
+// is deterministic.
+func (d Dataset) Build(scale float64) *bigraph.Graph {
+	if scale <= 0 {
+		scale = 1
+	}
+	return d.build(scale)
+}
+
+func sc(scale float64, n int) int {
+	v := int(float64(n) * scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// All returns the 15 stand-ins in the paper's Table II order.
+func All() []Dataset {
+	return []Dataset{
+		{
+			Name:  "Condmat",
+			Paper: PaperRow{58595, 16726, 22015, 70549, 127, 63},
+			build: func(s float64) *bigraph.Graph {
+				return gen.Uniform(sc(s, 1100), sc(s, 1500), sc(s, 12000), 101)
+			},
+		},
+		{
+			Name:  "Marvel",
+			Paper: PaperRow{96662, 6486, 12942, 10709594, 6612, 1761},
+			build: func(s float64) *bigraph.Graph {
+				return gen.Zipf(sc(s, 650), sc(s, 1300), sc(s, 9700), 0.9, 0.9, 102)
+			},
+		},
+		{
+			Name:  "DBPedia",
+			Paper: PaperRow{293697, 172091, 53407, 3761594, 1720, 852},
+			build: func(s float64) *bigraph.Graph {
+				return gen.Zipf(sc(s, 8600), sc(s, 2670), sc(s, 15000), 1.0, 1.0, 103)
+			},
+		},
+		{
+			Name:  "Github",
+			Paper: PaperRow{440237, 56519, 120867, 50894505, 40675, 1014},
+			build: func(s float64) *bigraph.Graph {
+				return gen.Zipf(sc(s, 5600), sc(s, 12000), sc(s, 44000), 1.1, 1.0, 104)
+			},
+		},
+		{
+			Name:  "Twitter",
+			Paper: PaperRow{1890661, 175214, 530418, 206508691, 29708, 5864},
+			build: func(s float64) *bigraph.Graph {
+				return gen.Zipf(sc(s, 8800), sc(s, 26500), sc(s, 63000), 1.2, 1.0, 105)
+			},
+		},
+		{
+			Name:  "D-label",
+			Hub:   true,
+			Paper: PaperRow{5302276, 1754823, 270771, 3261758502, 625418, 15498},
+			build: func(s float64) *bigraph.Graph {
+				return gen.Zipf(sc(s, 35000), sc(s, 5400), sc(s, 120000), 0.9, 1.45, 106)
+			},
+		},
+		{
+			Name:  "D-style",
+			Hub:   true,
+			Paper: PaperRow{5740842, 1617943, 383, 77383418076, 1279105, 52015},
+			build: func(s float64) *bigraph.Graph {
+				return gen.Zipf(sc(s, 60000), sc(s, 500), sc(s, 300000), 0.9, 1.3, 107)
+			},
+		},
+		{
+			Name:  "Amazon",
+			Paper: PaperRow{5743258, 2146057, 1230915, 35849304, 8827, 551},
+			build: func(s float64) *bigraph.Graph {
+				return gen.Uniform(sc(s, 5000), sc(s, 2900), sc(s, 57000), 108)
+			},
+		},
+		{
+			Name:  "DBLP",
+			Paper: PaperRow{8649016, 4000150, 1425813, 21040464, 641, 420},
+			build: func(s float64) *bigraph.Graph {
+				return gen.Uniform(sc(s, 9000), sc(s, 3300), sc(s, 86000), 109)
+			},
+		},
+		{
+			Name:  "Wiki-it",
+			Hub:   true,
+			Paper: PaperRow{12644802, 2225180, 137693, 298492670057, 2994802, 166785},
+			build: func(s float64) *bigraph.Graph {
+				return gen.Zipf(sc(s, 22000), sc(s, 1400), sc(s, 250000), 1.0, 1.4, 110)
+			},
+		},
+		{
+			Name:  "Wiki-fr",
+			Hub:   true,
+			Paper: PaperRow{22090703, 288275, 4022276, 601291038864, 4500590, 231253},
+			build: func(s float64) *bigraph.Graph {
+				return gen.Zipf(sc(s, 2900), sc(s, 40000), sc(s, 130000), 1.5, 0.9, 111)
+			},
+		},
+		{
+			Name:  "Delicious",
+			Hub:   true,
+			Paper: PaperRow{101798957, 833081, 33778221, 56892252403, 1219319, 6638},
+			build: func(s float64) *bigraph.Graph {
+				return gen.Zipf(sc(s, 5000), sc(s, 60000), sc(s, 350000), 1.9, 0.85, 112)
+			},
+		},
+		{
+			Name:  "Live-journal",
+			Hub:   true,
+			Paper: PaperRow{112307385, 3201203, 7489073, 3297158439527, 10025933, 456791},
+			build: func(s float64) *bigraph.Graph {
+				return gen.Zipf(sc(s, 7000), sc(s, 90000), sc(s, 600000), 1.85, 0.85, 113)
+			},
+		},
+		{
+			Name:  "Wiki-en",
+			Hub:   true,
+			Paper: PaperRow{122075170, 3819691, 21504191, 2036443879822, 18206363, 438728},
+			build: func(s float64) *bigraph.Graph {
+				return gen.Zipf(sc(s, 8000), sc(s, 100000), sc(s, 650000), 1.8, 0.85, 114)
+			},
+		},
+		{
+			Name:  "Tracker",
+			Hub:   true,
+			Paper: PaperRow{140613762, 27665730, 12756244, 20067567209850, 46747317, 2462013},
+			build: func(s float64) *bigraph.Graph {
+				return gen.Zipf(sc(s, 9000), sc(s, 30000), sc(s, 400000), 1.7, 0.9, 115)
+			},
+		},
+	}
+}
+
+// Representative returns the four datasets the paper's Figures 5, 7,
+// 10-14 focus on: Github, D-label, D-style and Wiki-it.
+func Representative() []Dataset {
+	want := map[string]bool{"Github": true, "D-label": true, "D-style": true, "Wiki-it": true}
+	var out []Dataset
+	for _, d := range All() {
+		if want[d.Name] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ByName looks a dataset up by its (case-sensitive) name.
+func ByName(name string) (Dataset, bool) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}

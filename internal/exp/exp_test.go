@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestRegistryShape(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("registry has %d datasets, want 15 (Table II)", len(all))
+	}
+	seen := map[string]bool{}
+	hubs := 0
+	for _, d := range all {
+		if seen[d.Name] {
+			t.Errorf("duplicate dataset %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Paper.E == 0 || d.Paper.Butterflies == 0 {
+			t.Errorf("%s: missing paper row", d.Name)
+		}
+		if d.Hub {
+			hubs++
+		}
+	}
+	if hubs < 4 {
+		t.Errorf("only %d hub datasets, want at least the paper's skewed ones", hubs)
+	}
+}
+
+func TestRepresentativeFour(t *testing.T) {
+	rep := Representative()
+	if len(rep) != 4 {
+		t.Fatalf("representative set has %d datasets, want 4", len(rep))
+	}
+	want := []string{"Github", "D-label", "D-style", "Wiki-it"}
+	for i, d := range rep {
+		if d.Name != want[i] {
+			t.Errorf("representative[%d] = %s, want %s", i, d.Name, want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("Wiki-it"); !ok {
+		t.Errorf("Wiki-it missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Errorf("bogus dataset found")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	d, _ := ByName("Github")
+	g1 := d.Build(0.05)
+	g2 := d.Build(0.05)
+	if g1.NumEdges() != g2.NumEdges() || g1.NumEdges() == 0 {
+		t.Errorf("build not deterministic or empty: %d vs %d", g1.NumEdges(), g2.NumEdges())
+	}
+	// Zero and negative scales clamp to the default.
+	if d.Build(0).NumEdges() == 0 {
+		t.Errorf("zero scale produced an empty graph")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig99", Config{Out: &buf}); err == nil {
+		t.Errorf("unknown experiment accepted")
+	}
+}
+
+func TestRunTimeoutProducesINF(t *testing.T) {
+	d, _ := ByName("D-style")
+	g := d.Build(0.4)
+	out, err := run(g, core.Options{Algorithm: core.BiTBS}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.timedOut {
+		t.Fatalf("1ms budget did not time out")
+	}
+	if out.timeString() != "INF" {
+		t.Errorf("timeString = %q, want INF", out.timeString())
+	}
+}
+
+func TestRunCompletesWithinBudget(t *testing.T) {
+	d, _ := ByName("Condmat")
+	g := d.Build(0.2)
+	out, err := run(g, core.Options{Algorithm: core.BiTBUPlusPlus}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.timedOut || out.res == nil {
+		t.Fatalf("small run timed out")
+	}
+	if !strings.HasSuffix(out.timeString(), "s") {
+		t.Errorf("timeString = %q", out.timeString())
+	}
+}
+
+// TestExperimentSmoke runs every experiment end to end at a tiny scale.
+func TestExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test runs the full harness")
+	}
+	var buf bytes.Buffer
+	cfg := Config{Scale: 0.04, Timeout: 30 * time.Second, Out: &buf}
+	for _, name := range Names() {
+		if err := Run(name, cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table II", "Figure 5", "Figure 7", "Figure 9", "Figure 10",
+		"Figure 11", "Figure 12", "Figure 13", "Figure 14",
+		"Github", "D-style", "BiT-BU", // row/series labels
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("harness output missing %q", want)
+		}
+	}
+}
+
+func TestGroupFormatting(t *testing.T) {
+	cases := map[int64]string{
+		0:          "0",
+		999:        "999",
+		1000:       "1,000",
+		1234567:    "1,234,567",
+		-1234:      "-1,234",
+		1000000000: "1,000,000,000",
+	}
+	for n, want := range cases {
+		if got := group(n); got != want {
+			t.Errorf("group(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestMB(t *testing.T) {
+	if got := mb(1 << 20); got != "1.00" {
+		t.Errorf("mb(1MiB) = %q", got)
+	}
+	if got := mb(3 << 19); got != "1.50" {
+		t.Errorf("mb(1.5MiB) = %q", got)
+	}
+}
+
+func TestQuintileBounds(t *testing.T) {
+	b := quintileBounds(100)
+	want := []int64{20, 40, 60, 80}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("quintileBounds(100) = %v, want %v", b, want)
+		}
+	}
+	// Tiny max supports must still produce valid ascending bounds.
+	b = quintileBounds(1)
+	for i := 1; i < len(b); i++ {
+		if b[i] < b[i-1] {
+			t.Fatalf("bounds not ascending: %v", b)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	tb := newTable("Name", "Value")
+	tb.add("a", "1")
+	tb.add("longer-name", "12345")
+	tb.write(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "Name") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Columns right-aligned: the value column ends aligned.
+	if !strings.HasSuffix(lines[2], "1") || !strings.HasSuffix(lines[3], "12345") {
+		t.Errorf("value column misaligned:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bigraph"
+	"repro/internal/core"
+)
+
+// Config configures an experiment run.
+type Config struct {
+	// Scale multiplies every dataset's vertex and edge budget
+	// (default 1.0; benchmarks use smaller values).
+	Scale float64
+	// Timeout is the per-decomposition budget; timed-out runs are
+	// reported as INF, mirroring the paper's 30-hour cutoff. Zero means
+	// no limit.
+	Timeout time.Duration
+	// Out receives the report (required).
+	Out io.Writer
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1
+	}
+	return c.Scale
+}
+
+// runOutcome is one timed decomposition.
+type runOutcome struct {
+	res      *core.Result
+	elapsed  time.Duration
+	timedOut bool
+}
+
+// timeString renders a duration the way the paper's log-scale plots
+// label points, with INF for timed-out runs.
+func (r runOutcome) timeString() string {
+	if r.timedOut {
+		return "INF"
+	}
+	return fmtDuration(r.elapsed)
+}
+
+func fmtDuration(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+// run executes one decomposition under the configured timeout.
+func run(g *bigraph.Graph, opt core.Options, timeout time.Duration) (runOutcome, error) {
+	type done struct {
+		res *core.Result
+		err error
+	}
+	cancel := make(chan struct{})
+	opt.Cancel = cancel
+	ch := make(chan done, 1)
+	start := time.Now()
+	go func() {
+		res, err := core.Decompose(g, opt)
+		ch <- done{res, err}
+	}()
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case d := <-ch:
+		if d.err != nil {
+			return runOutcome{}, d.err
+		}
+		return runOutcome{res: d.res, elapsed: time.Since(start)}, nil
+	case <-timer:
+		close(cancel)
+		d := <-ch // the algorithm aborts promptly at the next check
+		if d.err != nil && !errors.Is(d.err, core.ErrCancelled) {
+			return runOutcome{}, d.err
+		}
+		return runOutcome{timedOut: true, elapsed: time.Since(start)}, nil
+	}
+}

@@ -1,0 +1,156 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/butterfly"
+	"repro/internal/testgraphs"
+)
+
+func sameGraph(a, b *bigraph.Graph) bool {
+	if a.NumUpper() != b.NumUpper() || a.NumLower() != b.NumLower() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for e := int32(0); e < int32(a.NumEdges()); e++ {
+		if a.Edge(e) != b.Edge(e) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	g1 := Uniform(50, 70, 400, 42)
+	g2 := Uniform(50, 70, 400, 42)
+	if !sameGraph(g1, g2) {
+		t.Errorf("same seed produced different graphs")
+	}
+	g3 := Uniform(50, 70, 400, 43)
+	if sameGraph(g1, g3) {
+		t.Errorf("different seeds produced identical graphs")
+	}
+	if g1.NumUpper() != 50 || g1.NumLower() != 70 {
+		t.Errorf("layer sizes = (%d,%d)", g1.NumUpper(), g1.NumLower())
+	}
+	if g1.NumEdges() == 0 || g1.NumEdges() > 400 {
+		t.Errorf("edges = %d, want in (0,400]", g1.NumEdges())
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	flat := Zipf(200, 200, 3000, 0.1, 0.1, 7)
+	skew := Zipf(200, 200, 3000, 1.6, 1.6, 7)
+	maxDeg := func(g *bigraph.Graph) int32 {
+		s := bigraph.ComputeStats(g)
+		if s.MaxDegUpper > s.MaxDegLower {
+			return s.MaxDegUpper
+		}
+		return s.MaxDegLower
+	}
+	if maxDeg(skew) <= 2*maxDeg(flat) {
+		t.Errorf("skewed generator max degree %d not clearly above flat %d", maxDeg(skew), maxDeg(flat))
+	}
+	// A skewed graph concentrates butterflies on hub edges: the maximum
+	// support should dwarf the flat graph's.
+	_, supFlat := butterfly.CountAndSupports(flat)
+	_, supSkew := butterfly.CountAndSupports(skew)
+	maxOf := func(s []int64) int64 {
+		var m int64
+		for _, v := range s {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	if maxOf(supSkew) <= maxOf(supFlat) {
+		t.Errorf("skewed max support %d not above flat %d", maxOf(supSkew), maxOf(supFlat))
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	if !sameGraph(Zipf(80, 90, 1000, 1.2, 1.4, 5), Zipf(80, 90, 1000, 1.2, 1.4, 5)) {
+		t.Errorf("same seed produced different graphs")
+	}
+}
+
+func TestBlocksPlantDenseCommunities(t *testing.T) {
+	blocks := []BlockConfig{
+		{Upper: 8, Lower: 8, Density: 1.0},
+		{Upper: 6, Lower: 6, Density: 0.9},
+	}
+	g := Blocks(100, 100, blocks, 200, 11)
+	// The first block is a complete K(8,8): every intra-block edge
+	// exists and carries high support.
+	_, sup := butterfly.CountAndSupports(g)
+	nl := int32(g.NumLower())
+	e := g.EdgeID(nl+0, 0)
+	if e < 0 {
+		t.Fatalf("dense block edge missing")
+	}
+	if sup[e] < int64(7*7) {
+		t.Errorf("planted block edge support = %d, want >= 49", sup[e])
+	}
+}
+
+func TestBloomChainClosedForm(t *testing.T) {
+	const c, k = 5, 7
+	g := BloomChain(c, k)
+	if got, want := g.NumEdges(), 2*c*k; got != want {
+		t.Errorf("edges = %d, want %d", got, want)
+	}
+	if got, want := butterfly.Count(g), int64(c*k*(k-1)/2); got != want {
+		t.Errorf("butterflies = %d, want %d", got, want)
+	}
+	_, sup := butterfly.CountAndSupports(g)
+	for e, s := range sup {
+		if s != k-1 {
+			t.Errorf("support(e%d) = %d, want %d", e, s, k-1)
+		}
+	}
+}
+
+func TestHubAndSpokesMatchesFixture(t *testing.T) {
+	g := HubAndSpokes(30)
+	f := testgraphs.Figure2a(30)
+	if !sameGraph(g, f) {
+		t.Errorf("HubAndSpokes diverges from the Figure 2(a) fixture")
+	}
+	if got := butterfly.Count(g); got != 1 {
+		t.Errorf("butterflies = %d, want 1", got)
+	}
+}
+
+func TestZipfPlusUniform(t *testing.T) {
+	g := ZipfPlusUniform(100, 100, 1000, 1.5, 1.5, 500, 9)
+	if !sameGraph(g, ZipfPlusUniform(100, 100, 1000, 1.5, 1.5, 500, 9)) {
+		t.Errorf("same seed produced different graphs")
+	}
+	core := Zipf(100, 100, 1000, 1.5, 1.5, 9)
+	if g.NumEdges() <= core.NumEdges() {
+		t.Errorf("background added no edges: %d vs %d", g.NumEdges(), core.NumEdges())
+	}
+	// The Zipf core must be a subgraph: same seed, same draw order.
+	for e := int32(0); e < int32(core.NumEdges()); e++ {
+		ed := core.Edge(e)
+		u := int(ed.U) - core.NumLower()
+		v := int(ed.V)
+		if g.EdgeID(int32(g.NumLower()+u), int32(v)) < 0 {
+			t.Fatalf("core edge (%d,%d) missing from overlay", u, v)
+		}
+	}
+}
+
+func TestZipfSamplerBounds(t *testing.T) {
+	g := Zipf(5, 3, 500, 2.5, 2.5, 3)
+	if g.NumUpper() != 5 || g.NumLower() != 3 {
+		t.Fatalf("layers = (%d,%d)", g.NumUpper(), g.NumLower())
+	}
+	for e := int32(0); e < int32(g.NumEdges()); e++ {
+		ed := g.Edge(e)
+		if ed.V < 0 || int(ed.V) >= 3 || int(ed.U) < 3 || int(ed.U) >= 8 {
+			t.Fatalf("edge %v out of range", ed)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package testgraphs provides small fixture graphs taken from the paper's
+// running examples, together with their hand-verified ground truth. They
+// are shared by the test suites of several packages.
+package testgraphs
+
+import "repro/internal/bigraph"
+
+// Figure1 returns the author-paper network of Figure 1 (identical to the
+// graph of Figure 4(a)): upper layer u0..u3, lower layer v0..v4.
+//
+// Ground truth from Section I: the six blue edges (u0,v0) (u0,v1) (u1,v0)
+// (u1,v1) (u2,v0) (u2,v1) have bitruss number 2, the three yellow edges
+// (u2,v2) (u3,v1) (u3,v2) have bitruss number 1, and the two gray edges
+// (u2,v3) (u3,v4) have bitruss number 0.
+func Figure1() *bigraph.Graph {
+	var b bigraph.Builder
+	for _, p := range Figure1Edges() {
+		b.AddEdge(p[0], p[1])
+	}
+	return b.MustBuild()
+}
+
+// Figure1Edges returns the (upper, lower) pairs of the Figure 1 graph in a
+// fixed order.
+func Figure1Edges() [][2]int {
+	return [][2]int{
+		{0, 0}, {0, 1}, // u0
+		{1, 0}, {1, 1}, // u1
+		{2, 0}, {2, 1}, {2, 2}, {2, 3}, // u2
+		{3, 1}, {3, 2}, {3, 4}, // u3
+	}
+}
+
+// Figure1Bitruss maps (upper, lower) pairs of Figure1 to the bitruss
+// number stated in the paper.
+func Figure1Bitruss() map[[2]int]int64 {
+	return map[[2]int]int64{
+		{0, 0}: 2, {0, 1}: 2,
+		{1, 0}: 2, {1, 1}: 2,
+		{2, 0}: 2, {2, 1}: 2,
+		{2, 2}: 1, {3, 1}: 1, {3, 2}: 1,
+		{2, 3}: 0, {3, 4}: 0,
+	}
+}
+
+// Figure1Supports maps (upper, lower) pairs of Figure1 to the butterfly
+// support in the full graph (the values shown in the BE-Index of
+// Figure 6: e0..e8 have supports 2 2 2 2 2 3 1 1 1, and the two gray
+// edges have support 0).
+func Figure1Supports() map[[2]int]int64 {
+	return map[[2]int]int64{
+		{0, 0}: 2, {0, 1}: 2,
+		{1, 0}: 2, {1, 1}: 2,
+		{2, 0}: 2, {2, 1}: 3,
+		{2, 2}: 1, {3, 1}: 1, {3, 2}: 1,
+		{2, 3}: 0, {3, 4}: 0,
+	}
+}
+
+// Bloom1001 returns the 1001-bloom of Figure 3(a): u0 and u1 both
+// connected to v0..v1000. It contains 1001*1000/2 butterflies and every
+// edge has butterfly support 1000.
+func Bloom1001() *bigraph.Graph {
+	return Bloom(1001)
+}
+
+// Bloom returns a k-bloom: two upper vertices connected to the same k
+// lower vertices ((2, k)-biclique, Definition 3).
+func Bloom(k int) *bigraph.Graph {
+	var b bigraph.Builder
+	for v := 0; v < k; v++ {
+		b.AddEdge(0, v)
+		b.AddEdge(1, v)
+	}
+	return b.MustBuild()
+}
+
+// Figure2a returns the hub construction of Figure 2(a), parameterised by
+// the fan-out f (the paper uses f = 1000): u0 is connected to v0 and v1;
+// u1 is connected to v0..v_f; v1 is connected to u0..u_f; u2 is connected
+// to v_{f+1}..v_{2f}; and v2 is connected to u_{f+1}..u_{2f}. Although
+// d(u1) = d(v1) = f+1, the edge (u1, v1) is contained in exactly one
+// butterfly, [u0, v0, u1, v1] — the paper's worst case for
+// combination-based edge removal.
+func Figure2a(f int) *bigraph.Graph {
+	var b bigraph.Builder
+	// u0 - v0, u0 - v1.
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	// u1 - v0..v_f.
+	for v := 0; v <= f; v++ {
+		b.AddEdge(1, v)
+	}
+	// v1 - u0..u_f (u0 and u1 already added above).
+	for u := 2; u <= f; u++ {
+		b.AddEdge(u, 1)
+	}
+	// u2 - v_{f+1}..v_{2f} and v2 - u_{f+1}..u_{2f}.
+	for v := f + 1; v <= 2*f; v++ {
+		b.AddEdge(2, v)
+	}
+	for u := f + 1; u <= 2*f; u++ {
+		b.AddEdge(u, 2)
+	}
+	return b.MustBuild()
+}
+
+// CompleteBiclique returns K(a, b): every upper vertex connected to every
+// lower vertex. Closed forms: the graph holds C(a,2)*C(b,2) butterflies,
+// every edge has support (a-1)(b-1), and every edge has bitruss number
+// (a-1)(b-1).
+func CompleteBiclique(a, b int) *bigraph.Graph {
+	var bd bigraph.Builder
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			bd.AddEdge(u, v)
+		}
+	}
+	return bd.MustBuild()
+}
+
+// Star returns a star with one upper vertex connected to n lower
+// vertices: no butterflies at all, every bitruss number 0.
+func Star(n int) *bigraph.Graph {
+	var b bigraph.Builder
+	for v := 0; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,184 @@
+package tip
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/butterfly"
+	"repro/internal/testgraphs"
+)
+
+// naiveTip is a definition-based reference: peel to the (k+1)-tip
+// fixpoint with full recounting, for k = 0, 1, 2, ...
+func naiveTip(g *bigraph.Graph, upper bool) []int64 {
+	n := int32(g.NumVertices())
+	nl := int32(g.NumLower())
+	var lo, hi int32
+	if upper {
+		lo, hi = nl, n
+	} else {
+		lo, hi = 0, nl
+	}
+	theta := make([]int64, hi-lo)
+	alive := make([]bool, n)
+	for v := range alive {
+		alive[v] = true
+	}
+	remaining := int(hi - lo)
+	for k := int64(0); remaining > 0; k++ {
+		for {
+			counts := pairButterflies(g, lo, hi, alive)
+			removed := false
+			for i, c := range counts {
+				v := lo + int32(i)
+				if alive[v] && c < k+1 {
+					theta[i] = k
+					alive[v] = false
+					remaining--
+					removed = true
+				}
+			}
+			if !removed {
+				break
+			}
+		}
+	}
+	return theta
+}
+
+func randomGraph(nu, nl, m int, seed int64) *bigraph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var b bigraph.Builder
+	b.SetLayerSizes(nu, nl)
+	for i := 0; i < m; i++ {
+		b.AddEdge(rng.Intn(nu), rng.Intn(nl))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestFigure1TipNumbers(t *testing.T) {
+	g := testgraphs.Figure1()
+	res := Decompose(g, true)
+	// Authors u0..u3 participate in 2, 2, 3, 1 butterflies; peeling
+	// yields tip numbers 2, 2, 2, 1.
+	want := []int64{2, 2, 2, 1}
+	for u, w := range want {
+		if res.Theta[u] != w {
+			t.Errorf("θ(u%d) = %d, want %d", u, res.Theta[u], w)
+		}
+	}
+	if res.MaxTheta != 2 {
+		t.Errorf("MaxTheta = %d, want 2", res.MaxTheta)
+	}
+	if res.TotalButterflies != 4 {
+		t.Errorf("⋈G = %d, want 4", res.TotalButterflies)
+	}
+}
+
+func TestBloomClosedForm(t *testing.T) {
+	const k = 20
+	g := testgraphs.Bloom(k)
+	up := Decompose(g, true)
+	wantUp := int64(k * (k - 1) / 2)
+	for u, th := range up.Theta {
+		if th != wantUp {
+			t.Errorf("θ(u%d) = %d, want %d", u, th, wantUp)
+		}
+	}
+	low := Decompose(g, false)
+	for v, th := range low.Theta {
+		if th != k-1 {
+			t.Errorf("θ(v%d) = %d, want %d", v, th, k-1)
+		}
+	}
+}
+
+func TestCompleteBicliqueClosedForm(t *testing.T) {
+	a, b := 5, 6
+	g := testgraphs.CompleteBiclique(a, b)
+	res := Decompose(g, true)
+	want := int64(a-1) * int64(b*(b-1)/2)
+	for u, th := range res.Theta {
+		if th != want {
+			t.Errorf("θ(u%d) = %d, want %d", u, th, want)
+		}
+	}
+}
+
+func TestStarAllZero(t *testing.T) {
+	g := testgraphs.Star(30)
+	for _, upper := range []bool{true, false} {
+		res := Decompose(g, upper)
+		for v, th := range res.Theta {
+			if th != 0 {
+				t.Errorf("upper=%v: θ(%d) = %d, want 0", upper, v, th)
+			}
+		}
+	}
+}
+
+func TestAgainstNaiveRandom(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := randomGraph(12, 14, 90, seed)
+		for _, upper := range []bool{true, false} {
+			got := Decompose(g, upper)
+			want := naiveTip(g, upper)
+			for v := range want {
+				if got.Theta[v] != want[v] {
+					t.Errorf("seed %d upper=%v: θ(%d) = %d, want %d",
+						seed, upper, v, got.Theta[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestTotalButterfliesMatchesCounting(t *testing.T) {
+	g := randomGraph(25, 30, 300, 3)
+	res := Decompose(g, true)
+	if want := butterfly.Count(g); res.TotalButterflies != want {
+		t.Errorf("⋈G = %d, want %d", res.TotalButterflies, want)
+	}
+}
+
+func TestKTipVertices(t *testing.T) {
+	g := testgraphs.Figure1()
+	res := Decompose(g, true)
+	k2 := res.KTipVertices(2)
+	if len(k2) != 3 {
+		t.Fatalf("2-tip has %d vertices, want 3 (u0,u1,u2)", len(k2))
+	}
+	for _, v := range k2 {
+		if v == 3 {
+			t.Errorf("u3 must not be in the 2-tip")
+		}
+	}
+	if got := res.KTipVertices(res.MaxTheta + 1); len(got) != 0 {
+		t.Errorf("tip above MaxTheta must be empty, got %v", got)
+	}
+}
+
+func TestThetaNeverExceedsCount(t *testing.T) {
+	g := randomGraph(20, 25, 250, 9)
+	_, vcnt := butterfly.CountVertices(g)
+	res := Decompose(g, false)
+	for v, th := range res.Theta {
+		if th > vcnt[v] {
+			t.Errorf("θ(%d) = %d exceeds butterfly count %d", v, th, vcnt[v])
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	var b bigraph.Builder
+	g, _ := b.Build()
+	res := Decompose(g, true)
+	if len(res.Theta) != 0 || res.MaxTheta != 0 {
+		t.Errorf("non-trivial result on empty graph: %+v", res)
+	}
+}
