@@ -5,6 +5,7 @@
 package bitruss_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/bigraph"
@@ -95,7 +96,7 @@ func BenchmarkFig7UpdateHistogram(b *testing.B) {
 // sub-benchmark on the Github stand-in.
 func BenchmarkFig9AllAlgorithms(b *testing.B) {
 	g := buildDataset(b, "Github")
-	for _, a := range []core.Algorithm{core.BiTBS, core.BiTBU, core.BiTBUPlusPlus, core.BiTPC} {
+	for _, a := range []core.Algorithm{core.BiTBS, core.BiTBU, core.BiTBUPlusPlus, core.BiTPC, core.BiTBUPlusPlusParallel} {
 		b.Run(a.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				decompose(b, g, core.Options{Algorithm: a, Tau: 0.1})
@@ -158,6 +159,34 @@ func BenchmarkFig13BatchOpts(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				decompose(b, g, core.Options{Algorithm: a})
 			}
+		})
+	}
+}
+
+// BenchmarkParallelPeel measures the peel phase of the parallel BiT-BU++
+// range peeler against the serial BiT-BU++ peel on the largest generated
+// benchmark graph (the Wiki-en stand-in). The parallel figure counts
+// both phases — coarse range assignment and concurrent refinement — so
+// peel-speedup-x is directly the end-to-end peel-phase gain. Speedups
+// above 1 at multiple workers require a multi-core machine; the metric
+// is recorded rather than asserted so single-core CI stays green.
+func BenchmarkParallelPeel(b *testing.B) {
+	g := buildDataset(b, "Wiki-en")
+	// The serial peel time does not depend on the workers loop: measure
+	// the baseline once rather than inside every sub-benchmark.
+	serial := decompose(b, g, core.Options{Algorithm: core.BiTBUPlusPlus})
+	serialPeel := serial.Metrics.PeelTime.Seconds()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var speedup, peelMS float64
+			for i := 0; i < b.N; i++ {
+				par := decompose(b, g, core.Options{Algorithm: core.BiTBUPlusPlusParallel, Workers: w})
+				pp := par.Metrics.ExtractTime + par.Metrics.PeelTime
+				speedup += serialPeel / pp.Seconds()
+				peelMS += pp.Seconds() * 1000
+			}
+			b.ReportMetric(speedup/float64(b.N), "peel-speedup-x")
+			b.ReportMetric(peelMS/float64(b.N), "peel-ms")
 		})
 	}
 }

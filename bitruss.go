@@ -7,9 +7,10 @@
 // belongs to a k-bitruss — a maximal subgraph in which every edge is
 // contained in at least k butterflies ((2,2)-bicliques).
 //
-// Five algorithms are provided, from the combination-based baseline
-// BiT-BS to the BE-Index based BiT-BU/BiT-BU+/BiT-BU++ and the
-// progressive-compression BiT-PC, all producing identical results:
+// Six algorithms are provided, from the combination-based baseline
+// BiT-BS to the BE-Index based BiT-BU/BiT-BU+/BiT-BU++, the
+// progressive-compression BiT-PC, and the shared-memory parallel
+// BiT-BU++P, all producing identical results:
 //
 //	g, _ := bitruss.FromEdges([][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
 //	res, _ := bitruss.Decompose(g, bitruss.Options{Algorithm: bitruss.BUPlusPlus})

@@ -23,6 +23,11 @@ const (
 	// PC is BiT-PC, progressive compression; the strongest option on
 	// large graphs whose hub edges carry very high butterfly supports.
 	PC
+	// BUPlusPlusParallel is the shared-memory parallel BiT-BU++: it
+	// splits the bitruss-number domain into coarse support ranges and
+	// peels all ranges concurrently, producing output identical to
+	// BUPlusPlus. The strongest option on multi-core machines.
+	BUPlusPlusParallel
 )
 
 // String returns the paper's name for the algorithm.
@@ -40,13 +45,18 @@ func (a Algorithm) core() core.Algorithm {
 		return core.BiTBUPlusPlus
 	case PC:
 		return core.BiTPC
+	case BUPlusPlusParallel:
+		return core.BiTBUPlusPlusParallel
 	default:
 		return core.Algorithm(int(a))
 	}
 }
 
-// Algorithms lists every available algorithm in the paper's order.
-func Algorithms() []Algorithm { return []Algorithm{BS, BU, BUPlus, BUPlusPlus, PC} }
+// Algorithms lists every available algorithm, the paper's five in the
+// paper's order followed by the parallel extension.
+func Algorithms() []Algorithm {
+	return []Algorithm{BS, BU, BUPlus, BUPlusPlus, PC, BUPlusPlusParallel}
+}
 
 // DefaultTau is the default BiT-PC threshold decrement fraction.
 const DefaultTau = core.DefaultTau
@@ -63,8 +73,14 @@ type Options struct {
 	// edge support (ascending upper bounds; one overflow bucket is
 	// appended). Used to regenerate Figure 7.
 	HistogramBounds []int64
-	// Workers parallelises the counting phase when > 1.
+	// Workers parallelises the counting phase and the BE-Index build
+	// when > 1, and the whole peeling process for BUPlusPlusParallel
+	// (<= 0 selects GOMAXPROCS there).
 	Workers int
+	// Ranges is the number of coarse support ranges of the
+	// BUPlusPlusParallel peeler; 0 picks a default derived from Workers.
+	// Ignored by the other algorithms.
+	Ranges int
 	// Cancel, when non-nil, aborts the decomposition once closed;
 	// Decompose then returns ErrCancelled.
 	Cancel <-chan struct{}
@@ -77,14 +93,14 @@ var ErrCancelled = core.ErrCancelled
 type Metrics struct {
 	CountingTime time.Duration // butterfly counting
 	IndexTime    time.Duration // BE-Index construction (all iterations)
-	ExtractTime  time.Duration // BiT-PC candidate extraction
+	ExtractTime  time.Duration // BiT-PC candidate extraction; BU++P coarse range assignment
 	PeelTime     time.Duration // the peeling process
 	TotalTime    time.Duration
 
 	SupportUpdates       int64   // butterfly support updates performed
 	UpdatesByOrigSupport []int64 // optional Figure 7 histogram
 	PeakIndexBytes       int64   // largest resident BE-Index size
-	Iterations           int     // BiT-PC candidate iterations
+	Iterations           int     // BiT-PC candidate iterations; BU++P coarse ranges
 	KMax                 int64   // upper bound on the largest bitruss number
 	TotalButterflies     int64   // ⋈G
 }
@@ -109,6 +125,7 @@ func Decompose(g *Graph, opt Options) (*Result, error) {
 		Tau:             opt.Tau,
 		HistogramBounds: opt.HistogramBounds,
 		Workers:         opt.Workers,
+		Ranges:          opt.Ranges,
 		Cancel:          opt.Cancel,
 	})
 	if err != nil {

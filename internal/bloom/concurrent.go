@@ -1,0 +1,52 @@
+package bloom
+
+import "sync/atomic"
+
+// Concurrent read-only traversal primitives.
+//
+// The coarse-decomposition phase of the parallel peeler walks a freshly
+// built index from many goroutines at once without ever unlinking an
+// incidence: edge removal is modelled by an external "dead" bitmap and
+// supports are maintained with the atomic accessors below. As long as no
+// goroutine calls RemoveEdge/RemoveBatch/RemoveBatchEdgeOnly, the slot
+// segments, twin pointers and bloom numbers are immutable and may be read
+// concurrently.
+
+// IncidenceIDsOfEdge returns the live incidence ids of edge e as a
+// sub-slice of the index's slot storage. The caller must not modify it.
+// On a freshly built index this is the full construction-time segment.
+func (ix *Index) IncidenceIDsOfEdge(e int32) []int32 {
+	off := ix.edgeOff[e]
+	return ix.edgeSlots[off : off+ix.edgeLen[e]]
+}
+
+// IncidenceIDsOfBloom returns the live incidence ids of bloom b as a
+// sub-slice of the index's slot storage. The caller must not modify it.
+func (ix *Index) IncidenceIDsOfBloom(b int32) []int32 {
+	off := ix.bloomOff[b]
+	return ix.bloomSlots[off : off+ix.bloomLen[b]]
+}
+
+// IncidenceEdge returns the edge of incidence i.
+func (ix *Index) IncidenceEdge(i int32) int32 { return ix.incEdge[i] }
+
+// IncidenceBloom returns the bloom of incidence i.
+func (ix *Index) IncidenceBloom(i int32) int32 { return ix.incBloom[i] }
+
+// IncidenceTwin returns the twin incidence id of incidence i, or -1 when
+// the twin edge is not indexed (compressed indexes only).
+func (ix *Index) IncidenceTwin(i int32) int32 { return ix.incTwin[i] }
+
+// AddSupportAtomic adds delta to the support of edge e atomically and
+// returns the new value. It is the only support mutation that may race
+// with SupportAtomic readers; mixing it with the Remove* operations on
+// the same index is not safe.
+func (ix *Index) AddSupportAtomic(e int32, delta int64) int64 {
+	return atomic.AddInt64(&ix.sup[e], delta)
+}
+
+// SupportAtomic returns the support of edge e with an atomic load, for
+// readers racing with AddSupportAtomic writers.
+func (ix *Index) SupportAtomic(e int32) int64 {
+	return atomic.LoadInt64(&ix.sup[e])
+}

@@ -1,0 +1,76 @@
+package bloom
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/butterfly"
+	"repro/internal/gen"
+)
+
+// bigRandomGraph returns a graph above the parallelBuildMinVertices gate
+// so BuildParallel takes the parallel path.
+func bigRandomGraph(seed int64) *bigraph.Graph {
+	return randomGraph(1400, 1400, 9000, seed)
+}
+
+// TestBuildParallelIdentical: the parallel build must produce an index
+// that is field-for-field identical to the serial one — same bloom ids,
+// same incidence ids, same slot layout — not merely equivalent.
+func TestBuildParallelIdentical(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := bigRandomGraph(seed)
+		serial := Build(g)
+		for _, workers := range []int{2, 3, 8} {
+			par := BuildParallel(g, workers)
+			if err := par.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if err := par.CheckFreshSupports(); err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("seed %d workers %d: parallel index differs from serial", seed, workers)
+			}
+		}
+	}
+}
+
+// TestBuildParallelSkewed repeats the identity check on a Zipf graph,
+// whose hub vertices stress the work-balanced chunking.
+func TestBuildParallelSkewed(t *testing.T) {
+	g := gen.Zipf(2000, 2000, 12000, 1.4, 1.4, 5)
+	serial := Build(g)
+	par := BuildParallel(g, 4)
+	if err := par.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("parallel index differs from serial on skewed graph")
+	}
+}
+
+// TestBuildParallelSupports validates the recovered supports against the
+// independent counting algorithm.
+func TestBuildParallelSupports(t *testing.T) {
+	g := bigRandomGraph(11)
+	ix := BuildParallel(g, 4)
+	want := butterfly.EdgeSupports(g)
+	for e, s := range ix.Supports() {
+		if s != want[e] {
+			t.Fatalf("support of e%d = %d, want %d", e, s, want[e])
+		}
+	}
+}
+
+// TestBuildParallelSmallFallsBack: tiny graphs take the serial path and
+// still produce a valid, identical index.
+func TestBuildParallelSmallFallsBack(t *testing.T) {
+	g := randomGraph(20, 20, 120, 3)
+	serial := Build(g)
+	par := BuildParallel(g, 8)
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("fallback index differs from serial")
+	}
+}

@@ -135,6 +135,31 @@ func (q *Queue) PopMinBucket(buf []int32) ([]int32, int64) {
 	return buf, v
 }
 
+// PopBelow removes every queued item whose value is strictly below limit,
+// appending them to buf (which may be nil), and returns the extended
+// buffer. This is the bulk range-extraction primitive of the coarse
+// decomposition phase of the parallel peeler: where PopMinBucket drains
+// one support level, PopBelow drains a whole range in one call. The scan
+// pointer advances to limit, so successive calls with increasing limits
+// cost O(total bucket span + extracted) overall.
+func (q *Queue) PopBelow(limit int64, buf []int32) []int32 {
+	if limit > int64(len(q.head)) {
+		limit = int64(len(q.head))
+	}
+	for v := q.cur; v < limit; v++ {
+		for it := q.head[v]; it >= 0; it = q.head[v] {
+			q.unlink(it)
+			q.in[it] = false
+			q.size--
+			buf = append(buf, it)
+		}
+	}
+	if limit > q.cur {
+		q.cur = limit
+	}
+	return buf
+}
+
 // Update changes the value of a queued item, relocating it to the new
 // bucket. Updating an item that was already popped or removed is a no-op
 // so that peeling loops may update affected edges blindly.

@@ -5,6 +5,48 @@ import (
 	"testing"
 )
 
+func TestPopBelow(t *testing.T) {
+	q := New([]int64{5, 1, 3, 1, 0, 7})
+	got := q.PopBelow(2, nil)
+	want := map[int32]int64{1: 1, 3: 1, 4: 0}
+	if len(got) != len(want) {
+		t.Fatalf("PopBelow(2) returned %d items, want %d", len(got), len(want))
+	}
+	for _, it := range got {
+		if v, ok := want[it]; !ok || q.Value(it) != v {
+			t.Fatalf("PopBelow(2) returned item %d (value %d)", it, q.Value(it))
+		}
+		if q.Contains(it) {
+			t.Fatalf("item %d still queued after PopBelow", it)
+		}
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	// Nothing below the current minimum: no-op, buffer preserved.
+	if got2 := q.PopBelow(3, got[:0]); len(got2) != 0 {
+		t.Fatalf("PopBelow(3) returned %d items, want 0", len(got2))
+	}
+	// An update can move an item back below the scan pointer.
+	q.Update(5, 1)
+	if got3 := q.PopBelow(4, nil); len(got3) != 2 { // item 5 (now 1) and item 2 (3)
+		t.Fatalf("PopBelow(4) returned %v, want items 5 and 2", got3)
+	}
+	if q.MinValue() != 5 {
+		t.Fatalf("MinValue = %d, want 5", q.MinValue())
+	}
+	// A limit past the largest bucket drains the queue.
+	if got4 := q.PopBelow(100, nil); len(got4) != 1 || got4[0] != 0 {
+		t.Fatalf("PopBelow(100) = %v, want [0]", got4)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+	if got5 := q.PopBelow(100, nil); len(got5) != 0 {
+		t.Fatalf("PopBelow on empty queue returned %v", got5)
+	}
+}
+
 func TestPopMinOrder(t *testing.T) {
 	q := New([]int64{5, 1, 3, 1, 0})
 	wantOrder := []int64{0, 1, 1, 3, 5}

@@ -25,11 +25,12 @@ import (
 var ErrUsage = errors.New("cli: bad usage")
 
 var algoNames = map[string]core.Algorithm{
-	"bs":   core.BiTBS,
-	"bu":   core.BiTBU,
-	"bu+":  core.BiTBUPlus,
-	"bu++": core.BiTBUPlusPlus,
-	"pc":   core.BiTPC,
+	"bs":    core.BiTBS,
+	"bu":    core.BiTBU,
+	"bu+":   core.BiTBUPlus,
+	"bu++":  core.BiTBUPlusPlus,
+	"bu++p": core.BiTBUPlusPlusParallel,
+	"pc":    core.BiTPC,
 }
 
 // Bitruss implements the `bitruss` tool: decompose a graph file and
@@ -39,9 +40,10 @@ func Bitruss(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	input := fs.String("input", "", "input graph file (required)")
 	oneBased := fs.Bool("one-based", false, "treat text vertex ids as 1-based (KONECT)")
-	algo := fs.String("algo", "bu++", "algorithm: bs, bu, bu+, bu++, pc")
+	algo := fs.String("algo", "bu++", "algorithm: bs, bu, bu+, bu++, bu++p, pc")
 	tau := fs.Float64("tau", 0, "BiT-PC threshold decrement fraction (0 = default)")
-	workers := fs.Int("workers", 0, "parallel counting workers (0 = serial)")
+	workers := fs.Int("workers", 0, "parallel workers for counting/index build and the bu++p peeler (0 = serial; bu++p then uses GOMAXPROCS)")
+	ranges := fs.Int("ranges", 0, "coarse support ranges of the bu++p peeler (0 = derived from -workers)")
 	output := fs.String("output", "", "write per-edge 'u v phi' lines here ('-' = stdout)")
 	summary := fs.Bool("summary", true, "print the decomposition summary")
 	if err := fs.Parse(args); err != nil {
@@ -60,7 +62,7 @@ func Bitruss(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Decompose(g, core.Options{Algorithm: a, Tau: *tau, Workers: *workers})
+	res, err := core.Decompose(g, core.Options{Algorithm: a, Tau: *tau, Workers: *workers, Ranges: *ranges})
 	if err != nil {
 		return err
 	}
@@ -73,10 +75,13 @@ func Bitruss(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "max support: %d\n", res.MaxSupport)
 		fmt.Fprintf(stdout, "max bitruss: %d\n", res.MaxPhi)
 		fmt.Fprintf(stdout, "updates    : %d\n", m.SupportUpdates)
-		fmt.Fprintf(stdout, "time       : total=%v counting=%v index=%v peel=%v\n",
-			m.TotalTime, m.CountingTime, m.IndexTime, m.PeelTime)
+		fmt.Fprintf(stdout, "time       : total=%v counting=%v index=%v extract=%v peel=%v\n",
+			m.TotalTime, m.CountingTime, m.IndexTime, m.ExtractTime, m.PeelTime)
 		if a == core.BiTPC {
 			fmt.Fprintf(stdout, "iterations : %d (kmax=%d)\n", m.Iterations, m.KMax)
+		}
+		if a == core.BiTBUPlusPlusParallel {
+			fmt.Fprintf(stdout, "ranges     : %d (kmax=%d)\n", m.Iterations, m.KMax)
 		}
 		if m.PeakIndexBytes > 0 {
 			fmt.Fprintf(stdout, "index size : %.2f MB\n", float64(m.PeakIndexBytes)/(1<<20))

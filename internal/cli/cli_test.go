@@ -116,6 +116,45 @@ func TestBitrussToStdout(t *testing.T) {
 	}
 }
 
+// TestBitrussParallelAlgo: the bu++p selector with explicit workers and
+// ranges produces the same φ file as serial bu++.
+func TestBitrussParallelAlgo(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.txt")
+	serialPath := filepath.Join(dir, "serial.txt")
+	parallelPath := filepath.Join(dir, "parallel.txt")
+	var out, errw bytes.Buffer
+	err := BGGen([]string{
+		"-model", "zipf", "-nu", "60", "-nl", "70", "-m", "900", "-seed", "3", "-out", graphPath,
+	}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := Bitruss([]string{"-input", graphPath, "-algo", "bu++", "-output", serialPath, "-summary=false"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if err := Bitruss([]string{
+		"-input", graphPath, "-algo", "bu++p", "-workers", "4", "-ranges", "6", "-output", parallelPath,
+	}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BiT-BU++P") || !strings.Contains(out.String(), "ranges") {
+		t.Errorf("bu++p summary missing algorithm line:\n%s", out.String())
+	}
+	serial, err := os.ReadFile(serialPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := os.ReadFile(parallelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(serial) != string(parallel) {
+		t.Errorf("bu++p φ file differs from bu++")
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	var out, errw bytes.Buffer
 	cases := []struct {

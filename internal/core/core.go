@@ -35,6 +35,11 @@ const (
 	// BiTPC processes hub edges inside progressively relaxed candidate
 	// subgraphs with compressed BE-Indexes.
 	BiTPC
+	// BiTBUPlusPlusParallel is the shared-memory parallel BiT-BU++: a
+	// RECEIPT-style two-phase peeler that partitions edges into coarse
+	// support ranges and refines all ranges concurrently (extension;
+	// identical output to BiTBUPlusPlus).
+	BiTBUPlusPlusParallel
 )
 
 // String returns the paper's name for the algorithm.
@@ -50,6 +55,8 @@ func (a Algorithm) String() string {
 		return "BiT-BU++"
 	case BiTPC:
 		return "BiT-PC"
+	case BiTBUPlusPlusParallel:
+		return "BiT-BU++P"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -72,9 +79,16 @@ type Options struct {
 	// *original* support is <= HistogramBounds[i] (ascending); one
 	// overflow bucket is appended.
 	HistogramBounds []int64
-	// Workers parallelises the counting phase when > 1 (extension; the
-	// decomposition itself is sequential as in the paper).
+	// Workers parallelises the decomposition (extension). For BiTBS and
+	// BiTPC it parallelises the counting phase when > 1; for the BE-Index
+	// algorithms it parallelises the index construction (which fuses the
+	// counting); for BiTBUPlusPlusParallel it additionally drives both
+	// peeling phases (<= 0 selects GOMAXPROCS there).
 	Workers int
+	// Ranges is the number of coarse support ranges of the
+	// BiTBUPlusPlusParallel peeler; 0 picks a default derived from
+	// Workers. Ignored by the other algorithms.
+	Ranges int
 	// Cancel, when non-nil, aborts the decomposition once closed;
 	// Decompose then returns ErrCancelled. The experiment harness uses
 	// it to enforce per-run time budgets (the paper terminates
@@ -116,7 +130,7 @@ func (c *canceller) hit() bool {
 type Metrics struct {
 	CountingTime time.Duration // the counting process (Figure 5)
 	IndexTime    time.Duration // BE-Index construction, all iterations
-	ExtractTime  time.Duration // BiT-PC candidate extraction + recount
+	ExtractTime  time.Duration // BiT-PC candidate extraction + recount; BiT-BU++P coarse range assignment
 	PeelTime     time.Duration // the peeling process (Figure 5)
 	TotalTime    time.Duration
 
@@ -131,7 +145,7 @@ type Metrics struct {
 	// zero for BiT-BS.
 	PeakIndexBytes int64
 
-	Iterations       int   // candidate iterations (BiT-PC; 1 otherwise)
+	Iterations       int   // candidate iterations (BiT-PC) or coarse ranges (BiT-BU++P); 1 otherwise
 	KMax             int64 // largest possible bitruss number bound
 	TotalButterflies int64 // ⋈G
 }
@@ -172,6 +186,8 @@ func Decompose(g *bigraph.Graph, opt Options) (*Result, error) {
 		res, err = runBS(g, opt)
 	case BiTBU, BiTBUPlus, BiTBUPlusPlus:
 		res, err = runBU(g, opt)
+	case BiTBUPlusPlusParallel:
+		res, err = runBUParallel(g, opt)
 	case BiTPC:
 		res, err = runPC(g, opt)
 	default:
@@ -226,6 +242,15 @@ func (a *accounting) record(e int32) {
 		}
 	}
 	a.hist[len(a.bounds)]++
+}
+
+// mergeFrom folds another accounting over the same bounds into a; the
+// parallel peeler gives each worker a private accounting and merges them.
+func (a *accounting) mergeFrom(b *accounting) {
+	a.updates += b.updates
+	for i := range b.hist {
+		a.hist[i] += b.hist[i]
+	}
 }
 
 func (a *accounting) fill(m *Metrics) {

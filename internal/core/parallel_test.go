@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/testgraphs"
+)
+
+var parallelWorkerCounts = []int{1, 2, 8}
+
+func decomposeParallel(t *testing.T, g *bigraph.Graph, workers, ranges int) *Result {
+	t.Helper()
+	res, err := Decompose(g, Options{Algorithm: BiTBUPlusPlusParallel, Workers: workers, Ranges: ranges})
+	if err != nil {
+		t.Fatalf("BiT-BU++P workers=%d ranges=%d: %v", workers, ranges, err)
+	}
+	return res
+}
+
+func assertSamePhi(t *testing.T, label string, got, want []int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: |Phi| = %d, want %d", label, len(got), len(want))
+	}
+	for e := range want {
+		if got[e] != want[e] {
+			t.Errorf("%s: φ(e%d) = %d, want %d", label, e, got[e], want[e])
+		}
+	}
+}
+
+func TestParallelFigure1(t *testing.T) {
+	g := testgraphs.Figure1()
+	want := testgraphs.Figure1Bitruss()
+	for _, w := range parallelWorkerCounts {
+		res := decomposeParallel(t, g, w, 0)
+		for pair, phi := range want {
+			e := g.EdgeID(int32(g.NumLower()+pair[0]), int32(pair[1]))
+			if got := res.Phi[e]; got != phi {
+				t.Errorf("workers=%d: φ(u%d,v%d) = %d, want %d", w, pair[0], pair[1], got, phi)
+			}
+		}
+		if res.Metrics.TotalButterflies != 4 {
+			t.Errorf("workers=%d: ⋈G = %d, want 4", w, res.Metrics.TotalButterflies)
+		}
+	}
+}
+
+func TestParallelClosedForms(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *bigraph.Graph
+		phi  int64
+	}{
+		{"K(4,5)", testgraphs.CompleteBiclique(4, 5), 12},
+		{"K(3,3)", testgraphs.CompleteBiclique(3, 3), 4},
+		{"K(6,6)", testgraphs.CompleteBiclique(6, 6), 25},
+		{"Bloom(10)", testgraphs.Bloom(10), 9},
+		{"Bloom(64)", testgraphs.Bloom(64), 63},
+		{"Star(20)", testgraphs.Star(20), 0},
+	}
+	for _, c := range cases {
+		for _, w := range parallelWorkerCounts {
+			res := decomposeParallel(t, c.g, w, 0)
+			for e := range res.Phi {
+				if res.Phi[e] != c.phi {
+					t.Errorf("%s workers=%d: φ(e%d) = %d, want %d", c.name, w, e, res.Phi[e], c.phi)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSerialAndNaive cross-validates the parallel peeler
+// against serial BiT-BU++ and the definition-based decomposition on
+// small random graphs, for every worker count.
+func TestParallelMatchesSerialAndNaive(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := randomGraph(10, 12, 70, seed)
+		naive := NaiveDecompose(g)
+		serial := decompose(t, g, BiTBUPlusPlus)
+		assertSamePhi(t, "serial vs naive", serial.Phi, naive)
+		for _, w := range parallelWorkerCounts {
+			res := decomposeParallel(t, g, w, 0)
+			assertSamePhi(t, "parallel vs serial", res.Phi, serial.Phi)
+		}
+	}
+}
+
+// TestParallelMediumRandom checks bit-identical φ against serial
+// BiT-BU++ on denser graphs across worker and range counts, including
+// degenerate single-range and oversized range settings.
+func TestParallelMediumRandom(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := randomGraph(60, 80, 1500, seed)
+		serial := decompose(t, g, BiTBUPlusPlus)
+		for _, w := range parallelWorkerCounts {
+			for _, r := range []int{0, 1, 3, 200} {
+				res := decomposeParallel(t, g, w, r)
+				assertSamePhi(t, "parallel vs serial", res.Phi, serial.Phi)
+			}
+		}
+	}
+}
+
+// TestParallelSkewed exercises the hub-heavy worst case of Figure 2(a)
+// and the bloom-chain family, where range boundaries cut through large
+// blooms.
+func TestParallelSkewed(t *testing.T) {
+	graphs := []*bigraph.Graph{
+		testgraphs.Figure2a(24),
+		testgraphs.Bloom1001(),
+	}
+	for _, g := range graphs {
+		serial := decompose(t, g, BiTBUPlusPlus)
+		for _, w := range parallelWorkerCounts {
+			res := decomposeParallel(t, g, w, 0)
+			assertSamePhi(t, "parallel vs serial", res.Phi, serial.Phi)
+			if res.MaxPhi != serial.MaxPhi {
+				t.Errorf("workers=%d: MaxPhi = %d, want %d", w, res.MaxPhi, serial.MaxPhi)
+			}
+		}
+	}
+}
+
+func TestParallelEmptyAndTiny(t *testing.T) {
+	var b bigraph.Builder
+	b.SetLayerSizes(3, 4)
+	empty, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []*bigraph.Graph{empty, testgraphs.Star(1), testgraphs.Bloom(2)} {
+		serial := decompose(t, g, BiTBUPlusPlus)
+		for _, w := range parallelWorkerCounts {
+			res := decomposeParallel(t, g, w, 0)
+			assertSamePhi(t, "parallel vs serial", res.Phi, serial.Phi)
+		}
+	}
+}
+
+func TestParallelCancel(t *testing.T) {
+	g := randomGraph(60, 80, 1500, 1)
+	ch := make(chan struct{})
+	close(ch)
+	_, err := Decompose(g, Options{Algorithm: BiTBUPlusPlusParallel, Workers: 2, Cancel: ch})
+	if err != ErrCancelled {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+}
+
+// TestParallelHistogram checks that the Figure 7 histogram of the
+// parallel peeler accounts every support update, like the serial one.
+func TestParallelHistogram(t *testing.T) {
+	g := randomGraph(40, 50, 900, 7)
+	bounds := []int64{2, 5, 10}
+	res := decomposeParallel(t, g, 4, 0)
+	resH, err := Decompose(g, Options{
+		Algorithm: BiTBUPlusPlusParallel, Workers: 4, HistogramBounds: bounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePhi(t, "with vs without histogram", resH.Phi, res.Phi)
+	var histSum int64
+	for _, h := range resH.Metrics.UpdatesByOrigSupport {
+		histSum += h
+	}
+	if histSum != resH.Metrics.SupportUpdates {
+		t.Errorf("histogram sums to %d, SupportUpdates = %d", histSum, resH.Metrics.SupportUpdates)
+	}
+	if len(resH.Metrics.UpdatesByOrigSupport) != len(bounds)+1 {
+		t.Errorf("histogram has %d buckets, want %d", len(resH.Metrics.UpdatesByOrigSupport), len(bounds)+1)
+	}
+}

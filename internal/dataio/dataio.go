@@ -43,9 +43,14 @@ func ReadText(r io.Reader, opt TextOptions) (*bigraph.Graph, error) {
 		text := strings.TrimSpace(sc.Text())
 		if text == "" || strings.HasPrefix(text, "%") || strings.HasPrefix(text, "#") {
 			// Honour the layer-size hint WriteText emits so that graphs
-			// with trailing isolated vertices round-trip exactly.
-			var nu, nl int
-			if n, _ := fmt.Sscanf(text, "%% bipartite graph |U|=%d |L|=%d", &nu, &nl); n == 2 {
+			// with trailing isolated vertices round-trip exactly. Both
+			// '%' (KONECT) and '#' comments may carry it; a half or
+			// unparsable hint is a format error rather than a silent skip.
+			nu, nl, found, err := parseLayerHint(text)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, line, err)
+			}
+			if found {
 				b.SetLayerSizes(nu, nl)
 			}
 			continue
@@ -75,6 +80,46 @@ func ReadText(r io.Reader, opt TextOptions) (*bigraph.Graph, error) {
 		return nil, err
 	}
 	return b.Build()
+}
+
+// parseLayerHint extracts the "|U|=n |L|=n" layer-size hint from a
+// comment line. A comment carrying both markers is a hint and must
+// parse — malformed values are reported, not silently skipped. A lone
+// marker only counts as a (truncated, hence malformed) hint when the
+// comment also carries the "bipartite graph" header phrase WriteText
+// emits; in ordinary prose it is ignored, so third-party headers that
+// merely mention |U|= stay loadable.
+func parseLayerHint(text string) (nu, nl int, found bool, err error) {
+	iu := strings.Index(text, "|U|=")
+	il := strings.Index(text, "|L|=")
+	if iu < 0 && il < 0 {
+		return 0, 0, false, nil
+	}
+	if iu < 0 || il < 0 {
+		if strings.Contains(text, "bipartite graph") {
+			return 0, 0, false, fmt.Errorf("layer-size hint %q needs both |U|= and |L|=", text)
+		}
+		return 0, 0, false, nil
+	}
+	if nu, err = leadingInt(text[iu+len("|U|="):]); err != nil {
+		return 0, 0, false, fmt.Errorf("layer-size hint %q: bad |U|: %v", text, err)
+	}
+	if nl, err = leadingInt(text[il+len("|L|="):]); err != nil {
+		return 0, 0, false, fmt.Errorf("layer-size hint %q: bad |L|: %v", text, err)
+	}
+	return nu, nl, true, nil
+}
+
+// leadingInt parses the decimal digits prefixing s.
+func leadingInt(s string) (int, error) {
+	n := 0
+	for n < len(s) && s[n] >= '0' && s[n] <= '9' {
+		n++
+	}
+	if n == 0 {
+		return 0, errors.New("missing number")
+	}
+	return strconv.Atoi(s[:n])
 }
 
 // WriteText writes g as an edge list, one "u v" pair per line with

@@ -59,6 +59,81 @@ func TestTextCommentsAndBlankLines(t *testing.T) {
 	}
 }
 
+// TestLayerHintVariants: the |U|/|L| hint must work on both comment
+// styles and independent of the surrounding prose; malformed hints are
+// format errors, not silent skips.
+func TestLayerHintVariants(t *testing.T) {
+	good := []string{
+		"% bipartite graph |U|=5 |L|=7 |E|=1\n0 0\n",
+		"# bipartite graph |U|=5 |L|=7\n0 0\n",
+		"# exported shape: |U|=5, |L|=7 (see docs)\n0 0\n",
+		"%|U|=5 |L|=7\n0 0\n",
+	}
+	for _, in := range good {
+		g, err := ReadText(strings.NewReader(in), TextOptions{})
+		if err != nil {
+			t.Errorf("input %q: %v", in, err)
+			continue
+		}
+		if g.NumUpper() != 5 || g.NumLower() != 7 {
+			t.Errorf("input %q: layers (%d,%d), want (5,7)", in, g.NumUpper(), g.NumLower())
+		}
+	}
+	bad := []string{
+		"% bipartite graph |U|=5\n0 0\n",       // truncated header
+		"# bipartite graph |L|=7\n0 0\n",       // the other half
+		"% bipartite graph |U|=x |L|=7\n0 0\n", // bad number
+		"# bipartite graph |U|=5 |L|=\n0 0\n",  // missing number
+		"# shape: |U|=x |L|=y\n0 0\n",          // both markers, prose values
+	}
+	for _, in := range bad {
+		if _, err := ReadText(strings.NewReader(in), TextOptions{}); !errors.Is(err, ErrFormat) {
+			t.Errorf("input %q: error = %v, want ErrFormat", in, err)
+		}
+	}
+	// Comments that merely mention a marker in prose are not hints.
+	prose := []string{
+		"% just a note\n0 0\n",
+		"# legend: |U|= upper layer\n0 0\n",
+		"% see |L|=lower for details\n0 0\n",
+	}
+	for _, in := range prose {
+		g, err := ReadText(strings.NewReader(in), TextOptions{})
+		if err != nil || g.NumUpper() != 1 || g.NumLower() != 1 {
+			t.Errorf("prose comment %q mis-handled: %v %v", in, g, err)
+		}
+	}
+}
+
+// TestLayerHintRoundTrip: graphs with trailing isolated vertices survive
+// a write/read cycle through the emitted hint.
+func TestLayerHintRoundTrip(t *testing.T) {
+	var b bigraph.Builder
+	b.SetLayerSizes(9, 11) // only vertices (0,0)..(2,2) get edges
+	b.AddEdge(0, 0)
+	b.AddEdge(1, 1)
+	b.AddEdge(2, 2)
+	b.AddEdge(1, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, oneBased := range []bool{false, true} {
+		var buf bytes.Buffer
+		opt := TextOptions{OneBased: oneBased}
+		if err := WriteText(&buf, g, opt); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadText(&buf, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameGraph(g, got) {
+			t.Errorf("oneBased=%v: round trip lost the layer sizes: %v -> %v", oneBased, g, got)
+		}
+	}
+}
+
 func TestTextMalformed(t *testing.T) {
 	cases := []string{
 		"1\n",

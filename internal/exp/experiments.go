@@ -10,9 +10,10 @@ import (
 	"repro/internal/core"
 )
 
-// Names lists the runnable experiments in the paper's order.
+// Names lists the runnable experiments: the paper's tables and figures
+// in the paper's order, then the extension experiments.
 func Names() []string {
-	return []string{"table2", "fig5", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
+	return []string{"table2", "fig5", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "scaleup"}
 }
 
 // harnessTau is the τ the harness passes to BiT-PC outside the Figure 14
@@ -52,6 +53,8 @@ func Run(name string, cfg Config) error {
 		return RunFig13(cfg)
 	case "fig14":
 		return RunFig14(cfg)
+	case "scaleup":
+		return RunScaleup(cfg)
 	default:
 		return fmt.Errorf("exp: unknown experiment %q (want one of %v or all)", name, Names())
 	}
@@ -321,6 +324,58 @@ func RunFig14(cfg Config) error {
 	ta.write(cfg.Out)
 	fmt.Fprintln(cfg.Out, "\n(b) Number of updates")
 	tb.write(cfg.Out)
+	return nil
+}
+
+// RunScaleup is an extension experiment with no paper counterpart: the
+// peel-phase scaling of the parallel BiT-BU++ (the RECEIPT-style
+// two-phase range peeler) against the serial peel, on the representative
+// datasets. The parallel peel column counts both phases — the coarse
+// range assignment and the concurrent per-range refinement.
+func RunScaleup(cfg Config) error {
+	section(cfg.Out, "Scale-up: parallel BiT-BU++ peel phase (extension)")
+	workerCounts := []int{1, 2, 4, 8}
+	header := []string{"Dataset", "BU++ peel"}
+	for _, w := range workerCounts {
+		header = append(header, fmt.Sprintf("P@%d", w))
+	}
+	header = append(header, "speedup@8")
+	t := newTable(header...)
+	for _, d := range Representative() {
+		g := d.Build(cfg.scale())
+		base, err := run(g, core.Options{Algorithm: core.BiTBUPlusPlus}, cfg.Timeout)
+		if err != nil {
+			return err
+		}
+		row := []string{d.Name}
+		if base.timedOut {
+			row = append(row, "INF")
+		} else {
+			row = append(row, fmtDuration(base.res.Metrics.PeelTime))
+		}
+		var last time.Duration
+		for _, w := range workerCounts {
+			out, err := run(g, core.Options{Algorithm: core.BiTBUPlusPlusParallel, Workers: w}, cfg.Timeout)
+			if err != nil {
+				return err
+			}
+			if out.timedOut {
+				row = append(row, "INF")
+				last = 0
+				continue
+			}
+			peel := out.res.Metrics.ExtractTime + out.res.Metrics.PeelTime
+			row = append(row, fmtDuration(peel))
+			last = peel
+		}
+		if base.timedOut || last <= 0 {
+			row = append(row, "-")
+		} else {
+			row = append(row, fmt.Sprintf("%.2fx", base.res.Metrics.PeelTime.Seconds()/last.Seconds()))
+		}
+		t.add(row...)
+	}
+	t.write(cfg.Out)
 	return nil
 }
 
