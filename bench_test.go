@@ -7,11 +7,14 @@ package bitruss_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/bigraph"
 	"repro/internal/butterfly"
+	"repro/internal/community"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/gen"
 )
 
 // benchScale keeps every dataset small enough for `go test -bench=.`
@@ -189,6 +192,78 @@ func BenchmarkParallelPeel(b *testing.B) {
 			b.ReportMetric(peelMS/float64(b.N), "peel-ms")
 		})
 	}
+}
+
+// BenchmarkCommunityQuery compares the legacy per-query community
+// extraction (one union-find pass over all edges per call) against the
+// precomputed level-indexed hierarchy, sweeping queries across >= 20
+// bitruss levels of a ~50k-edge skewed graph. "legacy" and "indexed"
+// time one full sweep each; "speedup" times both back to back and
+// reports the ratio directly (the index build is a one-off, measured
+// by "build").
+func BenchmarkCommunityQuery(b *testing.B) {
+	g := gen.Zipf(4000, 4000, 60000, 1.25, 1.25, 42)
+	res := decompose(b, g, core.Options{Algorithm: core.BiTBUPlusPlus, Workers: 4})
+	levels := community.Levels(res.Phi)
+	// Up to 20 query levels spread evenly across the populated range.
+	const maxQueries = 20
+	var qs []int64
+	if len(levels) <= maxQueries {
+		qs = levels
+	} else {
+		for i := 0; i < maxQueries; i++ {
+			qs = append(qs, levels[i*len(levels)/maxQueries])
+		}
+	}
+	b.Logf("|E|=%d, %d populated levels, %d query levels", g.NumEdges(), len(levels), len(qs))
+
+	legacySweep := func() int {
+		total := 0
+		for _, k := range qs {
+			total += len(community.Communities(g, res.Phi, k))
+		}
+		return total
+	}
+	ix := community.NewIndex(g, res.Phi)
+	indexedSweep := func() int {
+		total := 0
+		for _, k := range qs {
+			total += len(ix.Communities(k))
+		}
+		return total
+	}
+	if legacySweep() != indexedSweep() {
+		b.Fatal("indexed sweep disagrees with legacy sweep")
+	}
+
+	b.Run("legacy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			legacySweep()
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			indexedSweep()
+		}
+	})
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			community.NewIndex(g, res.Phi)
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		var speedup float64
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			legacySweep()
+			tl := time.Since(t0)
+			t1 := time.Now()
+			indexedSweep()
+			ti := time.Since(t1)
+			speedup += tl.Seconds() / ti.Seconds()
+		}
+		b.ReportMetric(speedup/float64(b.N), "speedup-x")
+	})
 }
 
 // BenchmarkFig14TauSweep regenerates Figure 14: BiT-PC at several τ.

@@ -1,0 +1,23 @@
+// Command bitserved is the long-running HTTP JSON front end of the
+// resident bitruss query engine: it keeps decomposed datasets and
+// their community hierarchy indexes in memory and answers φ, k-bitruss
+// and community queries concurrently while further datasets decompose
+// in the background. See the README for the endpoint reference.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	err := cli.Serve(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "bitserved:", err)
+		os.Exit(1)
+	}
+}

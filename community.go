@@ -28,9 +28,11 @@ type CommunityNode struct {
 }
 
 // KBitruss returns the k-bitruss of the decomposed graph as a new Graph
-// together with the mapping from its edge ids to the original ones.
+// together with the mapping from its edge ids to the original ones. It
+// is answered from the shared hierarchy index, touching only the
+// answer's edges.
 func (r *Result) KBitruss(k int64) (*Graph, []int) {
-	sub := community.KBitruss(r.g.g, r.Phi, k)
+	sub := r.index().KBitruss(k)
 	parent := make([]int, len(sub.ParentEdge))
 	for i, p := range sub.ParentEdge {
 		parent[i] = int(p)
@@ -39,9 +41,10 @@ func (r *Result) KBitruss(k int64) (*Graph, []int) {
 }
 
 // Communities returns the connected components of the k-bitruss,
-// largest first.
+// largest first. It is answered from the shared hierarchy index in
+// O(answer·log answer) — no per-call union-find over all edges.
 func (r *Result) Communities(k int64) []Community {
-	out := community.Communities(r.g.g, r.Phi, k)
+	out := r.index().Communities(k)
 	res := make([]Community, len(out))
 	for i := range out {
 		res[i] = r.toPublic(&out[i])
@@ -49,14 +52,59 @@ func (r *Result) Communities(k int64) []Community {
 	return res
 }
 
+// TopCommunities returns the n largest communities of the k-bitruss
+// (all of them when n is negative or exceeds the count), materialising
+// only those n.
+func (r *Result) TopCommunities(k int64, n int) []Community {
+	out := r.index().TopCommunities(k, n)
+	res := make([]Community, len(out))
+	for i := range out {
+		res[i] = r.toPublic(&out[i])
+	}
+	return res
+}
+
+// NumCommunities returns the number of connected components of the
+// k-bitruss without materialising them.
+func (r *Result) NumCommunities(k int64) int { return r.index().NumCommunities(k) }
+
+// CommunityOfUpper returns the community of the k-bitruss containing
+// upper-layer vertex u, or false when u has no edge with bitruss
+// number >= k.
+func (r *Result) CommunityOfUpper(u int, k int64) (Community, bool) {
+	if u < 0 || u >= r.g.NumUpper() {
+		return Community{}, false
+	}
+	return r.communityOf(int32(r.g.g.NumLower()+u), k)
+}
+
+// CommunityOfLower returns the community of the k-bitruss containing
+// lower-layer vertex v, or false when v has no edge with bitruss
+// number >= k.
+func (r *Result) CommunityOfLower(v int, k int64) (Community, bool) {
+	if v < 0 || v >= r.g.NumLower() {
+		return Community{}, false
+	}
+	return r.communityOf(int32(v), k)
+}
+
+func (r *Result) communityOf(global int32, k int64) (Community, bool) {
+	c, ok := r.index().CommunityOfVertex(global, k)
+	if !ok {
+		return Community{}, false
+	}
+	return r.toPublic(&c), true
+}
+
 // Levels returns the distinct bitruss numbers present, ascending.
-func (r *Result) Levels() []int64 { return community.Levels(r.Phi) }
+func (r *Result) Levels() []int64 { return r.index().Levels() }
 
 // Hierarchy returns the nested community forest across all populated
 // bitruss levels: each node's children are the next-level communities
-// contained in it (the paper's "nested research groups" view).
+// contained in it (the paper's "nested research groups" view). It is
+// answered from the shared hierarchy index.
 func (r *Result) Hierarchy() []*CommunityNode {
-	roots := community.BuildHierarchy(r.g.g, r.Phi)
+	roots := r.index().Hierarchy()
 	out := make([]*CommunityNode, len(roots))
 	for i, n := range roots {
 		out[i] = r.toPublicNode(n)

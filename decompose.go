@@ -1,8 +1,12 @@
 package bitruss
 
 import (
+	"context"
+	"errors"
+	"sync"
 	"time"
 
+	"repro/internal/community"
 	"repro/internal/core"
 )
 
@@ -106,6 +110,12 @@ type Metrics struct {
 }
 
 // Result is a completed bitruss decomposition of one Graph.
+//
+// Community-level queries (Communities, KBitruss, Levels, Hierarchy,
+// CommunityOfUpper/Lower, TopCommunities) share one lazily built
+// level-indexed hierarchy index: the first such call pays O(E·α + E·log E)
+// once, every later call costs time proportional to its answer. A
+// Result and its index are safe for concurrent use.
 type Result struct {
 	g *Graph
 	// Phi is the bitruss number of every edge, indexed by edge id.
@@ -116,6 +126,18 @@ type Result struct {
 	MaxSupport int64
 	// Metrics is the cost breakdown.
 	Metrics Metrics
+
+	idxOnce sync.Once
+	idx     *community.Index
+}
+
+// index returns the shared community hierarchy index, building it on
+// first use.
+func (r *Result) index() *community.Index {
+	r.idxOnce.Do(func() {
+		r.idx = community.NewIndex(r.g.g, r.Phi)
+	})
+	return r.idx
 }
 
 // Decompose computes the bitruss number of every edge of g.
@@ -150,6 +172,40 @@ func Decompose(g *Graph, opt Options) (*Result, error) {
 			TotalButterflies:     res.Metrics.TotalButterflies,
 		},
 	}, nil
+}
+
+// DecomposeContext is Decompose with request-scoped cancellation: the
+// context's cancellation is mapped onto Options.Cancel so it propagates
+// into the peeling loops. When the context caused the abort, the
+// context's error is returned instead of ErrCancelled, so callers (and
+// HTTP handlers) can distinguish deadline from explicit cancellation.
+func DecomposeContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
+	if ctx != nil && ctx.Done() != nil {
+		if opt.Cancel == nil {
+			opt.Cancel = ctx.Done()
+		} else {
+			// Both a context and a Cancel channel: merge them.
+			merged := make(chan struct{})
+			stop := make(chan struct{})
+			defer close(stop)
+			orig := opt.Cancel
+			go func() {
+				select {
+				case <-ctx.Done():
+					close(merged)
+				case <-orig:
+					close(merged)
+				case <-stop:
+				}
+			}()
+			opt.Cancel = merged
+		}
+	}
+	res, err := Decompose(g, opt)
+	if errors.Is(err, ErrCancelled) && ctx != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return res, err
 }
 
 // Graph returns the graph this result was computed on.

@@ -40,7 +40,9 @@ func main() {
 	}
 
 	// The k-bitrusses form a hierarchy: every level is a subgraph of
-	// the previous one (Figure 4 of the paper).
+	// the previous one (Figure 4 of the paper). Levels and Communities
+	// are answered from a hierarchy index built once on first use, so
+	// sweeping every level costs time proportional to the output.
 	fmt.Println("\ncohesive groups at each level:")
 	for _, k := range res.Levels() {
 		for _, c := range res.Communities(k) {

@@ -57,9 +57,37 @@ func main() {
 
 	fmt.Printf("%d authors, %d papers, %d authorship edges\n\n",
 		g.NumUpper(), g.NumLower(), g.NumEdges())
+
+	// Hierarchy, Communities and CommunityOf all share one precomputed
+	// hierarchy index, so walking the forest and then issuing member
+	// lookups does not re-run union-find per call.
 	fmt.Println("nested research groups (deeper = more cohesive):")
 	for _, root := range res.Hierarchy() {
 		printNode(root, 0)
+	}
+
+	// Point lookups: which group does each person belong to at the
+	// most cohesive level they reach?
+	fmt.Println("\nmost cohesive group of each author:")
+	for a, name := range authors {
+		var best bitruss.Community
+		found := false
+		for _, k := range res.Levels() {
+			if c, ok := res.CommunityOfUpper(a, k); ok {
+				best, found = c, true
+			}
+		}
+		if !found {
+			fmt.Printf("  %s: works alone\n", name)
+			continue
+		}
+		peers := make([]string, 0, len(best.Upper)-1)
+		for _, u := range best.Upper {
+			if u != a {
+				peers = append(peers, authors[u])
+			}
+		}
+		fmt.Printf("  %s: %d-bitruss group with %s\n", name, best.K, strings.Join(peers, ", "))
 	}
 }
 

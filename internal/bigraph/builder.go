@@ -10,6 +10,14 @@ import (
 // negative layer index.
 var ErrNegativeVertex = errors.New("bigraph: negative vertex index")
 
+// ErrVertexOutOfRange is returned by Builder.Build when a layer index
+// exceeds MaxLayerSize; vertex ids are int32 internally and the two
+// layers share one global id space, so larger indices would overflow.
+var ErrVertexOutOfRange = errors.New("bigraph: vertex index out of range")
+
+// MaxLayerSize is the largest admissible layer-local vertex index + 1.
+const MaxLayerSize = 1 << 30
+
 // Builder accumulates edges given as (upper-layer index, lower-layer
 // index) pairs, both 0-based within their layer, and produces an immutable
 // Graph. Duplicate edges are silently merged; the number of duplicates is
@@ -30,12 +38,19 @@ type layerEdge struct {
 }
 
 // AddEdge records an edge between upper-layer vertex u and lower-layer
-// vertex v (both 0-based within their layer). Negative indices poison the
-// builder; the error surfaces from Build.
+// vertex v (both 0-based within their layer). Out-of-range indices
+// (negative or >= MaxLayerSize) poison the builder; the error surfaces
+// from Build.
 func (b *Builder) AddEdge(u, v int) {
 	if u < 0 || v < 0 {
 		if b.err == nil {
 			b.err = fmt.Errorf("%w: (%d, %d)", ErrNegativeVertex, u, v)
+		}
+		return
+	}
+	if u >= MaxLayerSize || v >= MaxLayerSize {
+		if b.err == nil {
+			b.err = fmt.Errorf("%w: (%d, %d)", ErrVertexOutOfRange, u, v)
 		}
 		return
 	}
@@ -50,8 +65,15 @@ func (b *Builder) AddEdge(u, v int) {
 
 // SetLayerSizes forces the layer sizes to at least nUpper x nLower so that
 // isolated trailing vertices are preserved. Build still grows the layers
-// if an edge references a larger index.
+// if an edge references a larger index. Sizes beyond MaxLayerSize poison
+// the builder like an out-of-range AddEdge.
 func (b *Builder) SetLayerSizes(nUpper, nLower int) {
+	if nUpper > MaxLayerSize || nLower > MaxLayerSize {
+		if b.err == nil {
+			b.err = fmt.Errorf("%w: layer sizes %d x %d", ErrVertexOutOfRange, nUpper, nLower)
+		}
+		return
+	}
 	if int32(nUpper) > b.maxUpper {
 		b.maxUpper = int32(nUpper)
 	}

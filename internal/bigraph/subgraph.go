@@ -34,6 +34,24 @@ func (g *Graph) InducedByEdges(keep []bool) Subgraph {
 	return Subgraph{G: build(g.numUpper, g.numLower, edges), ParentEdge: parent}
 }
 
+// InducedByEdgeIDs builds the subgraph containing exactly the parent
+// edges listed in ids, which must be ascending and duplicate-free. It
+// produces the same subgraph as InducedByEdges with the corresponding
+// mask, but touches only the listed edges instead of scanning all of
+// them — the community index uses it to materialise k-bitrusses in
+// time proportional to their size.
+func (g *Graph) InducedByEdgeIDs(ids []int32) Subgraph {
+	edges := make([]Edge, 0, len(ids))
+	parent := make([]int32, 0, len(ids))
+	for _, e := range ids {
+		edges = append(edges, g.edges[e])
+		parent = append(parent, e)
+	}
+	// g.edges is sorted by (U, V); an ascending id selection preserves
+	// that order.
+	return Subgraph{G: build(g.numUpper, g.numLower, edges), ParentEdge: parent}
+}
+
 // SampleVertices builds the induced subgraph on a uniformly random subset
 // of the vertices: each vertex of either layer is kept independently...
 // no — following Section VI of the paper, a fixed fraction of vertices is

@@ -18,6 +18,20 @@ func EdgeSupport(g *bigraph.Graph, e int32) int64 {
 		// the butterfly count is symmetric.
 		u, v = v, u
 	}
+	// Single-edge queries must not allocate proportionally to |V|: a
+	// dense mark bitmap is only worth it on small graphs, otherwise the
+	// mark set is a map sized to d(u).
+	if g.NumVertices() <= denseMarkLimit {
+		return edgeSupportDense(g, u, v)
+	}
+	return edgeSupportSparse(g, u, v)
+}
+
+// denseMarkLimit bounds the dense-bitmap path of EdgeSupport; above it
+// the allocation cost of the bitmap dominates a typical query.
+const denseMarkLimit = 1 << 12
+
+func edgeSupportDense(g *bigraph.Graph, u, v int32) int64 {
 	mark := make([]bool, g.NumVertices())
 	nbrsU, _ := g.Neighbors(u)
 	for _, x := range nbrsU {
@@ -32,6 +46,31 @@ func EdgeSupport(g *bigraph.Graph, e int32) int64 {
 		nbrsW, _ := g.Neighbors(w)
 		for _, x := range nbrsW {
 			if x != v && mark[x] {
+				sup++
+			}
+		}
+	}
+	return sup
+}
+
+func edgeSupportSparse(g *bigraph.Graph, u, v int32) int64 {
+	nbrsU, _ := g.Neighbors(u)
+	mark := make(map[int32]struct{}, len(nbrsU))
+	for _, x := range nbrsU {
+		mark[x] = struct{}{}
+	}
+	var sup int64
+	nbrsV, _ := g.Neighbors(v)
+	for _, w := range nbrsV {
+		if w == u {
+			continue
+		}
+		nbrsW, _ := g.Neighbors(w)
+		for _, x := range nbrsW {
+			if x == v {
+				continue
+			}
+			if _, ok := mark[x]; ok {
 				sup++
 			}
 		}

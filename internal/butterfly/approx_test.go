@@ -33,6 +33,39 @@ func TestEdgeSupportClosedForms(t *testing.T) {
 	}
 }
 
+// TestEdgeSupportSparsePath covers the map-based mark set used above
+// denseMarkLimit vertices, cross-validating it against bulk counting
+// on a graph large enough to take that path.
+func TestEdgeSupportSparsePath(t *testing.T) {
+	g := randomGraph(3000, 2500, 9000, 7)
+	if g.NumVertices() <= denseMarkLimit {
+		t.Fatalf("fixture too small (%d vertices) to exercise the sparse path", g.NumVertices())
+	}
+	_, want := CountAndSupports(g)
+	for e := int32(0); e < int32(g.NumEdges()); e += 7 {
+		if got := EdgeSupport(g, e); got != want[e] {
+			t.Errorf("EdgeSupport(e%d) = %d, want %d", e, got, want[e])
+		}
+	}
+}
+
+// TestEdgeSupportAllocsIndependentOfGraphSize pins the satellite fix:
+// a single-edge support query on a big sparse graph must not allocate
+// memory proportionally to |V| (the old dense bitmap did).
+func TestEdgeSupportAllocsIndependentOfGraphSize(t *testing.T) {
+	g := randomGraph(40000, 40000, 60000, 3)
+	var e int32
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = EdgeSupport(g, e%int32(g.NumEdges()))
+		e++
+	})
+	// The map path allocates a handful of buckets sized to the edge's
+	// degree, never an 80k-entry bitmap.
+	if allocs > 16 {
+		t.Errorf("EdgeSupport allocates %.0f objects per query", allocs)
+	}
+}
+
 func TestApproxCountFullSampleIsExact(t *testing.T) {
 	g := randomGraph(30, 35, 500, 3)
 	exact := Count(g)

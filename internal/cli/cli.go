@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bigraph"
 	"repro/internal/butterfly"
+	"repro/internal/community"
 	"repro/internal/core"
 	"repro/internal/dataio"
 	"repro/internal/exp"
@@ -23,15 +24,6 @@ import (
 
 // ErrUsage reports invalid command-line arguments.
 var ErrUsage = errors.New("cli: bad usage")
-
-var algoNames = map[string]core.Algorithm{
-	"bs":    core.BiTBS,
-	"bu":    core.BiTBU,
-	"bu+":   core.BiTBUPlus,
-	"bu++":  core.BiTBUPlusPlus,
-	"bu++p": core.BiTBUPlusPlusParallel,
-	"pc":    core.BiTPC,
-}
 
 // Bitruss implements the `bitruss` tool: decompose a graph file and
 // report bitruss numbers.
@@ -46,6 +38,8 @@ func Bitruss(args []string, stdout, stderr io.Writer) error {
 	ranges := fs.Int("ranges", 0, "coarse support ranges of the bu++p peeler (0 = derived from -workers)")
 	output := fs.String("output", "", "write per-edge 'u v phi' lines here ('-' = stdout)")
 	summary := fs.Bool("summary", true, "print the decomposition summary")
+	communities := fs.Int64("communities", -1, "also list the communities of the k-bitruss at this level (-1 = off)")
+	top := fs.Int("top", -1, "cap the -communities listing to the n largest (-1 = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,7 +47,7 @@ func Bitruss(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stderr, "bitruss: -input is required")
 		return ErrUsage
 	}
-	a, ok := algoNames[strings.ToLower(*algo)]
+	a, ok := core.ParseAlgorithm(*algo)
 	if !ok {
 		return fmt.Errorf("%w: unknown algorithm %q", ErrUsage, *algo)
 	}
@@ -87,10 +81,33 @@ func Bitruss(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "index size : %.2f MB\n", float64(m.PeakIndexBytes)/(1<<20))
 		}
 	}
+	if *communities >= 0 {
+		writeCommunities(stdout, g, res.Phi, *communities, *top)
+	}
 	if *output != "" {
 		return writePhi(*output, g, res.Phi, *oneBased, stdout)
 	}
 	return nil
+}
+
+// writeCommunities prints the k-bitruss communities through the
+// level-indexed hierarchy index — the same answer path the engine and
+// bitserved use.
+func writeCommunities(stdout io.Writer, g *bigraph.Graph, phi []int64, k int64, top int) {
+	ix := community.NewIndex(g, phi)
+	total := ix.NumCommunities(k)
+	cs := ix.TopCommunities(k, top)
+	fmt.Fprintf(stdout, "communities: %d at level %d", total, k)
+	if len(cs) < total {
+		fmt.Fprintf(stdout, " (showing %d largest)", len(cs))
+	}
+	fmt.Fprintln(stdout)
+	nl := g.NumLower()
+	for i := range cs {
+		c := &cs[i]
+		fmt.Fprintf(stdout, "  #%d: %d edges, %d upper x %d lower  upper[0]=%d lower[0]=%d\n",
+			i, len(c.Edges), len(c.Upper), len(c.Lower), int(c.Upper[0])-nl, c.Lower[0])
+	}
 }
 
 func writePhi(path string, g *bigraph.Graph, phi []int64, oneBased bool, stdout io.Writer) error {

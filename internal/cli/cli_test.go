@@ -155,6 +155,52 @@ func TestBitrussParallelAlgo(t *testing.T) {
 	}
 }
 
+// TestBitrussCommunitiesFlag: the -communities listing goes through the
+// hierarchy index and reports the known structure of a bloom chain.
+func TestBitrussCommunitiesFlag(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.bg")
+	var out, errw bytes.Buffer
+	if err := BGGen([]string{"-model", "bloomchain", "-chain", "3", "-k", "4", "-out", graphPath}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := Bitruss([]string{
+		"-input", graphPath, "-summary=false", "-communities", "3",
+	}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "communities: 3 at level 3") {
+		t.Errorf("communities output:\n%s", out.String())
+	}
+	if got := strings.Count(out.String(), "8 edges, 2 upper x 4 lower"); got != 3 {
+		t.Errorf("community lines = %d, want 3:\n%s", got, out.String())
+	}
+	// -top caps the listing but still reports the total.
+	out.Reset()
+	if err := Bitruss([]string{
+		"-input", graphPath, "-summary=false", "-communities", "3", "-top", "1",
+	}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(showing 1 largest)") {
+		t.Errorf("top-capped output:\n%s", out.String())
+	}
+}
+
+func TestServeUsageErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := Serve([]string{"-algo", "nope"}, &out, &errw); !errors.Is(err, ErrUsage) {
+		t.Errorf("bad algo: err = %v, want ErrUsage", err)
+	}
+	if err := Serve([]string{"-dataset", "noequals"}, &out, &errw); !errors.Is(err, ErrUsage) {
+		t.Errorf("bad dataset spec: err = %v, want ErrUsage", err)
+	}
+	if err := Serve([]string{"-dataset", "g=/definitely/missing.txt"}, &out, &errw); err == nil {
+		t.Errorf("missing dataset file accepted")
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	var out, errw bytes.Buffer
 	cases := []struct {

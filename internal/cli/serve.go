@@ -1,0 +1,95 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// datasetFlags collects repeated -dataset name=path pairs.
+type datasetFlags []string
+
+func (d *datasetFlags) String() string { return strings.Join(*d, ",") }
+func (d *datasetFlags) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
+
+// Serve implements the `bitserved` tool: a long-running HTTP JSON
+// server over the resident query engine. Datasets named on the command
+// line are loaded at startup and (optionally) decomposed in the
+// background before the listener starts answering queries.
+func Serve(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bitserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	// Localhost by default: /datasets accepts server-side file paths,
+	// so exposing the API beyond the host is an explicit operator
+	// choice (-addr :8080).
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :8080 to serve all interfaces)")
+	var datasets datasetFlags
+	fs.Var(&datasets, "dataset", "dataset to preload as name=path (repeatable)")
+	oneBased := fs.Bool("one-based", false, "treat text vertex ids as 1-based (KONECT)")
+	decompose := fs.Bool("decompose", true, "start decomposing preloaded datasets at startup")
+	algo := fs.String("algo", "bu++", "startup decomposition algorithm: bs, bu, bu+, bu++, bu++p, pc")
+	tau := fs.Float64("tau", 0, "BiT-PC threshold decrement fraction (0 = default)")
+	workers := fs.Int("workers", 0, "parallel workers for the startup decompositions")
+	ranges := fs.Int("ranges", 0, "coarse support ranges of the bu++p peeler (0 = derived from -workers)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, ok := core.ParseAlgorithm(*algo)
+	if !ok {
+		return fmt.Errorf("%w: unknown algorithm %q", ErrUsage, *algo)
+	}
+
+	eng := engine.New()
+	for _, spec := range datasets {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("%w: -dataset wants name=path, got %q", ErrUsage, spec)
+		}
+		if err := eng.Load(name, path, *oneBased); err != nil {
+			return err
+		}
+		info, _ := eng.Info(name)
+		fmt.Fprintf(stdout, "loaded %s: |U|=%d |L|=%d |E|=%d\n", name, info.Upper, info.Lower, info.Edges)
+		if *decompose {
+			err := eng.StartDecompose(context.Background(), name, engine.Options{
+				Algorithm: a, Tau: *tau, Workers: *workers, Ranges: *ranges,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "decomposing %s with %v in the background\n", name, a)
+		}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: server.New(eng).Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(stdout, "bitserved listening on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(stdout, "received %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}

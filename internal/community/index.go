@@ -1,0 +1,392 @@
+package community
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/bigraph"
+)
+
+// Index is a level-indexed community hierarchy precomputed from one
+// bitruss decomposition. It is built once in O(E·α(E) + E·log E) and
+// afterwards answers Communities, KBitruss, Levels, CommunityOfVertex
+// and Hierarchy queries proportionally to the size of the answer — no
+// per-query union-find and no full-edge rescans, unlike the one-shot
+// functions of this package (which remain as the reference
+// implementation for cross-validation).
+//
+// Construction processes the populated bitruss levels in descending
+// order, adding each level's edges to an incremental union-find: every
+// connected component of every k-bitruss becomes a node of a forest,
+// a component that survives unchanged across levels is represented by
+// a single node spanning that level range, and a depth-first layout
+// places the edges of every subtree contiguously so each community is
+// one slice of a shared edge array.
+//
+// An Index is immutable after construction and safe for concurrent use.
+//
+// Memory: O(E) for the forest plus the per-level component snapshots,
+// which cost one int32 per (populated level, alive component) pair.
+// That sum is bounded by the edge count a single BuildHierarchy call
+// materialises, but on graphs combining thousands of levels with
+// thousands of simultaneously alive components it dominates; an
+// interval-stabbing structure over node birth/death levels would
+// shrink it to O(nodes) if that shape ever matters.
+type Index struct {
+	g      *bigraph.Graph
+	phi    []int64
+	levels []int64 // populated bitruss numbers, ascending
+	maxPhi int64
+
+	nodes []inode
+	order []int32   // edge ids laid out so every node's subtree is order[start:end)
+	intro []int32   // edge id -> node that introduced it (at level phi[e])
+	comps [][]int32 // per level index: active node ids, largest component first
+}
+
+// inode is one forest node: a connected component that first appears at
+// `level` (descending construction order) and persists until a
+// lower-level node absorbs it (parent, -1 for roots).
+type inode struct {
+	level      int64
+	parent     int32
+	start, end int32 // subtree edge range in Index.order
+	minEdge    int32 // smallest edge id in the subtree (ordering tie-break)
+
+	// A component's member sets do not depend on the query level (only
+	// the K label does), so the sorted edge and vertex lists are
+	// materialised once on first touch and shared by every later query.
+	once sync.Once
+	comm Community // cached with K == 0; K is stamped per query
+}
+
+// NewIndex precomputes the community hierarchy of the decomposition phi
+// of g. The phi slice is copied; g is retained (it is immutable).
+func NewIndex(g *bigraph.Graph, phi []int64) *Index {
+	ix := &Index{
+		g:      g,
+		phi:    append([]int64(nil), phi...),
+		levels: Levels(phi),
+		intro:  make([]int32, len(phi)),
+	}
+	nLevels := len(ix.levels)
+	ix.comps = make([][]int32, nLevels)
+	if nLevels == 0 {
+		return ix
+	}
+	ix.maxPhi = ix.levels[nLevels-1]
+
+	// Bucket edges by level index.
+	levelIdx := make(map[int64]int, nLevels)
+	for i, k := range ix.levels {
+		levelIdx[k] = i
+	}
+	buckets := make([][]int32, nLevels)
+	for e, p := range phi {
+		li := levelIdx[p]
+		buckets[li] = append(buckets[li], int32(e))
+	}
+
+	// Incremental union-find over vertices.
+	parent := make([]int32, g.NumVertices())
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+
+	rootNode := make(map[int32]int32) // union-find root vertex -> active node id
+	active := make(map[int32]bool)    // node ids alive at the current level
+	var children [][]int32            // per node: absorbed higher-level nodes
+	var own [][]int32                 // per node: edges introduced at its level
+
+	for li := nLevels - 1; li >= 0; li-- {
+		k := ix.levels[li]
+		es := buckets[li]
+
+		// Components touched at this level are exactly those containing
+		// an endpoint of one of its edges; record them before any union
+		// invalidates their roots. Untouched components keep both their
+		// root and their node.
+		touched := map[int32]int32{} // old root -> old node id
+		for _, e := range es {
+			ed := g.Edge(e)
+			if n, ok := rootNode[find(ed.U)]; ok {
+				touched[find(ed.U)] = n
+			}
+			if n, ok := rootNode[find(ed.V)]; ok {
+				touched[find(ed.V)] = n
+			}
+		}
+		for _, e := range es {
+			ed := g.Edge(e)
+			ra, rb := find(ed.U), find(ed.V)
+			if ra != rb {
+				parent[ra] = rb
+			}
+		}
+
+		// Regroup the touched nodes and the new edges by post-union root;
+		// every group gains at least one edge, so it becomes a new node.
+		groupChildren := map[int32][]int32{}
+		for r, n := range touched {
+			groupChildren[find(r)] = append(groupChildren[find(r)], n)
+			delete(rootNode, r)
+		}
+		groupEdges := map[int32][]int32{}
+		for _, e := range es {
+			r := find(g.Edge(e).U)
+			groupEdges[r] = append(groupEdges[r], e)
+		}
+		for r, ges := range groupEdges {
+			id := int32(len(ix.nodes))
+			ix.nodes = append(ix.nodes, inode{level: k, parent: -1})
+			ch := groupChildren[r]
+			// Deterministic child order (map iteration above is not).
+			sort.Slice(ch, func(i, j int) bool { return ch[i] < ch[j] })
+			children = append(children, ch)
+			own = append(own, ges)
+			for _, c := range ch {
+				ix.nodes[c].parent = id
+				delete(active, c)
+			}
+			for _, e := range ges {
+				ix.intro[e] = id
+			}
+			rootNode[r] = id
+			active[id] = true
+		}
+
+		snap := make([]int32, 0, len(active))
+		for id := range active {
+			snap = append(snap, id)
+		}
+		ix.comps[li] = snap
+	}
+
+	// Depth-first layout: every subtree's edges become one contiguous
+	// range of ix.order.
+	ix.order = make([]int32, 0, len(phi))
+	var dfs func(id int32) int32
+	dfs = func(id int32) int32 {
+		nd := &ix.nodes[id]
+		nd.start = int32(len(ix.order))
+		minE := int32(math.MaxInt32)
+		for _, c := range children[id] {
+			if m := dfs(c); m < minE {
+				minE = m
+			}
+		}
+		for _, e := range own[id] {
+			ix.order = append(ix.order, e)
+			if e < minE {
+				minE = e
+			}
+		}
+		nd.end = int32(len(ix.order))
+		nd.minEdge = minE
+		return minE
+	}
+	for _, r := range ix.comps[0] {
+		if ix.nodes[r].parent == -1 {
+			dfs(r)
+		}
+	}
+
+	// Order every level's component list the way the one-shot
+	// Communities does: largest first, smallest edge id as tie-break.
+	for li := range ix.comps {
+		cs := ix.comps[li]
+		sort.Slice(cs, func(i, j int) bool {
+			a, b := &ix.nodes[cs[i]], &ix.nodes[cs[j]]
+			if sa, sb := a.end-a.start, b.end-b.start; sa != sb {
+				return sa > sb
+			}
+			return a.minEdge < b.minEdge
+		})
+	}
+	return ix
+}
+
+// Graph returns the graph the index was built on.
+func (ix *Index) Graph() *bigraph.Graph { return ix.g }
+
+// Phi returns the bitruss number of edge e.
+func (ix *Index) Phi(e int32) int64 { return ix.phi[e] }
+
+// MaxPhi returns the largest bitruss number in the graph.
+func (ix *Index) MaxPhi() int64 { return ix.maxPhi }
+
+// Levels returns the distinct bitruss numbers present, ascending.
+func (ix *Index) Levels() []int64 {
+	return append([]int64(nil), ix.levels...)
+}
+
+// levelFor maps an arbitrary query level k to the index of the
+// smallest populated level >= k: the k-bitruss equals the bitruss of
+// that level (edges with phi >= k are exactly edges with phi >= that
+// level). The second result is false when k exceeds every level.
+func (ix *Index) levelFor(k int64) (int, bool) {
+	i := sort.Search(len(ix.levels), func(i int) bool { return ix.levels[i] >= k })
+	if i == len(ix.levels) {
+		return 0, false
+	}
+	return i, true
+}
+
+// community returns the node's subtree as a Community at query level
+// k, matching the one-shot buildCommunity byte for byte. The member
+// slices are memoised per node and shared between calls: callers must
+// treat them as read-only (the public API and the engine copy them
+// into their own representations).
+func (ix *Index) community(n int32, k int64) Community {
+	nd := &ix.nodes[n]
+	nd.once.Do(func() {
+		edges := append([]int32(nil), ix.order[nd.start:nd.end]...)
+		nd.comm = buildCommunity(ix.g, 0, edges)
+	})
+	c := nd.comm
+	c.K = k
+	return c
+}
+
+// Communities returns the connected components of the k-bitruss,
+// largest first — identical to the one-shot Communities but in
+// O(answer·log answer) instead of O(E·α(E)).
+func (ix *Index) Communities(k int64) []Community {
+	li, ok := ix.levelFor(k)
+	if !ok {
+		return []Community{}
+	}
+	comps := ix.comps[li]
+	out := make([]Community, 0, len(comps))
+	for _, n := range comps {
+		out = append(out, ix.community(n, k))
+	}
+	return out
+}
+
+// TopCommunities returns the n largest communities of the k-bitruss
+// (all of them when n is negative or exceeds the count), materialising
+// only those n.
+func (ix *Index) TopCommunities(k int64, n int) []Community {
+	li, ok := ix.levelFor(k)
+	if !ok {
+		return []Community{}
+	}
+	comps := ix.comps[li]
+	if n < 0 || n > len(comps) {
+		n = len(comps)
+	}
+	out := make([]Community, 0, n)
+	for _, c := range comps[:n] {
+		out = append(out, ix.community(c, k))
+	}
+	return out
+}
+
+// NumCommunities returns the number of connected components of the
+// k-bitruss without materialising them.
+func (ix *Index) NumCommunities(k int64) int {
+	li, ok := ix.levelFor(k)
+	if !ok {
+		return 0
+	}
+	return len(ix.comps[li])
+}
+
+// KBitrussEdgeIDs returns the ids of the edges of the k-bitruss,
+// ascending, gathered from the level's component ranges.
+func (ix *Index) KBitrussEdgeIDs(k int64) []int32 {
+	li, ok := ix.levelFor(k)
+	if !ok {
+		return nil
+	}
+	var total int
+	for _, n := range ix.comps[li] {
+		total += int(ix.nodes[n].end - ix.nodes[n].start)
+	}
+	ids := make([]int32, 0, total)
+	for _, n := range ix.comps[li] {
+		nd := &ix.nodes[n]
+		ids = append(ids, ix.order[nd.start:nd.end]...)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// KBitruss materialises the k-bitruss as a subgraph, identical to the
+// one-shot KBitruss but touching only the answer's edges.
+func (ix *Index) KBitruss(k int64) bigraph.Subgraph {
+	return ix.g.InducedByEdgeIDs(ix.KBitrussEdgeIDs(k))
+}
+
+// CommunityOfVertex returns the community of the k-bitruss containing
+// global vertex v, or false when v has no edge of bitruss number >= k.
+// Cost: O(d(v) + levels + answer).
+func (ix *Index) CommunityOfVertex(v int32, k int64) (Community, bool) {
+	li, ok := ix.levelFor(k)
+	if !ok || v < 0 || int(v) >= ix.g.NumVertices() {
+		return Community{}, false
+	}
+	level := ix.levels[li]
+	_, eids := ix.g.Neighbors(v)
+	e := int32(-1)
+	for _, id := range eids {
+		if ix.phi[id] >= level {
+			e = id
+			break
+		}
+	}
+	if e < 0 {
+		return Community{}, false
+	}
+	// Walk from the introducing node up to the ancestor alive at the
+	// query level (parents sit at strictly lower levels).
+	n := ix.intro[e]
+	for ix.nodes[n].parent >= 0 && ix.nodes[ix.nodes[n].parent].level >= level {
+		n = ix.nodes[n].parent
+	}
+	return ix.community(n, k), true
+}
+
+// Hierarchy returns the nested community forest across all populated
+// levels, identical to the one-shot BuildHierarchy but answered from
+// the index (no per-level union-find).
+func (ix *Index) Hierarchy() []*Node {
+	if len(ix.levels) == 0 {
+		return nil
+	}
+	var prev []*Node
+	edgeOwner := make([]int32, len(ix.phi))
+	var roots []*Node
+	for li, k := range ix.levels {
+		comms := ix.Communities(k)
+		nodes := make([]*Node, len(comms))
+		for i := range comms {
+			nodes[i] = &Node{Community: comms[i]}
+		}
+		if li == 0 {
+			roots = nodes
+		} else {
+			for _, n := range nodes {
+				p := prev[edgeOwner[n.Edges[0]]]
+				p.Children = append(p.Children, n)
+			}
+		}
+		for i, n := range nodes {
+			for _, e := range n.Edges {
+				edgeOwner[e] = int32(i)
+			}
+		}
+		prev = nodes
+	}
+	return roots
+}

@@ -1,0 +1,183 @@
+package community
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/gen"
+	"repro/internal/testgraphs"
+)
+
+// queryLevels returns every populated level plus probes between, below
+// and above them, so the ceil-to-populated-level mapping is exercised.
+func queryLevels(phi []int64) []int64 {
+	ls := Levels(phi)
+	out := []int64{-3, 0}
+	for _, k := range ls {
+		out = append(out, k, k+1)
+	}
+	if n := len(ls); n > 0 {
+		out = append(out, ls[n-1]+10)
+	}
+	return out
+}
+
+func checkIndexMatchesLegacy(t *testing.T, name string, g *bigraph.Graph, phi []int64) {
+	t.Helper()
+	ix := NewIndex(g, phi)
+
+	if got, want := ix.Levels(), Levels(phi); !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: Levels = %v, want %v", name, got, want)
+	}
+	for _, k := range queryLevels(phi) {
+		got := ix.Communities(k)
+		want := Communities(g, phi, k)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: Communities(%d) mismatch:\n  indexed %v\n  legacy  %v", name, k, got, want)
+		}
+		gotSub := ix.KBitruss(k)
+		wantSub := KBitruss(g, phi, k)
+		if !reflect.DeepEqual(gotSub.ParentEdge, wantSub.ParentEdge) {
+			t.Fatalf("%s: KBitruss(%d) parent edges differ: %v vs %v",
+				name, k, gotSub.ParentEdge, wantSub.ParentEdge)
+		}
+		if !reflect.DeepEqual(gotSub.G, wantSub.G) {
+			t.Fatalf("%s: KBitruss(%d) subgraphs differ: %v vs %v",
+				name, k, gotSub.G, wantSub.G)
+		}
+		// Top-n materialises prefixes of the same ordering.
+		for _, n := range []int{0, 1, 2, len(want), len(want) + 3, -1} {
+			gotTop := ix.TopCommunities(k, n)
+			wantN := n
+			if wantN < 0 || wantN > len(want) {
+				wantN = len(want)
+			}
+			if !reflect.DeepEqual(gotTop, want[:wantN:wantN]) {
+				t.Fatalf("%s: TopCommunities(%d, %d) mismatch", name, k, n)
+			}
+		}
+		if got := ix.NumCommunities(k); got != len(want) {
+			t.Fatalf("%s: NumCommunities(%d) = %d, want %d", name, k, got, len(want))
+		}
+	}
+	if got, want := ix.Hierarchy(), BuildHierarchy(g, phi); !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: Hierarchy mismatch", name)
+	}
+}
+
+// checkCommunityOf validates CommunityOfVertex against a legacy scan of
+// the full community list for every vertex at every populated level.
+func checkCommunityOf(t *testing.T, name string, g *bigraph.Graph, phi []int64) {
+	t.Helper()
+	ix := NewIndex(g, phi)
+	for _, k := range queryLevels(phi) {
+		legacy := Communities(g, phi, k)
+		memberOf := map[int32]*Community{}
+		for i := range legacy {
+			for _, u := range legacy[i].Upper {
+				memberOf[u] = &legacy[i]
+			}
+			for _, v := range legacy[i].Lower {
+				memberOf[v] = &legacy[i]
+			}
+		}
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			got, ok := ix.CommunityOfVertex(v, k)
+			want, wantOK := memberOf[v]
+			if ok != wantOK {
+				t.Fatalf("%s: CommunityOfVertex(%d, %d) present = %v, want %v", name, v, k, ok, wantOK)
+			}
+			if ok && !reflect.DeepEqual(got, *want) {
+				t.Fatalf("%s: CommunityOfVertex(%d, %d) = %v, want %v", name, v, k, got, *want)
+			}
+		}
+	}
+}
+
+func TestIndexMatchesLegacyOnFixtures(t *testing.T) {
+	fixtures := []struct {
+		name string
+		g    *bigraph.Graph
+	}{
+		{"Figure1", testgraphs.Figure1()},
+		{"CompleteBiclique(4,5)", testgraphs.CompleteBiclique(4, 5)},
+		{"CompleteBiclique(2,9)", testgraphs.CompleteBiclique(2, 9)},
+		{"Bloom(12)", testgraphs.Bloom(12)},
+		{"Star(7)", testgraphs.Star(7)},
+		{"BloomChain(3,4)", gen.BloomChain(3, 4)},
+	}
+	for _, f := range fixtures {
+		phi := phiOf(t, f.g)
+		checkIndexMatchesLegacy(t, f.name, f.g, phi)
+		checkCommunityOf(t, f.name, f.g, phi)
+	}
+}
+
+func TestIndexClosedForms(t *testing.T) {
+	// K(a, b): every edge has bitruss number (a-1)(b-1); the only
+	// populated level is one community holding the whole graph.
+	a, b := 5, 6
+	g := testgraphs.CompleteBiclique(a, b)
+	ix := NewIndex(g, phiOf(t, g))
+	want := int64((a - 1) * (b - 1))
+	if ix.MaxPhi() != want {
+		t.Fatalf("K(%d,%d): MaxPhi = %d, want %d", a, b, ix.MaxPhi(), want)
+	}
+	cs := ix.Communities(want)
+	if len(cs) != 1 || len(cs[0].Edges) != a*b || len(cs[0].Upper) != a || len(cs[0].Lower) != b {
+		t.Fatalf("K(%d,%d): top community = %+v", a, b, cs)
+	}
+	if got := ix.Communities(want + 1); len(got) != 0 {
+		t.Fatalf("K(%d,%d): above max level got %d communities", a, b, len(got))
+	}
+
+	// Bloom(k): every edge sits in one community with bitruss k-1.
+	k := 9
+	bg := testgraphs.Bloom(k)
+	bix := NewIndex(bg, phiOf(t, bg))
+	if bix.MaxPhi() != int64(k-1) {
+		t.Fatalf("Bloom(%d): MaxPhi = %d, want %d", k, bix.MaxPhi(), k-1)
+	}
+	bc := bix.Communities(int64(k - 1))
+	if len(bc) != 1 || len(bc[0].Edges) != 2*k {
+		t.Fatalf("Bloom(%d): communities = %+v", k, bc)
+	}
+}
+
+func TestIndexMatchesLegacyOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 6; trial++ {
+		g := gen.Uniform(20+trial*5, 25+trial*3, 200+trial*80, rng.Int63())
+		phi := phiOf(t, g)
+		checkIndexMatchesLegacy(t, "uniform", g, phi)
+	}
+	for trial := 0; trial < 3; trial++ {
+		g := gen.Zipf(40, 40, 500, 1.4, 1.4, rng.Int63())
+		phi := phiOf(t, g)
+		checkIndexMatchesLegacy(t, "zipf", g, phi)
+		checkCommunityOf(t, "zipf", g, phi)
+	}
+}
+
+func TestIndexEmptyGraph(t *testing.T) {
+	var b bigraph.Builder
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(g, nil)
+	if got := ix.Communities(0); len(got) != 0 {
+		t.Errorf("empty graph communities = %v", got)
+	}
+	if got := ix.Hierarchy(); got != nil {
+		t.Errorf("empty graph hierarchy = %v", got)
+	}
+	if _, ok := ix.CommunityOfVertex(0, 0); ok {
+		t.Error("empty graph has a community of vertex 0")
+	}
+	if sub := ix.KBitruss(0); sub.G.NumEdges() != 0 {
+		t.Errorf("empty graph k-bitruss has %d edges", sub.G.NumEdges())
+	}
+}

@@ -14,6 +14,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/bigraph"
@@ -59,6 +60,28 @@ func (a Algorithm) String() string {
 		return "BiT-BU++P"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm maps the short names shared by the CLI tools and the
+// HTTP API (bs, bu, bu+, bu++, bu++p, pc; case-insensitive) onto
+// algorithms.
+func ParseAlgorithm(name string) (Algorithm, bool) {
+	switch strings.ToLower(name) {
+	case "bs":
+		return BiTBS, true
+	case "bu":
+		return BiTBU, true
+	case "bu+":
+		return BiTBUPlus, true
+	case "bu++":
+		return BiTBUPlusPlus, true
+	case "bu++p":
+		return BiTBUPlusPlusParallel, true
+	case "pc":
+		return BiTPC, true
+	default:
+		return 0, false
 	}
 }
 

@@ -1,0 +1,541 @@
+// Package engine turns the one-shot decomposition library into a
+// resident query engine: a registry of named datasets whose graphs are
+// loaded once, decomposed asynchronously (reusing the parallel peelers
+// via Options.Workers/Ranges), and then queried concurrently — φ
+// lookups, k-bitruss extraction, community-of-vertex and top-k
+// community queries — from a cached Result plus its precomputed
+// community hierarchy index. The HTTP front end (internal/server,
+// cmd/bitserved) is a thin layer over this package.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bigraph"
+	"repro/internal/butterfly"
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/dataio"
+)
+
+// Errors returned by engine operations.
+var (
+	ErrNotFound      = errors.New("engine: dataset not found")
+	ErrExists        = errors.New("engine: dataset already registered")
+	ErrNotDecomposed = errors.New("engine: dataset not decomposed yet")
+	ErrBusy          = errors.New("engine: decomposition already in flight")
+	ErrNoEdge        = errors.New("engine: no such edge")
+)
+
+// Status is the lifecycle state of a dataset.
+type Status int
+
+const (
+	// StatusLoaded: the graph is resident but has no decomposition.
+	StatusLoaded Status = iota
+	// StatusDecomposing: a decomposition is running in the background.
+	StatusDecomposing
+	// StatusReady: a decomposition and its hierarchy index are cached.
+	StatusReady
+	// StatusFailed: the last decomposition attempt returned an error.
+	StatusFailed
+)
+
+// String implements fmt.Stringer with the JSON-facing names.
+func (s Status) String() string {
+	switch s {
+	case StatusLoaded:
+		return "loaded"
+	case StatusDecomposing:
+		return "decomposing"
+	case StatusReady:
+		return "ready"
+	case StatusFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Options configures one decomposition run of a dataset.
+type Options struct {
+	// Algorithm selects the strategy (default BiT-BU++, the best
+	// all-round serial choice).
+	Algorithm core.Algorithm
+	// Tau is the BiT-PC threshold decrement fraction (0 = default).
+	Tau float64
+	// Workers and Ranges are routed to core.Options verbatim.
+	Workers int
+	Ranges  int
+}
+
+// DatasetInfo is a read-only snapshot of one dataset.
+type DatasetInfo struct {
+	Name      string
+	Upper     int
+	Lower     int
+	Edges     int
+	Status    Status
+	Algo      string        // algorithm of the cached/running decomposition
+	MaxPhi    int64         // valid when Status == StatusReady
+	Levels    int           // populated bitruss levels when ready
+	TotalTime time.Duration // decomposition wall time when ready
+	Err       string        // failure message when Status == StatusFailed
+}
+
+// dataset is one registered graph plus its decomposition lifecycle.
+// The graph itself is immutable; ds.mu guards everything else.
+type dataset struct {
+	name string
+	g    *bigraph.Graph
+
+	mu      sync.RWMutex
+	status  Status
+	algo    core.Algorithm // algorithm of the cached result (res/idx)
+	runAlgo core.Algorithm // algorithm of the in-flight run
+	res     *core.Result
+	idx     *community.Index
+	err     error
+	cancel  context.CancelFunc
+	done    chan struct{} // closed when the in-flight decomposition ends
+}
+
+// Engine is the resident registry. All methods are safe for concurrent
+// use; queries against one dataset proceed while others decompose.
+type Engine struct {
+	mu       sync.RWMutex
+	datasets map[string]*dataset
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{datasets: make(map[string]*dataset)}
+}
+
+// Register adds an in-memory graph under name.
+func (e *Engine) Register(name string, g *bigraph.Graph) error {
+	if name == "" {
+		return fmt.Errorf("engine: empty dataset name")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.datasets[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	e.datasets[name] = &dataset{name: name, g: g, status: StatusLoaded}
+	return nil
+}
+
+// Load reads a graph file (text edge list or .bg binary) and registers
+// it under name.
+func (e *Engine) Load(name, path string, oneBased bool) error {
+	g, err := dataio.LoadFile(path, dataio.TextOptions{OneBased: oneBased})
+	if err != nil {
+		return err
+	}
+	return e.Register(name, g)
+}
+
+// Remove unregisters a dataset, cancelling any in-flight decomposition.
+func (e *Engine) Remove(name string) error {
+	e.mu.Lock()
+	ds, ok := e.datasets[name]
+	if ok {
+		delete(e.datasets, name)
+	}
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	ds.mu.Lock()
+	cancel := ds.cancel
+	ds.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return nil
+}
+
+func (e *Engine) dataset(name string) (*dataset, error) {
+	e.mu.RLock()
+	ds, ok := e.datasets[name]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return ds, nil
+}
+
+// List returns a snapshot of every dataset, sorted by name.
+func (e *Engine) List() []DatasetInfo {
+	e.mu.RLock()
+	all := make([]*dataset, 0, len(e.datasets))
+	for _, ds := range e.datasets {
+		all = append(all, ds)
+	}
+	e.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+	out := make([]DatasetInfo, len(all))
+	for i, ds := range all {
+		out[i] = ds.info()
+	}
+	return out
+}
+
+// Info returns the snapshot of one dataset.
+func (e *Engine) Info(name string) (DatasetInfo, error) {
+	ds, err := e.dataset(name)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	return ds.info(), nil
+}
+
+func (ds *dataset) info() DatasetInfo {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	info := DatasetInfo{
+		Name:   ds.name,
+		Upper:  ds.g.NumUpper(),
+		Lower:  ds.g.NumLower(),
+		Edges:  ds.g.NumEdges(),
+		Status: ds.status,
+	}
+	// During a run report the running algorithm; otherwise attribute
+	// the cached result to the algorithm that actually produced it.
+	if ds.status == StatusDecomposing {
+		info.Algo = ds.runAlgo.String()
+	} else if ds.res != nil {
+		info.Algo = ds.algo.String()
+	}
+	if ds.res != nil {
+		info.MaxPhi = ds.res.MaxPhi
+		info.Levels = len(ds.idx.Levels())
+		info.TotalTime = ds.res.Metrics.TotalTime
+	}
+	if ds.err != nil {
+		info.Err = ds.err.Error()
+	}
+	return info
+}
+
+// StartDecompose launches the decomposition of a dataset in the
+// background and returns immediately. ctx cancellation aborts the run
+// (it is mapped onto the core Cancel channel, so it propagates into the
+// peeling loops). A dataset holds at most one in-flight decomposition;
+// a second request returns ErrBusy. A finished (ready or failed)
+// dataset may be re-decomposed, e.g. with a different algorithm.
+func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) error {
+	ds, err := e.dataset(name)
+	if err != nil {
+		return err
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+
+	ds.mu.Lock()
+	if ds.status == StatusDecomposing {
+		ds.mu.Unlock()
+		cancel()
+		return fmt.Errorf("%w: %q", ErrBusy, name)
+	}
+	ds.status = StatusDecomposing
+	ds.runAlgo = opt.Algorithm
+	ds.err = nil
+	ds.cancel = cancel
+	done := make(chan struct{})
+	ds.done = done
+	ds.mu.Unlock()
+
+	go func() {
+		defer cancel()
+		res, err := core.Decompose(ds.g, core.Options{
+			Algorithm: opt.Algorithm,
+			Tau:       opt.Tau,
+			Workers:   opt.Workers,
+			Ranges:    opt.Ranges,
+			Cancel:    runCtx.Done(),
+		})
+		var idx *community.Index
+		if err == nil {
+			idx = community.NewIndex(ds.g, res.Phi)
+		} else if errors.Is(err, core.ErrCancelled) && runCtx.Err() != nil {
+			err = runCtx.Err()
+		}
+		ds.mu.Lock()
+		if err != nil {
+			// A failed re-decomposition must not brick a dataset that
+			// already holds a valid cached result: keep serving it.
+			if ds.res != nil {
+				ds.status = StatusReady
+			} else {
+				ds.status = StatusFailed
+			}
+			ds.err = err
+		} else {
+			ds.status = StatusReady
+			ds.res = res
+			ds.idx = idx
+			ds.algo = opt.Algorithm
+			ds.err = nil
+		}
+		ds.cancel = nil
+		ds.mu.Unlock()
+		close(done)
+	}()
+	return nil
+}
+
+// Wait blocks until the dataset's in-flight decomposition (if any)
+// finishes or ctx is cancelled, then reports the error of the last
+// finished run (nil when it succeeded or no run ever started). Note a
+// failed re-decomposition reports its error here while the dataset
+// keeps serving the previous result.
+func (e *Engine) Wait(ctx context.Context, name string) error {
+	ds, err := e.dataset(name)
+	if err != nil {
+		return err
+	}
+	ds.mu.RLock()
+	done := ds.done
+	ds.mu.RUnlock()
+	if done != nil {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.err
+}
+
+// Decompose is StartDecompose + Wait: it blocks until the dataset is
+// ready or the run fails.
+func (e *Engine) Decompose(ctx context.Context, name string, opt Options) error {
+	if err := e.StartDecompose(ctx, name, opt); err != nil {
+		return err
+	}
+	return e.Wait(ctx, name)
+}
+
+// ready returns the dataset's cached result and index. A dataset with
+// a completed decomposition keeps answering from it even while a
+// re-decomposition is in flight (queries never go dark once a result
+// exists); only datasets that never completed one fail.
+func (ds *dataset) ready() (*core.Result, *community.Index, error) {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if ds.res == nil || ds.idx == nil {
+		return nil, nil, fmt.Errorf("%w: %q is %v", ErrNotDecomposed, ds.name, ds.status)
+	}
+	return ds.res, ds.idx, nil
+}
+
+// globalUpper converts a layer-local upper index to a global vertex id.
+func globalUpper(g *bigraph.Graph, u int) (int32, bool) {
+	if u < 0 || u >= g.NumUpper() {
+		return 0, false
+	}
+	return int32(g.NumLower() + u), true
+}
+
+// edgeID resolves a layer-local (upper, lower) pair to an edge id.
+func edgeID(g *bigraph.Graph, u, v int) (int32, error) {
+	gu, ok := globalUpper(g, u)
+	if !ok || v < 0 || v >= g.NumLower() {
+		return -1, fmt.Errorf("%w: (%d, %d)", ErrNoEdge, u, v)
+	}
+	e := g.EdgeID(gu, int32(v))
+	if e < 0 {
+		return -1, fmt.Errorf("%w: (%d, %d)", ErrNoEdge, u, v)
+	}
+	return e, nil
+}
+
+// Phi returns the bitruss number of the edge between upper-layer u and
+// lower-layer v of a decomposed dataset.
+func (e *Engine) Phi(name string, u, v int) (int64, error) {
+	ds, err := e.dataset(name)
+	if err != nil {
+		return 0, err
+	}
+	res, _, err := ds.ready()
+	if err != nil {
+		return 0, err
+	}
+	eid, err := edgeID(ds.g, u, v)
+	if err != nil {
+		return 0, err
+	}
+	return res.Phi[eid], nil
+}
+
+// Support returns the butterfly support of the edge (u, v), computed
+// on demand — available as soon as the graph is loaded, before any
+// decomposition.
+func (e *Engine) Support(name string, u, v int) (int64, error) {
+	ds, err := e.dataset(name)
+	if err != nil {
+		return 0, err
+	}
+	eid, err := edgeID(ds.g, u, v)
+	if err != nil {
+		return 0, err
+	}
+	return butterfly.EdgeSupport(ds.g, eid), nil
+}
+
+// Community is a k-bitruss connected component with layer-local vertex
+// indices, ready for serialisation.
+type Community struct {
+	K     int64 `json:"k"`
+	Size  int   `json:"size"` // number of member edges
+	Upper []int `json:"upper"`
+	Lower []int `json:"lower"`
+	Edges []int `json:"edges"`
+}
+
+func toCommunity(g *bigraph.Graph, c *community.Community) Community {
+	nl := g.NumLower()
+	out := Community{K: c.K, Size: len(c.Edges)}
+	out.Upper = make([]int, len(c.Upper))
+	for i, u := range c.Upper {
+		out.Upper[i] = int(u) - nl
+	}
+	out.Lower = make([]int, len(c.Lower))
+	for i, v := range c.Lower {
+		out.Lower[i] = int(v)
+	}
+	out.Edges = make([]int, len(c.Edges))
+	for i, e := range c.Edges {
+		out.Edges[i] = int(e)
+	}
+	return out
+}
+
+// Communities returns the connected components of the dataset's
+// k-bitruss, largest first, answered from the cached index.
+func (e *Engine) Communities(name string, k int64) ([]Community, error) {
+	cs, _, err := e.TopCommunities(name, k, -1)
+	return cs, err
+}
+
+// TopCommunities returns the n largest communities of the k-bitruss
+// (all of them when n is negative) together with the total component
+// count, both taken from one index snapshot so they cannot disagree
+// under a concurrent re-decomposition.
+func (e *Engine) TopCommunities(name string, k int64, n int) ([]Community, int, error) {
+	ds, err := e.dataset(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	_, idx, err := ds.ready()
+	if err != nil {
+		return nil, 0, err
+	}
+	cs := idx.TopCommunities(k, n)
+	out := make([]Community, len(cs))
+	for i := range cs {
+		out[i] = toCommunity(ds.g, &cs[i])
+	}
+	return out, idx.NumCommunities(k), nil
+}
+
+// NumCommunities returns the number of connected components of the
+// dataset's k-bitruss without materialising them.
+func (e *Engine) NumCommunities(name string, k int64) (int, error) {
+	ds, err := e.dataset(name)
+	if err != nil {
+		return 0, err
+	}
+	_, idx, err := ds.ready()
+	if err != nil {
+		return 0, err
+	}
+	return idx.NumCommunities(k), nil
+}
+
+// Layer selects the side of the bipartition in vertex-addressed
+// queries.
+type Layer int
+
+const (
+	UpperLayer Layer = iota
+	LowerLayer
+)
+
+// CommunityOf returns the community of the k-bitruss containing the
+// given layer-local vertex, or ok=false when the vertex has no edge at
+// that level.
+func (e *Engine) CommunityOf(name string, layer Layer, vertex int, k int64) (Community, bool, error) {
+	ds, err := e.dataset(name)
+	if err != nil {
+		return Community{}, false, err
+	}
+	_, idx, err := ds.ready()
+	if err != nil {
+		return Community{}, false, err
+	}
+	var global int32
+	switch layer {
+	case UpperLayer:
+		gu, ok := globalUpper(ds.g, vertex)
+		if !ok {
+			return Community{}, false, nil
+		}
+		global = gu
+	case LowerLayer:
+		if vertex < 0 || vertex >= ds.g.NumLower() {
+			return Community{}, false, nil
+		}
+		global = int32(vertex)
+	default:
+		return Community{}, false, fmt.Errorf("engine: unknown layer %d", int(layer))
+	}
+	c, ok := idx.CommunityOfVertex(global, k)
+	if !ok {
+		return Community{}, false, nil
+	}
+	return toCommunity(ds.g, &c), true, nil
+}
+
+// Levels returns the distinct bitruss numbers of a decomposed dataset,
+// ascending.
+func (e *Engine) Levels(name string) ([]int64, error) {
+	ds, err := e.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	_, idx, err := ds.ready()
+	if err != nil {
+		return nil, err
+	}
+	return idx.Levels(), nil
+}
+
+// KBitrussEdges returns the edges of the dataset's k-bitruss as
+// layer-local (upper, lower, phi) triples, ascending by edge id.
+func (e *Engine) KBitrussEdges(name string, k int64) ([][3]int64, error) {
+	ds, err := e.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	res, idx, err := ds.ready()
+	if err != nil {
+		return nil, err
+	}
+	ids := idx.KBitrussEdgeIDs(k)
+	nl := int64(ds.g.NumLower())
+	out := make([][3]int64, len(ids))
+	for i, eid := range ids {
+		ed := ds.g.Edge(eid)
+		out[i] = [3]int64{int64(ed.U) - nl, int64(ed.V), res.Phi[eid]}
+	}
+	return out, nil
+}

@@ -1,0 +1,450 @@
+// Package server exposes the resident query engine over HTTP/JSON —
+// the `bitserved` front end. It is a thin, stateless layer over
+// internal/engine: datasets are registered, decomposed asynchronously,
+// and queried concurrently while other decompositions run in the
+// background.
+//
+// Endpoints:
+//
+//	GET    /healthz                      liveness probe
+//	GET    /datasets                     list datasets and their status
+//	POST   /datasets                     register {name, path|edges, oneBased}
+//	DELETE /datasets/{name}              unregister (cancels in-flight work)
+//	POST   /decompose                    {dataset, algorithm, tau, workers, ranges, wait}
+//	GET    /phi?dataset=D&u=U&v=V        bitruss number of one edge
+//	GET    /support?dataset=D&u=U&v=V    butterfly support (works pre-decomposition)
+//	GET    /levels?dataset=D             populated bitruss levels
+//	GET    /communities?dataset=D&k=K[&top=N]
+//	GET    /community_of?dataset=D&layer=upper|lower&vertex=V&k=K
+//	GET    /kbitruss?dataset=D&k=K       edges of the k-bitruss
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/bigraph"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// maxBodyBytes caps POST bodies (inline edge lists included): one
+// hostile request must not be able to exhaust server memory.
+const maxBodyBytes = 64 << 20
+
+// Server wraps an engine with an http.Handler.
+type Server struct {
+	eng *engine.Engine
+	mux *http.ServeMux
+}
+
+// New builds a Server over an existing engine (which may already hold
+// datasets loaded at startup).
+func New(eng *engine.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /datasets", s.handleAddDataset)
+	s.mux.HandleFunc("DELETE /datasets/{name}", s.handleDeleteDataset)
+	s.mux.HandleFunc("POST /decompose", s.handleDecompose)
+	s.mux.HandleFunc("GET /phi", s.handlePhi)
+	s.mux.HandleFunc("GET /support", s.handleSupport)
+	s.mux.HandleFunc("GET /levels", s.handleLevels)
+	s.mux.HandleFunc("GET /communities", s.handleCommunities)
+	s.mux.HandleFunc("GET /community_of", s.handleCommunityOf)
+	s.mux.HandleFunc("GET /kbitruss", s.handleKBitruss)
+	return s
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// decodeBody decodes a size-capped JSON request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return badRequestf("decoding body: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError maps engine errors onto HTTP status codes.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, engine.ErrNotFound), errors.Is(err, engine.ErrNoEdge):
+		status = http.StatusNotFound
+	case errors.Is(err, engine.ErrExists), errors.Is(err, engine.ErrBusy):
+		status = http.StatusConflict
+	case errors.Is(err, engine.ErrNotDecomposed):
+		status = http.StatusConflict
+	case errors.Is(err, errBadRequest):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+var errBadRequest = errors.New("bad request")
+
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// datasetJSON is the wire form of engine.DatasetInfo.
+type datasetJSON struct {
+	Name    string `json:"name"`
+	Upper   int    `json:"upper"`
+	Lower   int    `json:"lower"`
+	Edges   int    `json:"edges"`
+	Status  string `json:"status"`
+	Algo    string `json:"algorithm,omitempty"`
+	MaxPhi  int64  `json:"max_phi,omitempty"`
+	Levels  int    `json:"levels,omitempty"`
+	TimeMS  int64  `json:"decompose_ms,omitempty"`
+	Message string `json:"error,omitempty"`
+}
+
+func toDatasetJSON(i engine.DatasetInfo) datasetJSON {
+	return datasetJSON{
+		Name:    i.Name,
+		Upper:   i.Upper,
+		Lower:   i.Lower,
+		Edges:   i.Edges,
+		Status:  i.Status.String(),
+		Algo:    i.Algo,
+		MaxPhi:  i.MaxPhi,
+		Levels:  i.Levels,
+		TimeMS:  i.TotalTime.Milliseconds(),
+		Message: i.Err,
+	}
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	infos := s.eng.List()
+	out := make([]datasetJSON, len(infos))
+	for i, info := range infos {
+		out[i] = toDatasetJSON(info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type addDatasetRequest struct {
+	Name     string   `json:"name"`
+	Path     string   `json:"path,omitempty"`
+	OneBased bool     `json:"one_based,omitempty"`
+	Edges    [][2]int `json:"edges,omitempty"`
+}
+
+func (s *Server) handleAddDataset(w http.ResponseWriter, r *http.Request) {
+	var req addDatasetRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Name == "" {
+		writeError(w, badRequestf("name is required"))
+		return
+	}
+	var err error
+	switch {
+	case req.Path != "" && len(req.Edges) > 0:
+		err = badRequestf("path and edges are mutually exclusive")
+	case req.Path != "":
+		if err = s.eng.Load(req.Name, req.Path, req.OneBased); err != nil && !errors.Is(err, engine.ErrExists) {
+			// Unreadable or malformed files are a client problem.
+			err = badRequestf("loading %q: %v", req.Path, err)
+		}
+	case len(req.Edges) > 0:
+		var g *bigraph.Graph
+		g, err = bigraph.FromEdges(req.Edges)
+		if err != nil {
+			// Out-of-range vertex ids and the like.
+			err = badRequestf("edges: %v", err)
+		} else {
+			err = s.eng.Register(req.Name, g)
+		}
+	default:
+		err = badRequestf("either path or edges is required")
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := s.eng.Info(req.Name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, toDatasetJSON(info))
+}
+
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	if err := s.eng.Remove(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "removed"})
+}
+
+type decomposeRequest struct {
+	Dataset   string  `json:"dataset"`
+	Algorithm string  `json:"algorithm,omitempty"`
+	Tau       float64 `json:"tau,omitempty"`
+	Workers   int     `json:"workers,omitempty"`
+	Ranges    int     `json:"ranges,omitempty"`
+	// Wait blocks the request until the decomposition finishes; by
+	// default the run continues in the background and /datasets reports
+	// its progress.
+	Wait bool `json:"wait,omitempty"`
+}
+
+func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
+	var req decomposeRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	algo := core.BiTBUPlusPlus
+	if req.Algorithm != "" {
+		var ok bool
+		if algo, ok = core.ParseAlgorithm(req.Algorithm); !ok {
+			writeError(w, badRequestf("unknown algorithm %q", req.Algorithm))
+			return
+		}
+	}
+	opt := engine.Options{Algorithm: algo, Tau: req.Tau, Workers: req.Workers, Ranges: req.Ranges}
+	status := http.StatusAccepted
+	if req.Wait {
+		// A waited run is request-scoped: closing the connection
+		// cancels the peeling loops. The work is done when we reply,
+		// so the status is 200, not 202.
+		if err := s.eng.Decompose(r.Context(), req.Dataset, opt); err != nil {
+			writeError(w, err)
+			return
+		}
+		status = http.StatusOK
+	} else if err := s.eng.StartDecompose(context.WithoutCancel(r.Context()), req.Dataset, opt); err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := s.eng.Info(req.Dataset)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, status, toDatasetJSON(info))
+}
+
+// queryInt parses a required integer query parameter.
+func queryInt(r *http.Request, name string) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, badRequestf("%s is required", name)
+	}
+	n, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, badRequestf("%s: %v", name, err)
+	}
+	return n, nil
+}
+
+func queryDataset(r *http.Request) (string, error) {
+	name := r.URL.Query().Get("dataset")
+	if name == "" {
+		return "", badRequestf("dataset is required")
+	}
+	return name, nil
+}
+
+func (s *Server) handlePhi(w http.ResponseWriter, r *http.Request) {
+	name, err := queryDataset(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	u, err := queryInt(r, "u")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	v, err := queryInt(r, "v")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	phi, err := s.eng.Phi(name, int(u), int(v))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": name, "u": u, "v": v, "phi": phi,
+	})
+}
+
+func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
+	name, err := queryDataset(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	u, err := queryInt(r, "u")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	v, err := queryInt(r, "v")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	sup, err := s.eng.Support(name, int(u), int(v))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": name, "u": u, "v": v, "support": sup,
+	})
+}
+
+func (s *Server) handleLevels(w http.ResponseWriter, r *http.Request) {
+	name, err := queryDataset(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	levels, err := s.eng.Levels(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dataset": name, "levels": levels})
+}
+
+func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request) {
+	name, err := queryDataset(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	k, err := queryInt(r, "k")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	top := -1
+	if raw := r.URL.Query().Get("top"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeError(w, badRequestf("top: must be a non-negative integer"))
+			return
+		}
+		top = n
+	}
+	cs, total, err := s.eng.TopCommunities(name, k, top)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": name, "k": k, "total": total, "communities": cs,
+	})
+}
+
+func (s *Server) handleCommunityOf(w http.ResponseWriter, r *http.Request) {
+	name, err := queryDataset(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	k, err := queryInt(r, "k")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	vertex, err := queryInt(r, "vertex")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var layer engine.Layer
+	switch r.URL.Query().Get("layer") {
+	case "upper", "":
+		layer = engine.UpperLayer
+	case "lower":
+		layer = engine.LowerLayer
+	default:
+		writeError(w, badRequestf("layer must be upper or lower"))
+		return
+	}
+	c, ok, err := s.eng.CommunityOf(name, layer, int(vertex), k)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{
+			Error: fmt.Sprintf("vertex %d has no community at level %d", vertex, k),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": name, "k": k, "community": c,
+	})
+}
+
+func (s *Server) handleKBitruss(w http.ResponseWriter, r *http.Request) {
+	name, err := queryDataset(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	k, err := queryInt(r, "k")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	edges, err := s.eng.KBitrussEdges(name, k)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	type edgeJSON struct {
+		U   int64 `json:"u"`
+		V   int64 `json:"v"`
+		Phi int64 `json:"phi"`
+	}
+	out := make([]edgeJSON, len(edges))
+	for i, e := range edges {
+		out[i] = edgeJSON{U: e[0], V: e[1], Phi: e[2]}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": name, "k": k, "edges": out,
+	})
+}

@@ -1,0 +1,322 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/testgraphs"
+)
+
+func newTestServer(t *testing.T) (*engine.Engine, *httptest.Server) {
+	t.Helper()
+	eng := engine.New()
+	ts := httptest.NewServer(New(eng).Handler())
+	t.Cleanup(ts.Close)
+	return eng, ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func registerFigure1(t *testing.T, ts *httptest.Server, name string) {
+	t.Helper()
+	var ds datasetJSON
+	code := doJSON(t, "POST", ts.URL+"/datasets", addDatasetRequest{
+		Name:  name,
+		Edges: testgraphs.Figure1Edges(),
+	}, &ds)
+	if code != http.StatusCreated {
+		t.Fatalf("POST /datasets = %d", code)
+	}
+	if ds.Status != "loaded" || ds.Edges != 11 {
+		t.Fatalf("registered dataset = %+v", ds)
+	}
+}
+
+func decomposeAndWait(t *testing.T, ts *httptest.Server, name string) {
+	t.Helper()
+	var ds datasetJSON
+	code := doJSON(t, "POST", ts.URL+"/decompose", decomposeRequest{
+		Dataset: name, Algorithm: "bu++", Wait: true,
+	}, &ds)
+	if code != http.StatusOK || ds.Status != "ready" {
+		t.Fatalf("POST /decompose = %d, dataset %+v", code, ds)
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var health map[string]string
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, health)
+	}
+
+	registerFigure1(t, ts, "fig1")
+	decomposeAndWait(t, ts, "fig1")
+
+	// Every ground-truth φ of the Figure 1 network over /phi.
+	for pair, want := range testgraphs.Figure1Bitruss() {
+		var out struct {
+			Phi int64 `json:"phi"`
+		}
+		url := fmt.Sprintf("%s/phi?dataset=fig1&u=%d&v=%d", ts.URL, pair[0], pair[1])
+		if code := doJSON(t, "GET", url, nil, &out); code != http.StatusOK {
+			t.Fatalf("GET /phi%v = %d", pair, code)
+		}
+		if out.Phi != want {
+			t.Errorf("phi%v = %d, want %d", pair, out.Phi, want)
+		}
+	}
+	// Absent edge -> 404.
+	if code := doJSON(t, "GET", ts.URL+"/phi?dataset=fig1&u=0&v=4", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("absent edge = %d, want 404", code)
+	}
+
+	// /support matches Figure 6's BE-Index supports.
+	for pair, want := range testgraphs.Figure1Supports() {
+		var out struct {
+			Support int64 `json:"support"`
+		}
+		url := fmt.Sprintf("%s/support?dataset=fig1&u=%d&v=%d", ts.URL, pair[0], pair[1])
+		if code := doJSON(t, "GET", url, nil, &out); code != http.StatusOK {
+			t.Fatalf("GET /support%v = %d", pair, code)
+		}
+		if out.Support != want {
+			t.Errorf("support%v = %d, want %d", pair, out.Support, want)
+		}
+	}
+
+	var levels struct {
+		Levels []int64 `json:"levels"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/levels?dataset=fig1", nil, &levels); code != http.StatusOK {
+		t.Fatalf("GET /levels = %d", code)
+	}
+	if len(levels.Levels) != 3 || levels.Levels[2] != 2 {
+		t.Fatalf("levels = %v", levels.Levels)
+	}
+
+	// /communities at level 2: H2 of Figure 4(c).
+	var comms struct {
+		Total       int                `json:"total"`
+		Communities []engine.Community `json:"communities"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/communities?dataset=fig1&k=2", nil, &comms); code != http.StatusOK {
+		t.Fatalf("GET /communities = %d", code)
+	}
+	if comms.Total != 1 || len(comms.Communities) != 1 || comms.Communities[0].Size != 6 {
+		t.Fatalf("communities = %+v", comms)
+	}
+
+	// /community_of for u1 at level 2 returns the same community.
+	var cof struct {
+		Community engine.Community `json:"community"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/community_of?dataset=fig1&layer=upper&vertex=1&k=2", nil, &cof); code != http.StatusOK {
+		t.Fatalf("GET /community_of = %d", code)
+	}
+	if cof.Community.Size != 6 || cof.Community.K != 2 {
+		t.Fatalf("community_of = %+v", cof.Community)
+	}
+	// u3 is outside the 2-bitruss -> 404.
+	if code := doJSON(t, "GET", ts.URL+"/community_of?dataset=fig1&layer=upper&vertex=3&k=2", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("community_of outside = %d, want 404", code)
+	}
+
+	// /kbitruss at level 2 lists the six H2 edges.
+	var kb struct {
+		Edges []struct {
+			U, V, Phi int64
+		} `json:"edges"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/kbitruss?dataset=fig1&k=2", nil, &kb); code != http.StatusOK {
+		t.Fatalf("GET /kbitruss = %d", code)
+	}
+	if len(kb.Edges) != 6 {
+		t.Fatalf("kbitruss edges = %+v", kb.Edges)
+	}
+
+	// DELETE then 404.
+	if code := doJSON(t, "DELETE", ts.URL+"/datasets/fig1", nil, nil); code != http.StatusOK {
+		t.Fatalf("DELETE = %d", code)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/phi?dataset=fig1&u=0&v=0", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("after delete = %d, want 404", code)
+	}
+}
+
+func TestServerErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t)
+	registerFigure1(t, ts, "fig1")
+
+	// Duplicate registration -> 409.
+	if code := doJSON(t, "POST", ts.URL+"/datasets", addDatasetRequest{
+		Name: "fig1", Edges: [][2]int{{0, 0}},
+	}, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate register = %d, want 409", code)
+	}
+	// Query before decomposition -> 409.
+	if code := doJSON(t, "GET", ts.URL+"/phi?dataset=fig1&u=0&v=0", nil, nil); code != http.StatusConflict {
+		t.Fatalf("phi before decompose = %d, want 409", code)
+	}
+	// Bad requests -> 400.
+	if code := doJSON(t, "GET", ts.URL+"/phi?dataset=fig1&u=zero&v=0", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad u = %d, want 400", code)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/communities?dataset=fig1", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("missing k = %d, want 400", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/decompose", decomposeRequest{
+		Dataset: "fig1", Algorithm: "quantum",
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad algorithm = %d, want 400", code)
+	}
+	// Unknown dataset -> 404.
+	if code := doJSON(t, "POST", ts.URL+"/decompose", decomposeRequest{Dataset: "nope"}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown dataset = %d, want 404", code)
+	}
+	// Hostile vertex ids (negative, or beyond the int32 id space) are a
+	// clean 400, not a panic or a giant allocation.
+	for _, edges := range [][][2]int{
+		{{-1, 0}},
+		{{3000000000, 0}},
+		{{0, 2000000000}},
+	} {
+		var body errorBody
+		if code := doJSON(t, "POST", ts.URL+"/datasets", addDatasetRequest{
+			Name: "hostile", Edges: edges,
+		}, &body); code != http.StatusBadRequest || body.Error == "" {
+			t.Fatalf("edges %v = %d (%q), want 400", edges, code, body.Error)
+		}
+	}
+	// Unreadable file path -> 400.
+	if code := doJSON(t, "POST", ts.URL+"/datasets", addDatasetRequest{
+		Name: "ghost", Path: "/definitely/missing.txt",
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("missing path accepted")
+	}
+}
+
+// TestServerConcurrentQueriesDuringBackgroundDecompose is the serving
+// acceptance scenario: dataset A answers concurrent φ and community
+// queries while dataset B decomposes in the background, and B becomes
+// queryable once /datasets reports it ready.
+func TestServerConcurrentQueriesDuringBackgroundDecompose(t *testing.T) {
+	eng, ts := newTestServer(t)
+
+	registerFigure1(t, ts, "served")
+	decomposeAndWait(t, ts, "served")
+
+	// Register the background dataset directly on the engine (a
+	// generated graph, not a file).
+	if err := eng.Register("bg", gen.Zipf(600, 600, 20000, 1.3, 1.3, 5)); err != nil {
+		t.Fatal(err)
+	}
+	var ds datasetJSON
+	code := doJSON(t, "POST", ts.URL+"/decompose", decomposeRequest{
+		Dataset: "bg", Algorithm: "bu++p", Workers: 2,
+	}, &ds)
+	if code != http.StatusAccepted {
+		t.Fatalf("background decompose = %d", code)
+	}
+	if ds.Status != "decomposing" && ds.Status != "ready" {
+		t.Fatalf("background status = %q", ds.Status)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var phi struct {
+					Phi int64 `json:"phi"`
+				}
+				if code := doJSON(t, "GET", ts.URL+"/phi?dataset=served&u=0&v=0", nil, &phi); code != http.StatusOK || phi.Phi != 2 {
+					t.Errorf("phi during background decompose: code=%d phi=%d", code, phi.Phi)
+					return
+				}
+				var comms struct {
+					Total int `json:"total"`
+				}
+				if code := doJSON(t, "GET", ts.URL+"/communities?dataset=served&k=1", nil, &comms); code != http.StatusOK || comms.Total != 1 {
+					t.Errorf("communities during background decompose: code=%d total=%d", code, comms.Total)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The background run finishes and becomes queryable.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		var list []datasetJSON
+		if code := doJSON(t, "GET", ts.URL+"/datasets", nil, &list); code != http.StatusOK {
+			t.Fatalf("GET /datasets = %d", code)
+		}
+		var bg *datasetJSON
+		for i := range list {
+			if list[i].Name == "bg" {
+				bg = &list[i]
+			}
+		}
+		if bg == nil {
+			t.Fatal("bg dataset missing from /datasets")
+		}
+		if bg.Status == "ready" {
+			break
+		}
+		if bg.Status == "failed" {
+			t.Fatalf("background decomposition failed: %s", bg.Message)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background decomposition stuck in %q", bg.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var levels struct {
+		Levels []int64 `json:"levels"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/levels?dataset=bg", nil, &levels); code != http.StatusOK || len(levels.Levels) == 0 {
+		t.Fatalf("bg levels after ready: code=%d levels=%v", code, levels.Levels)
+	}
+}
