@@ -13,10 +13,7 @@
 // procedures of Algorithms 3 and 6 are prefix scans with early exit.
 package bigraph
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Edge is an undirected edge between an upper-layer vertex U and a
 // lower-layer vertex V, both as graph-global vertex ids (so U >= NumLower
@@ -35,14 +32,27 @@ type Graph struct {
 	numLower int32
 	numUpper int32
 
-	edges []Edge // edge id -> endpoints, sorted by (U, V)
+	// edges maps edge id -> endpoints. Builder-produced graphs order the
+	// slice by (U, V); Delta.Apply instead preserves the surviving base
+	// ids' relative order and appends inserted edges at the end, so that
+	// edge ids stay stable across mutations. No algorithm relies on the
+	// (U, V) ordering.
+	edges []Edge
 
 	offsets []int32 // CSR offsets, len NumVertices+1
 	nbrs    []int32 // neighbour vertex ids, sorted by ascending rank
 	eids    []int32 // edge ids parallel to nbrs
 
 	rank []int32 // rank[v] in [0, NumVertices); larger rank = larger priority
+
+	// version counts the mutations this graph is derived from: 0 for a
+	// freshly built graph, base.version+1 for the output of Delta.Apply.
+	version int64
 }
+
+// Version returns the mutation version of the graph: 0 for a freshly
+// built graph, incremented by every Delta.Apply.
+func (g *Graph) Version() int64 { return g.version }
 
 // NumLower returns the number of lower-layer vertices |L(G)|.
 func (g *Graph) NumLower() int { return int(g.numLower) }
@@ -124,9 +134,15 @@ func (g *Graph) String() string {
 	return fmt.Sprintf("bigraph{|U|=%d |L|=%d |E|=%d}", g.numUpper, g.numLower, len(g.edges))
 }
 
-// build constructs the CSR arrays and priority ranks from a deduplicated,
-// sorted edge slice. It is shared by Builder.Build and the subgraph
-// constructors.
+// build constructs the CSR arrays and priority ranks from a
+// deduplicated edge slice. It is shared by Builder.Build, Delta.Apply
+// and the subgraph constructors, and runs in O(n + m): ranks come from
+// a counting sort over degrees and the adjacency segments come out
+// sorted by construction — vertices are scattered into their
+// neighbours' segments in ascending rank order — so no comparison sort
+// ever runs. Mutation batches (Delta.Apply) and the per-iteration
+// candidate rebuilds of BiT-PC hit this path repeatedly, where the
+// previous per-segment sorts dominated.
 func build(numUpper, numLower int32, edges []Edge) *Graph {
 	g := &Graph{
 		numLower: numLower,
@@ -143,64 +159,64 @@ func build(numUpper, numLower int32, edges []Edge) *Graph {
 		deg[e.V]++
 	}
 
-	// Priority ranks (Definition 7): sort vertices by (degree, id)
+	// Priority ranks (Definition 7): vertices ordered by (degree, id)
 	// ascending; position in that order is the rank, so a larger rank
-	// means a larger priority.
-	order := make([]int32, n)
-	for i := range order {
-		order[i] = int32(i)
-	}
-	sort.Slice(order, func(i, j int) bool {
-		a, b := order[i], order[j]
-		if deg[a] != deg[b] {
-			return deg[a] < deg[b]
+	// means a larger priority. Counting sort by degree, scanning vertex
+	// ids ascending within each degree bucket (2m/n average, max m).
+	maxDeg := int32(0)
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
 		}
-		return a < b
-	})
+	}
+	degOff := make([]int32, maxDeg+2)
+	for _, d := range deg {
+		degOff[d+1]++
+	}
+	for d := int32(0); d <= maxDeg; d++ {
+		degOff[d+1] += degOff[d]
+	}
 	g.rank = make([]int32, n)
-	for r, v := range order {
-		g.rank[v] = int32(r)
+	order := make([]int32, n) // rank -> vertex, ascending priority
+	for v := 0; v < n; v++ {
+		r := degOff[deg[v]]
+		degOff[deg[v]]++
+		g.rank[v] = r
+		order[r] = int32(v)
 	}
 
-	// CSR fill.
+	// Unsorted incidence CSR: vertex -> (neighbour, edge id).
 	g.offsets = make([]int32, n+1)
 	for v := 0; v < n; v++ {
 		g.offsets[v+1] = g.offsets[v] + deg[v]
 	}
-	g.nbrs = make([]int32, 2*m)
-	g.eids = make([]int32, 2*m)
+	tmpNbrs := make([]int32, 2*m)
+	tmpEids := make([]int32, 2*m)
 	cursor := make([]int32, n)
 	copy(cursor, g.offsets[:n])
 	for id, e := range edges {
-		g.nbrs[cursor[e.U]] = e.V
-		g.eids[cursor[e.U]] = int32(id)
+		tmpNbrs[cursor[e.U]] = e.V
+		tmpEids[cursor[e.U]] = int32(id)
 		cursor[e.U]++
-		g.nbrs[cursor[e.V]] = e.U
-		g.eids[cursor[e.V]] = int32(id)
+		tmpNbrs[cursor[e.V]] = e.U
+		tmpEids[cursor[e.V]] = int32(id)
 		cursor[e.V]++
 	}
 
-	// Sort each adjacency segment by ascending neighbour rank so that
-	// lower-priority neighbours form a prefix.
-	for v := 0; v < n; v++ {
+	// Rank-ordered scatter: walking vertices by ascending rank and
+	// appending each to its neighbours' segments leaves every segment
+	// sorted by ascending neighbour rank, as the wedge scans require.
+	g.nbrs = make([]int32, 2*m)
+	g.eids = make([]int32, 2*m)
+	copy(cursor, g.offsets[:n])
+	for _, v := range order {
 		lo, hi := g.offsets[v], g.offsets[v+1]
-		seg := adjSegment{nbrs: g.nbrs[lo:hi], eids: g.eids[lo:hi], rank: g.rank}
-		sort.Sort(seg)
+		for i := lo; i < hi; i++ {
+			w := tmpNbrs[i]
+			g.nbrs[cursor[w]] = v
+			g.eids[cursor[w]] = tmpEids[i]
+			cursor[w]++
+		}
 	}
 	return g
-}
-
-type adjSegment struct {
-	nbrs []int32
-	eids []int32
-	rank []int32
-}
-
-func (s adjSegment) Len() int { return len(s.nbrs) }
-func (s adjSegment) Less(i, j int) bool {
-	return s.rank[s.nbrs[i]] < s.rank[s.nbrs[j]]
-}
-func (s adjSegment) Swap(i, j int) {
-	s.nbrs[i], s.nbrs[j] = s.nbrs[j], s.nbrs[i]
-	s.eids[i], s.eids[j] = s.eids[j], s.eids[i]
 }

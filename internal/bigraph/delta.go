@@ -1,0 +1,201 @@
+package bigraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Delta stages edge insertions and deletions over a base Graph. It is
+// the write path of the dynamic-graph layer: mutations accumulate in
+// the delta (with last-write-wins semantics per edge, so an insert
+// followed by a delete of the same new edge cancels out) and Apply
+// materialises them as a new, versioned Graph plus a Remap table that
+// relates the base graph's edge ids to the new graph's.
+//
+// A Delta is not safe for concurrent use. Apply does not consume the
+// delta: it reads the base graph and the staged operations without
+// modifying either, so it may be called repeatedly.
+type Delta struct {
+	base *Graph
+	ins  map[layerEdge]struct{} // staged insertions, layer-local pairs
+	del  map[int32]struct{}     // staged deletions, base edge ids
+	err  error
+}
+
+// NewDelta returns an empty delta over base.
+func NewDelta(base *Graph) *Delta {
+	return &Delta{
+		base: base,
+		ins:  make(map[layerEdge]struct{}),
+		del:  make(map[int32]struct{}),
+	}
+}
+
+// validate poisons the delta on out-of-range layer indices, mirroring
+// Builder.AddEdge.
+func (d *Delta) validate(u, v int) bool {
+	if u < 0 || v < 0 {
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: (%d, %d)", ErrNegativeVertex, u, v)
+		}
+		return false
+	}
+	if u >= MaxLayerSize || v >= MaxLayerSize {
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: (%d, %d)", ErrVertexOutOfRange, u, v)
+		}
+		return false
+	}
+	return true
+}
+
+// baseEdgeID resolves a layer-local pair to a base edge id, or -1 when
+// the base graph has no such edge (including pairs whose endpoints lie
+// beyond the base layer sizes).
+func (d *Delta) baseEdgeID(u, v int) int32 {
+	if u >= d.base.NumUpper() || v >= d.base.NumLower() {
+		return -1
+	}
+	return d.base.EdgeID(d.base.numLower+int32(u), int32(v))
+}
+
+// Insert stages the insertion of the edge between upper-layer vertex u
+// and lower-layer vertex v (both 0-based within their layer). Indices
+// beyond the base layer sizes grow the layers on Apply. Inserting an
+// edge the base graph already holds is a no-op, except that it cancels
+// a staged deletion of that edge.
+func (d *Delta) Insert(u, v int) {
+	if !d.validate(u, v) {
+		return
+	}
+	if e := d.baseEdgeID(u, v); e >= 0 {
+		delete(d.del, e) // un-delete; the edge exists in the base
+		return
+	}
+	d.ins[layerEdge{u: int32(u), v: int32(v)}] = struct{}{}
+}
+
+// Delete stages the deletion of the edge between upper-layer vertex u
+// and lower-layer vertex v. Deleting an edge the base graph does not
+// hold is a no-op, except that it cancels a staged insertion of that
+// edge.
+func (d *Delta) Delete(u, v int) {
+	if !d.validate(u, v) {
+		return
+	}
+	if e := d.baseEdgeID(u, v); e >= 0 {
+		d.del[e] = struct{}{}
+		return
+	}
+	delete(d.ins, layerEdge{u: int32(u), v: int32(v)})
+}
+
+// Inserts returns the number of staged insertions.
+func (d *Delta) Inserts() int { return len(d.ins) }
+
+// Deletes returns the number of staged deletions.
+func (d *Delta) Deletes() int { return len(d.del) }
+
+// Empty reports whether the delta stages no net change.
+func (d *Delta) Empty() bool { return len(d.ins) == 0 && len(d.del) == 0 }
+
+// Remap relates the edge ids of a base graph to the graph produced by
+// Delta.Apply. Surviving edges keep their relative order (ids are only
+// compacted past deletions, so the old-to-new mapping is monotone);
+// inserted edges receive the highest ids. Per-edge state carried across
+// a mutation (bitruss numbers, butterfly supports, community caches) is
+// translated through this table.
+type Remap struct {
+	// OldToNew maps a base edge id to its id in the new graph, or -1
+	// for deleted edges.
+	OldToNew []int32
+	// NewToOld maps a new edge id to its base id, or -1 for inserted
+	// edges.
+	NewToOld []int32
+	// Inserted lists the new-graph ids of the inserted edges, ascending.
+	Inserted []int32
+	// Deleted lists the base-graph ids of the deleted edges, ascending.
+	Deleted []int32
+	// LowerGrown is the number of lower-layer vertices added by the
+	// mutation. Global upper-layer vertex ids shift up by this amount
+	// (lower-layer ids are stable).
+	LowerGrown int32
+	// UpperGrown is the number of upper-layer vertices added.
+	UpperGrown int32
+}
+
+// Identity reports whether the remap is the identity on edges (no
+// insertions, no deletions).
+func (rm *Remap) Identity() bool { return len(rm.Inserted) == 0 && len(rm.Deleted) == 0 }
+
+// Apply materialises the staged mutations as a new Graph whose version
+// is base.Version()+1, together with the edge-id remap table. The base
+// graph is not modified.
+func (d *Delta) Apply() (*Graph, *Remap, error) {
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	base := d.base
+
+	// New layer sizes: staged inserts may reference vertices beyond the
+	// base layers.
+	numUpper2, numLower2 := base.numUpper, base.numLower
+	for le := range d.ins {
+		if le.u >= numUpper2 {
+			numUpper2 = le.u + 1
+		}
+		if le.v >= numLower2 {
+			numLower2 = le.v + 1
+		}
+	}
+	shift := numLower2 - base.numLower
+
+	mOld := base.NumEdges()
+	rm := &Remap{
+		OldToNew:   make([]int32, mOld),
+		LowerGrown: shift,
+		UpperGrown: numUpper2 - base.numUpper,
+	}
+
+	edges2 := make([]Edge, 0, mOld-len(d.del)+len(d.ins))
+	for e := int32(0); e < int32(mOld); e++ {
+		if _, dead := d.del[e]; dead {
+			rm.OldToNew[e] = -1
+			rm.Deleted = append(rm.Deleted, e)
+			continue
+		}
+		rm.OldToNew[e] = int32(len(edges2))
+		ed := base.edges[e]
+		edges2 = append(edges2, Edge{U: ed.U + shift, V: ed.V})
+	}
+	sort.Slice(rm.Deleted, func(i, j int) bool { return rm.Deleted[i] < rm.Deleted[j] })
+
+	staged := make([]Edge, 0, len(d.ins))
+	for le := range d.ins {
+		staged = append(staged, Edge{U: numLower2 + le.u, V: le.v})
+	}
+	sort.Slice(staged, func(i, j int) bool {
+		if staged[i].U != staged[j].U {
+			return staged[i].U < staged[j].U
+		}
+		return staged[i].V < staged[j].V
+	})
+	for _, ed := range staged {
+		rm.Inserted = append(rm.Inserted, int32(len(edges2)))
+		edges2 = append(edges2, ed)
+	}
+
+	rm.NewToOld = make([]int32, len(edges2))
+	for i := range rm.NewToOld {
+		rm.NewToOld[i] = -1
+	}
+	for e1, e2 := range rm.OldToNew {
+		if e2 >= 0 {
+			rm.NewToOld[e2] = int32(e1)
+		}
+	}
+
+	g2 := build(numUpper2, numLower2, edges2)
+	g2.version = base.version + 1
+	return g2, rm, nil
+}

@@ -1,0 +1,206 @@
+package bigraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// edgeSet collects a graph's edges as layer-local pairs.
+func edgeSet(t *testing.T, g *Graph) map[[2]int]bool {
+	t.Helper()
+	out := make(map[[2]int]bool, g.NumEdges())
+	nl := int32(g.NumLower())
+	for e := int32(0); e < int32(g.NumEdges()); e++ {
+		ed := g.Edge(e)
+		out[[2]int{int(ed.U - nl), int(ed.V)}] = true
+	}
+	return out
+}
+
+func TestDeltaApplyBasic(t *testing.T) {
+	base, err := FromEdges([][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDelta(base)
+	d.Insert(2, 0) // new edge
+	d.Insert(0, 0) // duplicate of base edge: no-op
+	d.Delete(2, 2) // existing edge
+	d.Delete(9, 9) // nonexistent: no-op
+	if d.Inserts() != 1 || d.Deletes() != 1 {
+		t.Fatalf("staged %d inserts, %d deletes; want 1, 1", d.Inserts(), d.Deletes())
+	}
+
+	g2, rm, err := d.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Version() != base.Version()+1 {
+		t.Errorf("version = %d, want %d", g2.Version(), base.Version()+1)
+	}
+	want := map[[2]int]bool{{0, 0}: true, {0, 1}: true, {1, 0}: true, {1, 1}: true, {2, 0}: true}
+	got := edgeSet(t, g2)
+	if len(got) != len(want) {
+		t.Fatalf("edges = %v, want %v", got, want)
+	}
+	for p := range want {
+		if !got[p] {
+			t.Errorf("missing edge %v", p)
+		}
+	}
+
+	// Remap invariants: monotone on survivors, inverse consistent.
+	if len(rm.OldToNew) != base.NumEdges() || len(rm.NewToOld) != g2.NumEdges() {
+		t.Fatalf("remap sizes %d/%d, want %d/%d", len(rm.OldToNew), len(rm.NewToOld), base.NumEdges(), g2.NumEdges())
+	}
+	prev := int32(-1)
+	for e1, e2 := range rm.OldToNew {
+		if e2 < 0 {
+			continue
+		}
+		if e2 <= prev {
+			t.Fatalf("OldToNew not monotone at %d", e1)
+		}
+		prev = e2
+		if rm.NewToOld[e2] != int32(e1) {
+			t.Fatalf("NewToOld[%d] = %d, want %d", e2, rm.NewToOld[e2], e1)
+		}
+		if base.Edge(int32(e1)).V != g2.Edge(e2).V {
+			t.Fatalf("surviving edge %d changed lower endpoint", e1)
+		}
+	}
+	if len(rm.Deleted) != 1 || len(rm.Inserted) != 1 {
+		t.Fatalf("remap lists %v/%v", rm.Deleted, rm.Inserted)
+	}
+	for _, e2 := range rm.Inserted {
+		if rm.NewToOld[e2] != -1 {
+			t.Errorf("inserted edge %d maps back to %d", e2, rm.NewToOld[e2])
+		}
+	}
+}
+
+func TestDeltaCancellation(t *testing.T) {
+	base := MustFrom(t, [][2]int{{0, 0}, {0, 1}})
+	d := NewDelta(base)
+	d.Insert(5, 5)
+	d.Delete(5, 5) // cancels the staged insert
+	d.Delete(0, 0)
+	d.Insert(0, 0) // cancels the staged delete
+	if !d.Empty() {
+		t.Fatalf("delta not empty: %d inserts, %d deletes", d.Inserts(), d.Deletes())
+	}
+	g2, rm, err := d.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != base.NumEdges() || !rm.Identity() {
+		t.Fatalf("no-op delta changed the graph: %v", rm)
+	}
+}
+
+// MustFrom builds a graph from pairs or fails the test.
+func MustFrom(t *testing.T, pairs [][2]int) *Graph {
+	t.Helper()
+	g, err := FromEdges(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDeltaGrowsLayers(t *testing.T) {
+	base := MustFrom(t, [][2]int{{0, 0}, {1, 1}})
+	d := NewDelta(base)
+	d.Insert(4, 7)
+	g2, rm, err := d.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumUpper() != 5 || g2.NumLower() != 8 {
+		t.Fatalf("layers %dx%d, want 5x8", g2.NumUpper(), g2.NumLower())
+	}
+	if rm.UpperGrown != 3 || rm.LowerGrown != 6 {
+		t.Fatalf("growth %d/%d, want 3/6", rm.UpperGrown, rm.LowerGrown)
+	}
+	got := edgeSet(t, g2)
+	for _, p := range [][2]int{{0, 0}, {1, 1}, {4, 7}} {
+		if !got[p] {
+			t.Errorf("missing edge %v", p)
+		}
+	}
+}
+
+func TestDeltaValidation(t *testing.T) {
+	base := MustFrom(t, [][2]int{{0, 0}})
+	d := NewDelta(base)
+	d.Insert(-1, 0)
+	if _, _, err := d.Apply(); err == nil {
+		t.Fatal("negative insert did not poison the delta")
+	}
+	d = NewDelta(base)
+	d.Delete(0, -3)
+	if _, _, err := d.Apply(); err == nil {
+		t.Fatal("negative delete did not poison the delta")
+	}
+}
+
+// TestDeltaMatchesRebuild cross-validates Apply against building the
+// mutated edge set from scratch, over randomized mutation sequences.
+func TestDeltaMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		nu, nl := 6+rng.Intn(10), 6+rng.Intn(10)
+		pairs := map[[2]int]bool{}
+		var list [][2]int
+		for i := 0; i < 40; i++ {
+			p := [2]int{rng.Intn(nu), rng.Intn(nl)}
+			if !pairs[p] {
+				pairs[p] = true
+				list = append(list, p)
+			}
+		}
+		base := MustFrom(t, list)
+
+		d := NewDelta(base)
+		want := map[[2]int]bool{}
+		for p := range pairs {
+			want[p] = true
+		}
+		for op := 0; op < 15; op++ {
+			p := [2]int{rng.Intn(nu + 2), rng.Intn(nl + 2)}
+			if rng.Intn(2) == 0 {
+				d.Insert(p[0], p[1])
+				want[p] = true
+			} else {
+				d.Delete(p[0], p[1])
+				delete(want, p)
+			}
+		}
+		g2, rm, err := d.Apply()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := edgeSet(t, g2)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d edges, want %d", trial, len(got), len(want))
+		}
+		for p := range want {
+			if !got[p] {
+				t.Fatalf("trial %d: missing edge %v", trial, p)
+			}
+		}
+		if g2.NumEdges() != base.NumEdges()-len(rm.Deleted)+len(rm.Inserted) {
+			t.Fatalf("trial %d: edge count vs remap mismatch", trial)
+		}
+		// Surviving edges keep their endpoints (modulo the upper shift).
+		for e1, e2 := range rm.OldToNew {
+			if e2 < 0 {
+				continue
+			}
+			oldEd, newEd := base.Edge(int32(e1)), g2.Edge(e2)
+			if oldEd.V != newEd.V || oldEd.U-int32(base.NumLower()) != newEd.U-int32(g2.NumLower()) {
+				t.Fatalf("trial %d: survivor %d -> %d endpoint mismatch", trial, e1, e2)
+			}
+		}
+	}
+}

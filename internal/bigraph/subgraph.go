@@ -30,7 +30,8 @@ func (g *Graph) InducedByEdges(keep []bool) Subgraph {
 			parent = append(parent, int32(e))
 		}
 	}
-	// g.edges is sorted by (U, V); filtering preserves that order.
+	// Subgraph edge ids follow the parent's id order (build does not
+	// require any particular edge ordering).
 	return Subgraph{G: build(g.numUpper, g.numLower, edges), ParentEdge: parent}
 }
 
@@ -47,8 +48,7 @@ func (g *Graph) InducedByEdgeIDs(ids []int32) Subgraph {
 		edges = append(edges, g.edges[e])
 		parent = append(parent, e)
 	}
-	// g.edges is sorted by (U, V); an ascending id selection preserves
-	// that order.
+	// Subgraph edge ids follow the listed (ascending parent id) order.
 	return Subgraph{G: build(g.numUpper, g.numLower, edges), ParentEdge: parent}
 }
 
@@ -87,9 +87,11 @@ func (g *Graph) SampleVertices(fraction float64, rng *rand.Rand) Subgraph {
 	return g.InducedByEdges(keep)
 }
 
-// Clone returns a deep copy of g with identical ids.
+// Clone returns a deep copy of g with identical ids and version.
 func (g *Graph) Clone() *Graph {
 	edges := make([]Edge, len(g.edges))
 	copy(edges, g.edges)
-	return build(g.numUpper, g.numLower, edges)
+	c := build(g.numUpper, g.numLower, edges)
+	c.version = g.version
+	return c
 }

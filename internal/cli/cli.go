@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -40,6 +41,7 @@ func Bitruss(args []string, stdout, stderr io.Writer) error {
 	summary := fs.Bool("summary", true, "print the decomposition summary")
 	communities := fs.Int64("communities", -1, "also list the communities of the k-bitruss at this level (-1 = off)")
 	top := fs.Int("top", -1, "cap the -communities listing to the n largest (-1 = all)")
+	mutate := fs.String("mutate", "", "replay a mutation file ('+ u v' / '- u v' lines, blank line or --- ends a batch) with incremental maintenance after the initial decomposition")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +83,12 @@ func Bitruss(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "index size : %.2f MB\n", float64(m.PeakIndexBytes)/(1<<20))
 		}
 	}
+	if *mutate != "" {
+		g, res, err = replayMutations(g, res, a, *mutate, *oneBased, stdout)
+		if err != nil {
+			return err
+		}
+	}
 	if *communities >= 0 {
 		writeCommunities(stdout, g, res.Phi, *communities, *top)
 	}
@@ -88,6 +96,115 @@ func Bitruss(args []string, stdout, stderr io.Writer) error {
 		return writePhi(*output, g, res.Phi, *oneBased, stdout)
 	}
 	return nil
+}
+
+// replayMutations applies the batches of a mutation file to (g, res)
+// through the incremental maintenance path, printing one locality
+// summary line per batch, and returns the final graph and result (the
+// -output/-communities flags then report the post-replay state).
+//
+// File format: one operation per line — "+ u v" inserts, "- u v"
+// deletes (layer-local indices, honouring -one-based) — with '%'/'#'
+// comments; a blank line or a "---" line ends the current batch.
+func replayMutations(g *bigraph.Graph, res *core.Result, algo core.Algorithm, path string, oneBased bool, stdout io.Writer) (*bigraph.Graph, *core.Result, error) {
+	batches, err := readMutationFile(path, oneBased)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(stdout, "replaying %d mutation batch(es) from %s\n", len(batches), path)
+	for bi, batch := range batches {
+		d := bigraph.NewDelta(g)
+		for _, op := range batch {
+			if op.insert {
+				d.Insert(op.u, op.v)
+			} else {
+				d.Delete(op.u, op.v)
+			}
+		}
+		if d.Empty() {
+			fmt.Fprintf(stdout, "batch %d: no net change\n", bi+1)
+			continue
+		}
+		g2, rm, err := d.Apply()
+		if err != nil {
+			return nil, nil, fmt.Errorf("batch %d: %w", bi+1, err)
+		}
+		res2, st, err := core.Maintain(g, res, g2, rm, core.MaintainOptions{Algorithm: algo})
+		if err != nil {
+			return nil, nil, fmt.Errorf("batch %d: %w", bi+1, err)
+		}
+		mode := "maintained"
+		if st.FellBack {
+			mode = "recomputed (fallback)"
+		}
+		fmt.Fprintf(stdout, "batch %d: +%d -%d edges -> version %d, %s in %v (candidates %d/%d, φ changes %d, K*=%d)\n",
+			bi+1, len(rm.Inserted), len(rm.Deleted), g2.Version(), mode, st.TotalTime.Round(time.Microsecond),
+			st.Candidates, g2.NumEdges(), st.ChangedPhi, st.KStar)
+		g, res = g2, res2
+	}
+	fmt.Fprintf(stdout, "final graph: |U|=%d |L|=%d |E|=%d, max bitruss %d\n",
+		g.NumUpper(), g.NumLower(), g.NumEdges(), res.MaxPhi)
+	return g, res, nil
+}
+
+type mutOp struct {
+	insert bool
+	u, v   int
+}
+
+// readMutationFile parses the -mutate replay format into batches.
+func readMutationFile(path string, oneBased bool) ([][]mutOp, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var batches [][]mutOp
+	var cur []mutOp
+	flush := func() {
+		if len(cur) > 0 {
+			batches = append(batches, cur)
+			cur = nil
+		}
+	}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "" || text == "---":
+			flush()
+			continue
+		case strings.HasPrefix(text, "%") || strings.HasPrefix(text, "#"):
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 || (fields[0] != "+" && fields[0] != "-") {
+			return nil, fmt.Errorf("%w: %s:%d: want '+ u v' or '- u v', got %q", ErrUsage, path, line, text)
+		}
+		u, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s:%d: %v", ErrUsage, path, line, err)
+		}
+		v, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s:%d: %v", ErrUsage, path, line, err)
+		}
+		if oneBased {
+			u--
+			v--
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("%w: %s:%d: negative vertex after base adjustment", ErrUsage, path, line)
+		}
+		cur = append(cur, mutOp{insert: fields[0] == "+", u: u, v: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return batches, nil
 }
 
 // writeCommunities prints the k-bitruss communities through the

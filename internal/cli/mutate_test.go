@@ -1,0 +1,160 @@
+package cli
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/core"
+	"repro/internal/dataio"
+	"repro/internal/gen"
+)
+
+// TestBitrussMutateReplay drives the -mutate replay mode end to end
+// and validates the final φ output against a from-scratch
+// decomposition of the mutated edge set.
+func TestBitrussMutateReplay(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.txt")
+	mutPath := filepath.Join(dir, "ops.txt")
+	phiPath := filepath.Join(dir, "phi.txt")
+
+	g := gen.Uniform(25, 25, 160, 3)
+	if err := dataio.SaveFile(graphPath, g, dataio.TextOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ed0, ed1 := g.Edge(0), g.Edge(1)
+	nl := g.NumLower()
+	mutFile := strings.Join([]string{
+		"% replay fixture",
+		"+ 30 4",
+		"+ 30 5",
+		"---",
+		"- " + itoa(int(ed0.U)-nl) + " " + itoa(int(ed0.V)),
+		"",
+		"+ 30 6",
+		"- " + itoa(int(ed1.U)-nl) + " " + itoa(int(ed1.V)),
+	}, "\n") + "\n"
+	if err := os.WriteFile(mutPath, []byte(mutFile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errw bytes.Buffer
+	err := Bitruss([]string{
+		"-input", graphPath, "-algo", "bu++", "-mutate", mutPath, "-output", phiPath,
+	}, &out, &errw)
+	if err != nil {
+		t.Fatalf("bitruss -mutate: %v (stderr: %s)", err, errw.String())
+	}
+	for _, want := range []string{"replaying 3 mutation batch(es)", "batch 1:", "batch 3:", "final graph"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Rebuild the expected final edge set and decompose it fresh.
+	d := bigraph.NewDelta(g)
+	d.Insert(30, 4)
+	d.Insert(30, 5)
+	g2, _, err := d.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = bigraph.NewDelta(g2)
+	d.Delete(int(ed0.U)-nl, int(ed0.V))
+	g3, _, err := d.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = bigraph.NewDelta(g3)
+	d.Insert(30, 6)
+	d.Delete(int(ed1.U)-nl, int(ed1.V))
+	g4, _, err := d.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Decompose(g4, core.Options{Algorithm: core.BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(phiPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 3 {
+			t.Fatalf("bad phi line %q", sc.Text())
+		}
+		u, _ := strconv.Atoi(fields[0])
+		v, _ := strconv.Atoi(fields[1])
+		phi, _ := strconv.ParseInt(fields[2], 10, 64)
+		e := g4.EdgeID(int32(g4.NumLower()+u), int32(v))
+		if e < 0 {
+			t.Fatalf("phi file references missing edge (%d,%d)", u, v)
+		}
+		if want.Phi[e] != phi {
+			t.Fatalf("replayed φ(%d,%d)=%d, fresh decomposition says %d", u, v, phi, want.Phi[e])
+		}
+		lines++
+	}
+	if lines != g4.NumEdges() {
+		t.Errorf("phi file has %d lines, want %d", lines, g4.NumEdges())
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func TestBitrussMutateBadFile(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.txt")
+	if err := dataio.SaveFile(graphPath, gen.Uniform(5, 5, 12, 1), dataio.TextOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	mutPath := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(mutPath, []byte("* 1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	err := Bitruss([]string{"-input", graphPath, "-mutate", mutPath}, &out, &errw)
+	if !errors.Is(err, ErrUsage) {
+		t.Fatalf("err = %v, want ErrUsage", err)
+	}
+	// Missing file surfaces as an I/O error.
+	err = Bitruss([]string{"-input", graphPath, "-mutate", filepath.Join(dir, "absent")}, &out, &errw)
+	if err == nil {
+		t.Fatal("missing mutation file accepted")
+	}
+}
+
+func TestBitrussMutateOneBased(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.txt")
+	g := gen.Uniform(8, 8, 30, 9)
+	if err := dataio.SaveFile(graphPath, g, dataio.TextOptions{OneBased: true}); err != nil {
+		t.Fatal(err)
+	}
+	mutPath := filepath.Join(dir, "ops.txt")
+	// 1-based (9, 1) is 0-based (8, 0).
+	if err := os.WriteFile(mutPath, []byte("+ 9 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	err := Bitruss([]string{"-input", graphPath, "-one-based", "-mutate", mutPath}, &out, &errw)
+	if err != nil {
+		t.Fatalf("bitruss: %v", err)
+	}
+	if !strings.Contains(out.String(), "batch 1: +1 -0 edges") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}

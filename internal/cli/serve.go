@@ -53,6 +53,12 @@ func Serve(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%w: unknown algorithm %q", ErrUsage, *algo)
 	}
 
+	// serverCtx scopes every background decomposition: cancelling it on
+	// shutdown propagates through the engine's context plumbing into
+	// the peeling loops.
+	serverCtx, cancelServer := context.WithCancel(context.Background())
+	defer cancelServer()
+
 	eng := engine.New()
 	for _, spec := range datasets {
 		name, path, ok := strings.Cut(spec, "=")
@@ -65,7 +71,7 @@ func Serve(args []string, stdout, stderr io.Writer) error {
 		info, _ := eng.Info(name)
 		fmt.Fprintf(stdout, "loaded %s: |U|=%d |L|=%d |E|=%d\n", name, info.Upper, info.Lower, info.Edges)
 		if *decompose {
-			err := eng.StartDecompose(context.Background(), name, engine.Options{
+			err := eng.StartDecompose(serverCtx, name, engine.Options{
 				Algorithm: a, Tau: *tau, Workers: *workers, Ranges: *ranges,
 			})
 			if err != nil {
@@ -87,9 +93,25 @@ func Serve(args []string, stdout, stderr io.Writer) error {
 	case err := <-errCh:
 		return err
 	case s := <-sig:
-		fmt.Fprintf(stdout, "received %v, shutting down\n", s)
+		// Graceful shutdown: stop accepting connections and drain
+		// in-flight queries, cancel background decompositions, then
+		// wait for the engine's appliers and peelers to wind down. A
+		// second signal aborts immediately.
+		fmt.Fprintf(stdout, "received %v, shutting down (signal again to force)\n", s)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		return srv.Shutdown(ctx)
+		go func() {
+			if s2, ok := <-sig; ok {
+				fmt.Fprintf(stdout, "received %v, forcing exit\n", s2)
+				cancel()
+			}
+		}()
+		cancelServer()
+		err := srv.Shutdown(ctx)
+		if serr := eng.Shutdown(ctx); err == nil {
+			err = serr
+		}
+		fmt.Fprintln(stdout, "bitserved stopped")
+		return err
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bigraph"
 )
@@ -57,8 +58,9 @@ type inode struct {
 	// A component's member sets do not depend on the query level (only
 	// the K label does), so the sorted edge and vertex lists are
 	// materialised once on first touch and shared by every later query.
-	once sync.Once
-	comm Community // cached with K == 0; K is stamped per query
+	once   sync.Once
+	comm   Community   // cached with K == 0; K is stamped per query
+	cached atomic.Bool // set after comm is materialised (read by UpdateIndex)
 }
 
 // NewIndex precomputes the community hierarchy of the decomposition phi
@@ -251,6 +253,7 @@ func (ix *Index) community(n int32, k int64) Community {
 	nd.once.Do(func() {
 		edges := append([]int32(nil), ix.order[nd.start:nd.end]...)
 		nd.comm = buildCommunity(ix.g, 0, edges)
+		nd.cached.Store(true)
 	})
 	c := nd.comm
 	c.K = k

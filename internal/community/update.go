@@ -1,0 +1,92 @@
+package community
+
+import "repro/internal/bigraph"
+
+// UpdateIndex rebuilds the hierarchy index after a graph mutation,
+// invalidating only the levels that actually changed: every community
+// at a level strictly above maxChangedLevel (as reported by the
+// incremental maintenance, core.MaintainStats.MaxChangedLevel) is
+// provably identical to its pre-mutation counterpart — the mutation
+// touched no edge at those levels — so its memoised member lists are
+// carried over from old through the edge-id remap instead of being
+// re-materialised on the next query. The forest skeleton itself is
+// recomputed (O(E·α(E)), cheap next to a decomposition); what this
+// preserves is the per-community materialisation warmth that makes hot
+// community queries O(answer).
+//
+// old may be queried concurrently throughout: only communities whose
+// materialisation already completed (an atomic flag published by the
+// memoisation) are read. maxChangedLevel < 0 means nothing changed and
+// every cached community transfers. Passing old == nil degrades to
+// NewIndex.
+func UpdateIndex(old *Index, g *bigraph.Graph, phi []int64, rm *bigraph.Remap, maxChangedLevel int64) *Index {
+	ix := NewIndex(g, phi)
+	if old == nil {
+		return ix
+	}
+
+	// Index the transferable old nodes by (level, remapped min edge):
+	// components of one level have disjoint edge sets, so the smallest
+	// member edge identifies a component uniquely, and the old-to-new
+	// remap is monotone on surviving edges, so the minimum survives
+	// translation. A node above maxChangedLevel cannot contain a
+	// deleted edge (deletions change their levels), hence its minEdge
+	// always maps forward.
+	type key struct {
+		level   int64
+		minEdge int32
+	}
+	transferable := make(map[key]*inode)
+	for i := range old.nodes {
+		nd := &old.nodes[i]
+		if nd.level <= maxChangedLevel || !nd.cached.Load() {
+			continue
+		}
+		if int(nd.minEdge) >= len(rm.OldToNew) {
+			continue // stale remap; skip rather than misattribute
+		}
+		newMin := rm.OldToNew[nd.minEdge]
+		if newMin < 0 {
+			continue
+		}
+		transferable[key{nd.level, newMin}] = nd
+	}
+	if len(transferable) == 0 {
+		return ix
+	}
+
+	shift := int32(g.NumLower() - old.g.NumLower())
+	for i := range ix.nodes {
+		nd := &ix.nodes[i]
+		if nd.level <= maxChangedLevel {
+			continue
+		}
+		ond, ok := transferable[key{nd.level, nd.minEdge}]
+		if !ok || ond.end-ond.start != nd.end-nd.start {
+			continue
+		}
+		c := remapCommunity(&ond.comm, rm, shift)
+		nd.once.Do(func() { nd.comm = c })
+		nd.cached.Store(true)
+	}
+	return ix
+}
+
+// remapCommunity translates a memoised community across a mutation:
+// edge ids through the old-to-new table (monotone, so sortedness is
+// preserved), upper-layer vertex ids by the lower-layer growth shift,
+// lower-layer ids unchanged.
+func remapCommunity(c *Community, rm *bigraph.Remap, shift int32) Community {
+	out := Community{
+		Upper: make([]int32, len(c.Upper)),
+		Lower: append([]int32(nil), c.Lower...),
+		Edges: make([]int32, len(c.Edges)),
+	}
+	for i, u := range c.Upper {
+		out.Upper[i] = u + shift
+	}
+	for i, e := range c.Edges {
+		out.Edges[i] = rm.OldToNew[e]
+	}
+	return out
+}

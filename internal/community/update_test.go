@@ -1,0 +1,195 @@
+package community
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/butterfly"
+	"repro/internal/gen"
+)
+
+// peel is a minimal in-package bitruss decomposition (support peeling
+// via repeated recount) so the update tests do not import core.
+func peel(g *bigraph.Graph) []int64 {
+	m := g.NumEdges()
+	phi := make([]int64, m)
+	alive := make([]bool, m)
+	for e := range alive {
+		alive[e] = true
+	}
+	remaining := m
+	for k := int64(0); remaining > 0; k++ {
+		for {
+			sub := g.InducedByEdges(alive)
+			if sub.G.NumEdges() == 0 {
+				remaining = 0
+				break
+			}
+			sup := butterfly.EdgeSupports(sub.G)
+			removed := false
+			for se, s := range sup {
+				if s < k+1 {
+					pe := sub.ParentEdge[se]
+					phi[pe] = k
+					alive[pe] = false
+					remaining--
+					removed = true
+				}
+			}
+			if !removed {
+				break
+			}
+		}
+	}
+	return phi
+}
+
+// maxChangedLevel computes the ground-truth invalidation ceiling from
+// the φ diff, the way core.MaintainStats reports it.
+func maxChangedLevel(oldPhi, newPhi []int64, rm *bigraph.Remap) int64 {
+	lvl := int64(-1)
+	bump := func(v int64) {
+		if v > lvl {
+			lvl = v
+		}
+	}
+	for _, d := range rm.Deleted {
+		bump(oldPhi[d])
+	}
+	for e2, e1 := range rm.NewToOld {
+		if e1 < 0 {
+			bump(newPhi[e2])
+			continue
+		}
+		if newPhi[e2] != oldPhi[e1] {
+			bump(newPhi[e2])
+			bump(oldPhi[e1])
+		}
+	}
+	return lvl
+}
+
+// TestUpdateIndexMatchesFresh mutates random graphs and checks the
+// transferred index answers every query byte-identically to a freshly
+// built one.
+func TestUpdateIndexMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 12; trial++ {
+		g := gen.Blocks(16, 16, []gen.BlockConfig{{Upper: 5, Lower: 5, Density: 0.9}}, 50, rng.Int63())
+		phi := peel(g)
+		old := NewIndex(g, phi)
+		// Materialise everything so transfers have something to carry.
+		for _, k := range old.Levels() {
+			old.Communities(k)
+		}
+
+		d := bigraph.NewDelta(g)
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			if rng.Intn(2) == 0 && g.NumEdges() > 0 {
+				ed := g.Edge(int32(rng.Intn(g.NumEdges())))
+				d.Delete(int(ed.U)-g.NumLower(), int(ed.V))
+			} else {
+				d.Insert(rng.Intn(g.NumUpper()+1), rng.Intn(g.NumLower()+1))
+			}
+		}
+		g2, rm, err := d.Apply()
+		if err != nil {
+			t.Fatal(err)
+		}
+		phi2 := peel(g2)
+		lvl := maxChangedLevel(phi, phi2, rm)
+
+		updated := UpdateIndex(old, g2, phi2, rm, lvl)
+		fresh := NewIndex(g2, phi2)
+
+		if !reflect.DeepEqual(updated.Levels(), fresh.Levels()) {
+			t.Fatalf("trial %d: levels %v vs %v", trial, updated.Levels(), fresh.Levels())
+		}
+		for _, k := range fresh.Levels() {
+			cu, cf := updated.Communities(k), fresh.Communities(k)
+			if !reflect.DeepEqual(cu, cf) {
+				t.Fatalf("trial %d level %d: communities disagree\nupdated: %+v\nfresh:   %+v", trial, k, cu, cf)
+			}
+			if updated.NumCommunities(k) != fresh.NumCommunities(k) {
+				t.Fatalf("trial %d level %d: counts disagree", trial, k)
+			}
+			if !reflect.DeepEqual(updated.KBitrussEdgeIDs(k), fresh.KBitrussEdgeIDs(k)) {
+				t.Fatalf("trial %d level %d: k-bitruss edges disagree", trial, k)
+			}
+		}
+		for v := int32(0); v < int32(g2.NumVertices()); v += 3 {
+			for _, k := range fresh.Levels() {
+				au, oku := updated.CommunityOfVertex(v, k)
+				af, okf := fresh.CommunityOfVertex(v, k)
+				if oku != okf || !reflect.DeepEqual(au, af) {
+					t.Fatalf("trial %d: CommunityOfVertex(%d, %d) disagrees", trial, v, k)
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateIndexTransfers checks the reuse actually happens: with an
+// untouched high level, its community must be carried over (observable
+// through the cached flag without querying).
+func TestUpdateIndexTransfers(t *testing.T) {
+	// Two disjoint dense blocks: mutating one leaves the other's
+	// high-level community untouched.
+	g := gen.Blocks(12, 12, []gen.BlockConfig{
+		{Upper: 6, Lower: 6, Density: 1},
+		{Upper: 4, Lower: 4, Density: 1},
+	}, 0, 1)
+	phi := peel(g)
+	old := NewIndex(g, phi)
+	for _, k := range old.Levels() {
+		old.Communities(k)
+	}
+
+	// Delete an edge of the small block (lowest-level structure only).
+	var target bigraph.Edge
+	found := false
+	for e := int32(0); e < int32(g.NumEdges()); e++ {
+		if int(g.Edge(e).U)-g.NumLower() >= 6 {
+			target = g.Edge(e)
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no edge in the second block")
+	}
+	d := bigraph.NewDelta(g)
+	d.Delete(int(target.U)-g.NumLower(), int(target.V))
+	g2, rm, err := d.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi2 := peel(g2)
+	lvl := maxChangedLevel(phi, phi2, rm)
+	if lvl >= phi2[0] && lvl >= maxOfSlice(phi2) {
+		t.Skipf("mutation changed the top level (%d); nothing to transfer", lvl)
+	}
+
+	updated := UpdateIndex(old, g2, phi2, rm, lvl)
+	transferred := 0
+	for i := range updated.nodes {
+		if updated.nodes[i].cached.Load() {
+			transferred++
+		}
+	}
+	if transferred == 0 {
+		t.Fatal("no community materialisation was carried over")
+	}
+}
+
+func maxOfSlice(s []int64) int64 {
+	var m int64
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -27,6 +27,7 @@ func runBS(g *bigraph.Graph, opt Options) (*Result, error) {
 	res.Metrics.Iterations = 1
 
 	orig := append([]int64(nil), sup...)
+	res.Sup = orig
 	acct := newAccounting(opt.HistogramBounds, orig)
 
 	t1 := time.Now()

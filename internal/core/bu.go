@@ -39,6 +39,7 @@ func runBU(g *bigraph.Graph, opt Options) (*Result, error) {
 	res.Metrics.Iterations = 1
 
 	orig := append([]int64(nil), sup...)
+	res.Sup = orig
 	acct := newAccounting(opt.HistogramBounds, orig)
 
 	t1 := time.Now()

@@ -177,6 +177,10 @@ type Metrics struct {
 type Result struct {
 	// Phi holds the bitruss number of every edge, indexed by edge id.
 	Phi []int64
+	// Sup holds the initial butterfly support of every edge, indexed by
+	// edge id. Incremental maintenance carries it across mutations so
+	// supports never need a full recount.
+	Sup []int64
 	// MaxPhi is the largest bitruss number (φ_emax of Table II).
 	MaxPhi int64
 	// MaxSupport is the largest initial butterfly support (⋈_emax).

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bigraph"
+	"repro/internal/gen"
+)
+
+// The maintenance benchmark graph: ~60k edges of a KONECT-style sparse
+// user–item stream (uniform random, average degree ~12), the regime
+// streaming updates live in.
+const (
+	benchUpper = 5000
+	benchLower = 5000
+	benchDraws = 61500
+	benchSeed  = 42
+)
+
+var benchState struct {
+	once sync.Once
+	g    *bigraph.Graph
+	res  *Result
+}
+
+func benchBase(tb testing.TB) (*bigraph.Graph, *Result) {
+	benchState.once.Do(func() {
+		benchState.g = gen.Uniform(benchUpper, benchLower, benchDraws, benchSeed)
+		res, err := Decompose(benchState.g, Options{Algorithm: BiTBUPlusPlus})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		benchState.res = res
+	})
+	return benchState.g, benchState.res
+}
+
+// benchDelta builds a deterministic mutation of the given batch size:
+// half inserts of fresh pairs, half deletes of existing edges.
+func benchDelta(g *bigraph.Graph, size int, seed int64) *bigraph.Delta {
+	rng := rand.New(rand.NewSource(seed))
+	d := bigraph.NewDelta(g)
+	nl := g.NumLower()
+	for d.Deletes() < (size+1)/2 {
+		ed := g.Edge(int32(rng.Intn(g.NumEdges())))
+		d.Delete(int(ed.U)-nl, int(ed.V))
+	}
+	for d.Inserts() < size/2 && size > 1 {
+		d.Insert(rng.Intn(g.NumUpper()), rng.Intn(g.NumLower()))
+	}
+	return d
+}
+
+// BenchmarkDecompose is the full-recomputation baseline every mutation
+// would pay without Maintain.
+func BenchmarkDecompose(b *testing.B) {
+	g, _ := benchBase(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(g, Options{Algorithm: BiTBUPlusPlus}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaintain measures the incremental path for 1/10/100-edge
+// batches against the 60k-edge graph (delta application measured
+// separately by BenchmarkDeltaApply, as the engine pays both).
+func BenchmarkMaintain(b *testing.B) {
+	g, res := benchBase(b)
+	for _, size := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			g2, rm, err := benchDelta(g, size, int64(size)).Apply()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Maintain(g, res, g2, rm, MaintainOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDeltaApply isolates the graph-rebuild cost of a mutation.
+func BenchmarkDeltaApply(b *testing.B) {
+	g, _ := benchBase(b)
+	for _, size := range []int{1, 100} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			d := benchDelta(g, size, int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := d.Apply(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestWriteBenchPR3 emits the BENCH_pr3.json speedup summary when
+// BENCH_PR3 names an output path (e.g.
+// BENCH_PR3=BENCH_pr3.json go test -run WriteBenchPR3 ./internal/core/).
+// It is skipped otherwise so regular runs stay fast.
+func TestWriteBenchPR3(t *testing.T) {
+	out := os.Getenv("BENCH_PR3")
+	if out == "" {
+		t.Skip("set BENCH_PR3=<path> to emit the benchmark summary")
+	}
+	g, res := benchBase(t)
+
+	const reps = 5
+	measure := func(fn func()) float64 {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			fn()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return float64(best.Nanoseconds()) / 1e6
+	}
+
+	decomposeMS := measure(func() {
+		if _, err := Decompose(g, Options{Algorithm: BiTBUPlusPlus}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	type row struct {
+		Batch        int     `json:"batch_edges"`
+		ApplyMS      float64 `json:"apply_ms"`
+		MaintainMS   float64 `json:"maintain_ms"`
+		Candidates   int     `json:"candidates"`
+		ChangedPhi   int     `json:"changed_phi"`
+		FellBack     bool    `json:"fell_back"`
+		SpeedupPeel  float64 `json:"speedup_vs_decompose"`
+		SpeedupTotal float64 `json:"speedup_incl_apply"`
+	}
+	var rows []row
+	for _, size := range []int{1, 10, 100} {
+		d := benchDelta(g, size, int64(size))
+		applyMS := measure(func() {
+			if _, _, err := d.Apply(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		g2, rm, err := d.Apply()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st *MaintainStats
+		maintainMS := measure(func() {
+			var merr error
+			_, st, merr = Maintain(g, res, g2, rm, MaintainOptions{})
+			if merr != nil {
+				t.Fatal(merr)
+			}
+		})
+		rows = append(rows, row{
+			Batch:        size,
+			ApplyMS:      applyMS,
+			MaintainMS:   maintainMS,
+			Candidates:   st.Candidates,
+			ChangedPhi:   st.ChangedPhi,
+			FellBack:     st.FellBack,
+			SpeedupPeel:  decomposeMS / maintainMS,
+			SpeedupTotal: decomposeMS / (maintainMS + applyMS),
+		})
+	}
+
+	summary := map[string]any{
+		"pr":           3,
+		"graph":        fmt.Sprintf("gen.Uniform(%d, %d, %d, seed=%d)", benchUpper, benchLower, benchDraws, benchSeed),
+		"edges":        g.NumEdges(),
+		"decompose_ms": decomposeMS,
+		"algorithm":    "BiT-BU++ (baseline) vs Maintain (incremental)",
+		"batches":      rows,
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", out, data)
+
+	// The acceptance bar: single-edge maintenance at least 5x faster
+	// than a full re-decomposition.
+	if rows[0].SpeedupPeel < 5 {
+		t.Errorf("single-edge Maintain speedup %.1fx < 5x (decompose %.2fms, maintain %.2fms)",
+			rows[0].SpeedupPeel, decomposeMS, rows[0].MaintainMS)
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/gen"
+)
+
+// randomDelta stages a random mutation batch: deletions of existing
+// edges and insertions of fresh pairs (occasionally touching vertices
+// beyond the current layers).
+func randomDelta(g *bigraph.Graph, rng *rand.Rand, maxOps int) *bigraph.Delta {
+	d := bigraph.NewDelta(g)
+	nu, nl := g.NumUpper(), g.NumLower()
+	ops := 1 + rng.Intn(maxOps)
+	for i := 0; i < ops; i++ {
+		if rng.Intn(2) == 0 && g.NumEdges() > 4 {
+			ed := g.Edge(int32(rng.Intn(g.NumEdges())))
+			d.Delete(int(ed.U)-nl, int(ed.V))
+		} else {
+			u, v := rng.Intn(nu+1), rng.Intn(nl+1)
+			d.Insert(u, v)
+		}
+	}
+	return d
+}
+
+// checkMaintain applies delta, maintains, and cross-validates against a
+// fresh decomposition of the mutated graph. It returns the new state so
+// batches chain (maintained results feed the next maintenance).
+func checkMaintain(t *testing.T, g *bigraph.Graph, res *Result, d *bigraph.Delta, opt MaintainOptions) (*bigraph.Graph, *Result, *MaintainStats) {
+	t.Helper()
+	g2, rm, err := d.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := Maintain(g, res, g2, rm, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Decompose(g2, Options{Algorithm: BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Phi) != len(want.Phi) {
+		t.Fatalf("phi length %d, want %d", len(got.Phi), len(want.Phi))
+	}
+	for e := range want.Phi {
+		if got.Phi[e] != want.Phi[e] {
+			t.Fatalf("phi[%d] = %d, want %d (stats %+v)", e, got.Phi[e], want.Phi[e], *st)
+		}
+	}
+	for e := range want.Sup {
+		if got.Sup[e] != want.Sup[e] {
+			t.Fatalf("sup[%d] = %d, want %d", e, got.Sup[e], want.Sup[e])
+		}
+	}
+	if got.MaxPhi != want.MaxPhi || got.MaxSupport != want.MaxSupport {
+		t.Fatalf("summary (%d, %d), want (%d, %d)", got.MaxPhi, got.MaxSupport, want.MaxPhi, want.MaxSupport)
+	}
+	if got.Metrics.TotalButterflies != want.Metrics.TotalButterflies {
+		t.Fatalf("butterflies %d, want %d", got.Metrics.TotalButterflies, want.Metrics.TotalButterflies)
+	}
+	// MaxChangedLevel must dominate every φ difference.
+	for e2 := 0; e2 < g2.NumEdges(); e2++ {
+		carried := int64(-1)
+		if e1 := rm.NewToOld[e2]; e1 >= 0 {
+			carried = res.Phi[e1]
+		}
+		if carried >= 0 && got.Phi[e2] != carried {
+			if got.Phi[e2] > st.MaxChangedLevel || carried > st.MaxChangedLevel {
+				t.Fatalf("edge %d changed %d->%d above MaxChangedLevel %d", e2, carried, got.Phi[e2], st.MaxChangedLevel)
+			}
+		}
+	}
+	return g2, got, st
+}
+
+// TestMaintainCrossValidation runs >= 200 randomized insert/delete
+// batches across structurally diverse generated graphs, chaining
+// maintained results, and requires byte-identical bitruss numbers
+// against full decompositions. MaxCandidateFraction 1 forces the
+// localized path so the incremental algorithm itself is what is
+// validated.
+func TestMaintainCrossValidation(t *testing.T) {
+	graphs := []*bigraph.Graph{
+		gen.Uniform(15, 15, 90, 1),
+		gen.Uniform(30, 30, 120, 2),
+		gen.Zipf(20, 20, 140, 1.4, 1.2, 3),
+		gen.Blocks(24, 24, []gen.BlockConfig{{Upper: 6, Lower: 6, Density: 0.8}, {Upper: 5, Lower: 5, Density: 0.9}}, 40, 4),
+		gen.BloomChain(4, 5),
+		gen.ZipfPlusUniform(18, 18, 80, 1.6, 1.6, 40, 5),
+		gen.Uniform(10, 40, 130, 6),
+		gen.HubAndSpokes(7),
+	}
+	rng := rand.New(rand.NewSource(99))
+	batches := 0
+	for gi, g := range graphs {
+		res, err := Decompose(g, Options{Algorithm: BiTBUPlusPlus})
+		if err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+		for b := 0; b < 26; b++ {
+			d := randomDelta(g, rng, 6)
+			var st *MaintainStats
+			g, res, st = checkMaintain(t, g, res, d, MaintainOptions{MaxCandidateFraction: 1})
+			if st.FellBack {
+				t.Fatalf("graph %d batch %d: unexpected fallback", gi, b)
+			}
+			batches++
+		}
+	}
+	if batches < 200 {
+		t.Fatalf("only %d batches validated, want >= 200", batches)
+	}
+}
+
+// TestMaintainFallback forces the full-recomputation path and checks it
+// keeps the exactness contract.
+func TestMaintainFallback(t *testing.T) {
+	g := gen.Blocks(20, 20, []gen.BlockConfig{{Upper: 8, Lower: 8, Density: 0.9}}, 60, 7)
+	res, err := Decompose(g, Options{Algorithm: BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(123))
+	fellBack := 0
+	for b := 0; b < 10; b++ {
+		d := randomDelta(g, rng, 4)
+		var st *MaintainStats
+		g, res, st = checkMaintain(t, g, res, d, MaintainOptions{MaxCandidateFraction: 0.0001})
+		// A batch that affects nothing (e.g. deleting butterfly-free
+		// edges) legitimately stays on the localized path even with a
+		// zero-sized threshold; anything with seeds must fall back.
+		if !st.FellBack && st.Seeds > 0 {
+			t.Fatalf("batch %d: expected fallback with tiny threshold (seeds %d, candidates %d)", b, st.Seeds, st.Candidates)
+		}
+		if st.FellBack {
+			fellBack++
+		}
+	}
+	if fellBack == 0 {
+		t.Fatal("no batch exercised the fallback path")
+	}
+}
+
+// TestMaintainIdentity: a no-op delta returns the old numbers without
+// touching anything.
+func TestMaintainIdentity(t *testing.T) {
+	g := gen.Uniform(12, 12, 70, 9)
+	res, err := Decompose(g, Options{Algorithm: BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, rm, err := bigraph.NewDelta(g).Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := Maintain(g, res, g2, rm, MaintainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Candidates != 0 || st.ChangedPhi != 0 || st.MaxChangedLevel != -1 {
+		t.Fatalf("identity stats %+v", *st)
+	}
+	for e := range res.Phi {
+		if got.Phi[e] != res.Phi[e] {
+			t.Fatalf("phi[%d] changed on identity", e)
+		}
+	}
+}
+
+// TestMaintainWithoutSup covers results produced before Sup existed:
+// maintenance recounts the old supports once and still matches.
+func TestMaintainWithoutSup(t *testing.T) {
+	g := gen.Uniform(14, 14, 80, 21)
+	res, err := Decompose(g, Options{Algorithm: BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Sup = nil
+	d := bigraph.NewDelta(g)
+	d.Insert(1, 2)
+	d.Insert(3, 4)
+	ed := g.Edge(0)
+	d.Delete(int(ed.U)-g.NumLower(), int(ed.V))
+	checkMaintain(t, g, res, d, MaintainOptions{MaxCandidateFraction: 1})
+}
+
+func TestMaintainCancelled(t *testing.T) {
+	g := gen.Uniform(20, 20, 150, 33)
+	res, err := Decompose(g, Options{Algorithm: BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bigraph.NewDelta(g)
+	d.Insert(0, 1)
+	d.Insert(2, 3)
+	g2, rm, err := d.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan struct{})
+	close(ch)
+	if _, _, err := Maintain(g, res, g2, rm, MaintainOptions{Cancel: ch, MaxCandidateFraction: 1}); err != ErrCancelled {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+}
+
+// TestMaintainStaleInputs rejects mismatched shapes instead of
+// producing garbage.
+func TestMaintainStaleInputs(t *testing.T) {
+	g := gen.Uniform(10, 10, 40, 41)
+	res, err := Decompose(g, Options{Algorithm: BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bigraph.NewDelta(g)
+	d.Insert(0, 0)
+	g2, rm, err := d.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := &Result{Phi: res.Phi[:len(res.Phi)-1], Sup: res.Sup}
+	if _, _, err := Maintain(g, short, g2, rm, MaintainOptions{}); err == nil {
+		t.Fatal("short phi accepted")
+	}
+}
+
+// TestMaintainLocality asserts the point of the exercise: a single-edge
+// mutation on a sparse graph must not touch most edges.
+func TestMaintainLocality(t *testing.T) {
+	g := gen.Uniform(400, 400, 2400, 51)
+	res, err := Decompose(g, Options{Algorithm: BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bigraph.NewDelta(g)
+	d.Insert(3, 5)
+	g2, rm, err := d.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := Maintain(g, res, g2, rm, MaintainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FellBack {
+		t.Fatal("single-edge insert fell back on a sparse graph")
+	}
+	if st.Candidates > g2.NumEdges()/10 {
+		t.Fatalf("candidates %d of %d edges: no locality", st.Candidates, g2.NumEdges())
+	}
+}

@@ -60,6 +60,7 @@ func runBUParallel(g *bigraph.Graph, opt Options) (*Result, error) {
 
 	// The coarse phase consumes the index supports; keep the originals.
 	orig := append([]int64(nil), ix.Supports()...)
+	res.Sup = orig
 	res.Metrics.KMax = butterfly.KMax(orig)
 	res.MaxSupport = maxOf(orig)
 	res.Metrics.TotalButterflies = sumOf(orig) / 4

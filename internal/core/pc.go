@@ -29,6 +29,7 @@ func runPC(g *bigraph.Graph, opt Options) (*Result, error) {
 	res.Metrics.TotalButterflies = total
 	res.MaxSupport = maxOf(origSup)
 
+	res.Sup = origSup
 	kmax := butterfly.KMax(origSup)
 	res.Metrics.KMax = kmax
 	alpha := int64(math.Ceil(float64(kmax) * opt.Tau))

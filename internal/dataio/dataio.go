@@ -7,11 +7,14 @@
 //     datasets (magic "BGR1", layer sizes, edge count, then u,v pairs
 //     as uint32).
 //
-// Both round-trip exactly through bigraph.Graph.
+// Both round-trip exactly through bigraph.Graph. The file-path entry
+// points (LoadFile, SaveFile) additionally handle gzip transparently
+// for paths ending in ".gz", as KONECT archives ship.
 package dataio
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -204,23 +207,38 @@ func ReadBinary(r io.Reader) (*bigraph.Graph, error) {
 	return b.Build()
 }
 
-// LoadFile reads a graph, selecting the format from the file extension:
-// ".bg" binary, anything else text.
+// LoadFile reads a graph, selecting the format from the file
+// extension: ".bg" binary, anything else text. A trailing ".gz" is
+// decompressed transparently (KONECT archives ship gzipped edge
+// lists), with the inner extension selecting the format — so
+// "out.konect.gz" parses as text and "big.bg.gz" as binary.
 func LoadFile(path string, opt TextOptions) (*bigraph.Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	if strings.HasSuffix(path, ".bg") {
-		return ReadBinary(f)
+	var r io.Reader = f
+	inner := path
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(bufio.NewReader(f))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrFormat, path, err)
+		}
+		defer zr.Close()
+		r = zr
+		inner = strings.TrimSuffix(path, ".gz")
 	}
-	return ReadText(f, opt)
+	if strings.HasSuffix(inner, ".bg") {
+		return ReadBinary(r)
+	}
+	return ReadText(r, opt)
 }
 
-// SaveFile writes a graph, selecting the format from the file extension:
-// ".bg" binary, anything else text.
-func SaveFile(path string, g *bigraph.Graph, opt TextOptions) error {
+// SaveFile writes a graph, selecting the format from the file
+// extension like LoadFile: ".bg" binary, anything else text, with a
+// trailing ".gz" adding gzip compression.
+func SaveFile(path string, g *bigraph.Graph, opt TextOptions) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -230,10 +248,22 @@ func SaveFile(path string, g *bigraph.Graph, opt TextOptions) error {
 			err = cerr
 		}
 	}()
-	if strings.HasSuffix(path, ".bg") {
-		err = WriteBinary(f, g)
+	var w io.Writer = f
+	inner := path
+	if strings.HasSuffix(path, ".gz") {
+		zw := gzip.NewWriter(f)
+		defer func() {
+			if cerr := zw.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		w = zw
+		inner = strings.TrimSuffix(path, ".gz")
+	}
+	if strings.HasSuffix(inner, ".bg") {
+		err = WriteBinary(w, g)
 		return err
 	}
-	err = WriteText(f, g, opt)
+	err = WriteText(w, g, opt)
 	return err
 }

@@ -1,0 +1,79 @@
+package dataio
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestGzipRoundTrip saves and loads graphs through every gzipped
+// format combination and requires exact id-level round-trips.
+func TestGzipRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.Zipf(40, 50, 600, 1.3, 1.2, 11)
+	for _, name := range []string{"g.txt.gz", "g.konect.gz", "g.bg.gz"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, g, TextOptions{}); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		// The file must really be gzip, not plain bytes.
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gzip.NewReader(f); err != nil {
+			f.Close()
+			t.Fatalf("%s: not gzip: %v", name, err)
+		}
+		f.Close()
+
+		got, err := LoadFile(path, TextOptions{})
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if got.NumUpper() != g.NumUpper() || got.NumLower() != g.NumLower() || got.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: shape %dx%d/%d, want %dx%d/%d", name,
+				got.NumUpper(), got.NumLower(), got.NumEdges(),
+				g.NumUpper(), g.NumLower(), g.NumEdges())
+		}
+		for e := int32(0); e < int32(g.NumEdges()); e++ {
+			if got.Edge(e) != g.Edge(e) {
+				t.Fatalf("%s: edge %d = %v, want %v", name, e, got.Edge(e), g.Edge(e))
+			}
+		}
+	}
+}
+
+// TestGzipOneBased exercises the KONECT-style combination: gzipped
+// 1-based text.
+func TestGzipOneBased(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "konect.txt.gz")
+	g := gen.Uniform(12, 12, 50, 3)
+	if err := SaveFile(path, g, TextOptions{OneBased: true}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path, TextOptions{OneBased: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges %d, want %d", got.NumEdges(), g.NumEdges())
+	}
+}
+
+// TestGzipCorrupt rejects a .gz path that is not gzip.
+func TestGzipCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fake.txt.gz")
+	if err := os.WriteFile(path, []byte("1 2\n3 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, TextOptions{}); err == nil || !strings.Contains(err.Error(), "fake.txt.gz") {
+		t.Fatalf("corrupt gzip: err = %v", err)
+	}
+}

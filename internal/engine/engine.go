@@ -1,11 +1,20 @@
 // Package engine turns the one-shot decomposition library into a
-// resident query engine: a registry of named datasets whose graphs are
-// loaded once, decomposed asynchronously (reusing the parallel peelers
-// via Options.Workers/Ranges), and then queried concurrently — φ
-// lookups, k-bitruss extraction, community-of-vertex and top-k
-// community queries — from a cached Result plus its precomputed
-// community hierarchy index. The HTTP front end (internal/server,
-// cmd/bitserved) is a thin layer over this package.
+// resident query engine over versioned mutable datasets: a registry of
+// named graphs that are loaded once, decomposed asynchronously
+// (reusing the parallel peelers via Options.Workers/Ranges), mutated
+// through a per-dataset mutation log with batched application and
+// incremental bitruss maintenance (core.Maintain), and queried
+// concurrently — φ lookups, k-bitruss extraction, community-of-vertex
+// and top-k community queries — from immutable snapshots.
+//
+// Every dataset serves queries from its current snapshot (graph +
+// decomposition + community index, stamped with the graph version);
+// mutations are staged into a pending log and applied in batches by a
+// single background applier per dataset, which builds the next
+// snapshot off to the side and swaps it in atomically. Queries issued
+// while version N+1 is being maintained keep answering from version N
+// and never block. The HTTP front end (internal/server, cmd/bitserved)
+// is a thin layer over this package.
 package engine
 
 import (
@@ -30,6 +39,7 @@ var (
 	ErrNotDecomposed = errors.New("engine: dataset not decomposed yet")
 	ErrBusy          = errors.New("engine: decomposition already in flight")
 	ErrNoEdge        = errors.New("engine: no such edge")
+	ErrClosed        = errors.New("engine: shut down")
 )
 
 // Status is the lifecycle state of a dataset.
@@ -80,6 +90,8 @@ type DatasetInfo struct {
 	Upper     int
 	Lower     int
 	Edges     int
+	Version   int64 // mutation version of the served snapshot
+	Pending   int   // staged mutation requests not yet applied
 	Status    Status
 	Algo      string        // algorithm of the cached/running decomposition
 	MaxPhi    int64         // valid when Status == StatusReady
@@ -88,33 +100,131 @@ type DatasetInfo struct {
 	Err       string        // failure message when Status == StatusFailed
 }
 
-// dataset is one registered graph plus its decomposition lifecycle.
-// The graph itself is immutable; ds.mu guards everything else.
+// snapshot is one immutable serving state of a dataset: a graph
+// version plus (optionally) its decomposition and community index.
+// Snapshots are never modified after installation; queries that read
+// several fields of one snapshot are therefore consistent with a
+// single version by construction.
+type snapshot struct {
+	version int64
+	g       *bigraph.Graph
+	res     *core.Result     // nil until a decomposition completes
+	idx     *community.Index // non-nil iff res is
+	algo    core.Algorithm   // algorithm that produced res
+}
+
+// MutateRequest is a batch of edge mutations against a dataset, as
+// layer-local (upper, lower) pairs. Inserts are staged before deletes
+// within one request; across requests, submission order is preserved.
+type MutateRequest struct {
+	Insert [][2]int
+	Delete [][2]int
+	// Wait blocks until the mutation is part of the served snapshot
+	// (and reports the resulting version); otherwise the call returns
+	// after staging.
+	Wait bool
+}
+
+// MutateResult reports the outcome of a mutation request.
+type MutateResult struct {
+	// Version is the snapshot version containing the mutation when the
+	// request waited; for fire-and-forget requests it is the version
+	// served at staging time.
+	Version int64
+	// Pending counts staged requests not yet applied (at staging time).
+	Pending int
+	// Applied is false when the batch was a net no-op (duplicate
+	// inserts, deletes of absent edges).
+	Applied bool
+	// Inserted and Deleted count the edges actually changed.
+	Inserted int
+	Deleted  int
+	// Maintained reports that the decomposition was carried across the
+	// mutation incrementally (false when the dataset had none, or when
+	// the batch was a no-op).
+	Maintained bool
+	// FellBack reports that the affected region exceeded the locality
+	// threshold and a full re-decomposition ran instead.
+	FellBack bool
+	// Candidates and ChangedPhi are the maintenance locality stats.
+	Candidates int
+	ChangedPhi int
+	Duration   time.Duration
+}
+
+// MutationRecord is one applied batch in a dataset's mutation log.
+type MutationRecord struct {
+	Version    int64 // version the batch produced
+	Requests   int   // mutation requests coalesced into the batch
+	Inserted   int
+	Deleted    int
+	Maintained bool
+	FellBack   bool
+	Candidates int
+	ChangedPhi int
+	Duration   time.Duration
+}
+
+// mutationLogCap bounds the retained mutation history per dataset.
+const mutationLogCap = 128
+
+// mutOp is one staged mutation request.
+type mutOp struct {
+	req  MutateRequest
+	done chan mutOutcome // buffered; receives exactly one outcome
+}
+
+type mutOutcome struct {
+	info MutateResult
+	err  error
+}
+
+// dataset is one registered graph plus its serving and mutation state.
 type dataset struct {
 	name string
-	g    *bigraph.Graph
 
-	mu      sync.RWMutex
+	mu      sync.RWMutex // guards snap, status, err, cancel, done, log
+	snap    *snapshot
 	status  Status
-	algo    core.Algorithm // algorithm of the cached result (res/idx)
 	runAlgo core.Algorithm // algorithm of the in-flight run
-	res     *core.Result
-	idx     *community.Index
 	err     error
 	cancel  context.CancelFunc
 	done    chan struct{} // closed when the in-flight decomposition ends
+	log     []MutationRecord
+
+	// workMu serialises snapshot-producing work (decompositions and
+	// mutation applications); queries never take it.
+	workMu sync.Mutex
+
+	pendMu   sync.Mutex
+	pending  []*mutOp
+	applying bool
+	appliers sync.WaitGroup
 }
 
 // Engine is the resident registry. All methods are safe for concurrent
-// use; queries against one dataset proceed while others decompose.
+// use; queries against one dataset proceed while others decompose or
+// apply mutations.
 type Engine struct {
 	mu       sync.RWMutex
 	datasets map[string]*dataset
+
+	closeOnce sync.Once
+	closed    chan struct{}
 }
 
 // New returns an empty engine.
 func New() *Engine {
-	return &Engine{datasets: make(map[string]*dataset)}
+	return &Engine{datasets: make(map[string]*dataset), closed: make(chan struct{})}
+}
+
+func (e *Engine) isClosed() bool {
+	select {
+	case <-e.closed:
+		return true
+	default:
+		return false
+	}
 }
 
 // Register adds an in-memory graph under name.
@@ -122,17 +232,24 @@ func (e *Engine) Register(name string, g *bigraph.Graph) error {
 	if name == "" {
 		return fmt.Errorf("engine: empty dataset name")
 	}
+	if e.isClosed() {
+		return ErrClosed
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.datasets[name]; ok {
 		return fmt.Errorf("%w: %q", ErrExists, name)
 	}
-	e.datasets[name] = &dataset{name: name, g: g, status: StatusLoaded}
+	e.datasets[name] = &dataset{
+		name:   name,
+		snap:   &snapshot{version: g.Version(), g: g},
+		status: StatusLoaded,
+	}
 	return nil
 }
 
-// Load reads a graph file (text edge list or .bg binary) and registers
-// it under name.
+// Load reads a graph file (text edge list or .bg binary, optionally
+// gzip-compressed) and registers it under name.
 func (e *Engine) Load(name, path string, oneBased bool) error {
 	g, err := dataio.LoadFile(path, dataio.TextOptions{OneBased: oneBased})
 	if err != nil {
@@ -197,26 +314,32 @@ func (e *Engine) Info(name string) (DatasetInfo, error) {
 }
 
 func (ds *dataset) info() DatasetInfo {
+	ds.pendMu.Lock()
+	pending := len(ds.pending)
+	ds.pendMu.Unlock()
 	ds.mu.RLock()
 	defer ds.mu.RUnlock()
+	snap := ds.snap
 	info := DatasetInfo{
-		Name:   ds.name,
-		Upper:  ds.g.NumUpper(),
-		Lower:  ds.g.NumLower(),
-		Edges:  ds.g.NumEdges(),
-		Status: ds.status,
+		Name:    ds.name,
+		Upper:   snap.g.NumUpper(),
+		Lower:   snap.g.NumLower(),
+		Edges:   snap.g.NumEdges(),
+		Version: snap.version,
+		Pending: pending,
+		Status:  ds.status,
 	}
 	// During a run report the running algorithm; otherwise attribute
 	// the cached result to the algorithm that actually produced it.
 	if ds.status == StatusDecomposing {
 		info.Algo = ds.runAlgo.String()
-	} else if ds.res != nil {
-		info.Algo = ds.algo.String()
+	} else if snap.res != nil {
+		info.Algo = snap.algo.String()
 	}
-	if ds.res != nil {
-		info.MaxPhi = ds.res.MaxPhi
-		info.Levels = len(ds.idx.Levels())
-		info.TotalTime = ds.res.Metrics.TotalTime
+	if snap.res != nil {
+		info.MaxPhi = snap.res.MaxPhi
+		info.Levels = len(snap.idx.Levels())
+		info.TotalTime = snap.res.Metrics.TotalTime
 	}
 	if ds.err != nil {
 		info.Err = ds.err.Error()
@@ -224,16 +347,32 @@ func (ds *dataset) info() DatasetInfo {
 	return info
 }
 
+// MutationLog returns the dataset's applied-batch history, oldest
+// first (capped at the most recent entries).
+func (e *Engine) MutationLog(name string) ([]MutationRecord, error) {
+	ds, err := e.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return append([]MutationRecord(nil), ds.log...), nil
+}
+
 // StartDecompose launches the decomposition of a dataset in the
 // background and returns immediately. ctx cancellation aborts the run
 // (it is mapped onto the core Cancel channel, so it propagates into the
 // peeling loops). A dataset holds at most one in-flight decomposition;
 // a second request returns ErrBusy. A finished (ready or failed)
-// dataset may be re-decomposed, e.g. with a different algorithm.
+// dataset may be re-decomposed, e.g. with a different algorithm; it
+// keeps serving its previous snapshot meanwhile.
 func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) error {
 	ds, err := e.dataset(name)
 	if err != nil {
 		return err
+	}
+	if e.isClosed() {
+		return ErrClosed
 	}
 	runCtx, cancel := context.WithCancel(ctx)
 
@@ -253,7 +392,14 @@ func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) e
 
 	go func() {
 		defer cancel()
-		res, err := core.Decompose(ds.g, core.Options{
+		// Serialise against mutation application: the snapshot we
+		// decompose stays current until we install its successor.
+		ds.workMu.Lock()
+		defer ds.workMu.Unlock()
+		ds.mu.RLock()
+		snap := ds.snap
+		ds.mu.RUnlock()
+		res, err := core.Decompose(snap.g, core.Options{
 			Algorithm: opt.Algorithm,
 			Tau:       opt.Tau,
 			Workers:   opt.Workers,
@@ -262,7 +408,7 @@ func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) e
 		})
 		var idx *community.Index
 		if err == nil {
-			idx = community.NewIndex(ds.g, res.Phi)
+			idx = community.NewIndex(snap.g, res.Phi)
 		} else if errors.Is(err, core.ErrCancelled) && runCtx.Err() != nil {
 			err = runCtx.Err()
 		}
@@ -270,7 +416,7 @@ func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) e
 		if err != nil {
 			// A failed re-decomposition must not brick a dataset that
 			// already holds a valid cached result: keep serving it.
-			if ds.res != nil {
+			if ds.snap.res != nil {
 				ds.status = StatusReady
 			} else {
 				ds.status = StatusFailed
@@ -278,9 +424,7 @@ func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) e
 			ds.err = err
 		} else {
 			ds.status = StatusReady
-			ds.res = res
-			ds.idx = idx
-			ds.algo = opt.Algorithm
+			ds.snap = &snapshot{version: snap.version, g: snap.g, res: res, idx: idx, algo: opt.Algorithm}
 			ds.err = nil
 		}
 		ds.cancel = nil
@@ -324,17 +468,262 @@ func (e *Engine) Decompose(ctx context.Context, name string, opt Options) error 
 	return e.Wait(ctx, name)
 }
 
-// ready returns the dataset's cached result and index. A dataset with
-// a completed decomposition keeps answering from it even while a
-// re-decomposition is in flight (queries never go dark once a result
-// exists); only datasets that never completed one fail.
-func (ds *dataset) ready() (*core.Result, *community.Index, error) {
-	ds.mu.RLock()
-	defer ds.mu.RUnlock()
-	if ds.res == nil || ds.idx == nil {
-		return nil, nil, fmt.Errorf("%w: %q is %v", ErrNotDecomposed, ds.name, ds.status)
+// Mutate stages a batch of edge mutations against a dataset. Staged
+// requests are coalesced and applied by a single background applier
+// per dataset; with Wait set, the call blocks until the request's
+// batch is part of the served snapshot and reports the resulting
+// version and maintenance statistics. The dataset keeps serving its
+// previous snapshot (version N) while version N+1 is maintained.
+func (e *Engine) Mutate(ctx context.Context, name string, req MutateRequest) (MutateResult, error) {
+	ds, err := e.dataset(name)
+	if err != nil {
+		return MutateResult{}, err
 	}
-	return ds.res, ds.idx, nil
+	if e.isClosed() {
+		return MutateResult{}, ErrClosed
+	}
+	// Reject out-of-range pairs up front: requests are coalesced into
+	// one delta, so a poisoned pair must not be allowed to fail other
+	// clients' batches.
+	checkPairs := func(pairs [][2]int) error {
+		for _, p := range pairs {
+			if p[0] < 0 || p[1] < 0 || p[0] >= bigraph.MaxLayerSize || p[1] >= bigraph.MaxLayerSize {
+				return fmt.Errorf("engine: vertex out of range in mutation (%d, %d)", p[0], p[1])
+			}
+		}
+		return nil
+	}
+	if err := checkPairs(req.Insert); err != nil {
+		return MutateResult{}, err
+	}
+	if err := checkPairs(req.Delete); err != nil {
+		return MutateResult{}, err
+	}
+	op := &mutOp{req: req, done: make(chan mutOutcome, 1)}
+	ds.pendMu.Lock()
+	// Re-check under pendMu: Shutdown fences on this mutex after
+	// closing, so an op staged here is either covered by Shutdown's
+	// drain (Add happens before its Wait) or rejected.
+	if e.isClosed() {
+		ds.pendMu.Unlock()
+		return MutateResult{}, ErrClosed
+	}
+	ds.pending = append(ds.pending, op)
+	pending := len(ds.pending)
+	if !ds.applying {
+		ds.applying = true
+		ds.appliers.Add(1)
+		go func() {
+			defer ds.appliers.Done()
+			ds.applyLoop(e)
+		}()
+	}
+	ds.pendMu.Unlock()
+
+	if !req.Wait {
+		ds.mu.RLock()
+		v := ds.snap.version
+		ds.mu.RUnlock()
+		return MutateResult{Version: v, Pending: pending}, nil
+	}
+	select {
+	case out := <-op.done:
+		return out.info, out.err
+	case <-ctx.Done():
+		return MutateResult{}, ctx.Err()
+	}
+}
+
+// applyLoop drains the pending mutation queue in batches until it is
+// empty, then exits (a later Mutate restarts it).
+func (ds *dataset) applyLoop(e *Engine) {
+	for {
+		ds.pendMu.Lock()
+		batch := ds.pending
+		ds.pending = nil
+		if len(batch) == 0 {
+			ds.applying = false
+			ds.pendMu.Unlock()
+			return
+		}
+		ds.pendMu.Unlock()
+		ds.applyBatch(e, batch)
+	}
+}
+
+// applyBatch coalesces the staged requests into one delta, produces
+// the next snapshot (maintaining the decomposition incrementally when
+// one exists) and swaps it in. Queries keep hitting the old snapshot
+// until the swap.
+func (ds *dataset) applyBatch(e *Engine, batch []*mutOp) {
+	ds.workMu.Lock()
+	start := time.Now()
+	ds.mu.RLock()
+	snap := ds.snap
+	ds.mu.RUnlock()
+
+	finish := func(info MutateResult, err error) {
+		ds.workMu.Unlock()
+		for _, op := range batch {
+			op.done <- mutOutcome{info: info, err: err}
+		}
+	}
+
+	delta := bigraph.NewDelta(snap.g)
+	for _, op := range batch {
+		for _, p := range op.req.Insert {
+			delta.Insert(p[0], p[1])
+		}
+		for _, p := range op.req.Delete {
+			delta.Delete(p[0], p[1])
+		}
+	}
+	if delta.Empty() {
+		finish(MutateResult{Version: snap.version, Applied: false, Duration: time.Since(start)}, nil)
+		return
+	}
+	g2, rm, err := delta.Apply()
+	if err != nil {
+		finish(MutateResult{}, err)
+		return
+	}
+
+	next := &snapshot{version: g2.Version(), g: g2, algo: snap.algo}
+	info := MutateResult{
+		Version:  g2.Version(),
+		Applied:  true,
+		Inserted: len(rm.Inserted),
+		Deleted:  len(rm.Deleted),
+	}
+	if snap.res != nil {
+		res2, stats, merr := core.Maintain(snap.g, snap.res, g2, rm, core.MaintainOptions{
+			Algorithm: snap.algo,
+			Cancel:    e.closed,
+		})
+		if merr != nil {
+			// Keep serving the old snapshot; the mutation is dropped.
+			finish(MutateResult{}, merr)
+			return
+		}
+		next.res = res2
+		next.idx = community.UpdateIndex(snap.idx, g2, res2.Phi, rm, stats.MaxChangedLevel)
+		info.Maintained = true
+		info.FellBack = stats.FellBack
+		info.Candidates = stats.Candidates
+		info.ChangedPhi = stats.ChangedPhi
+	}
+	info.Duration = time.Since(start)
+
+	ds.mu.Lock()
+	ds.snap = next
+	ds.log = append(ds.log, MutationRecord{
+		Version:    info.Version,
+		Requests:   len(batch),
+		Inserted:   info.Inserted,
+		Deleted:    info.Deleted,
+		Maintained: info.Maintained,
+		FellBack:   info.FellBack,
+		Candidates: info.Candidates,
+		ChangedPhi: info.ChangedPhi,
+		Duration:   info.Duration,
+	})
+	if len(ds.log) > mutationLogCap {
+		ds.log = ds.log[len(ds.log)-mutationLogCap:]
+	}
+	ds.mu.Unlock()
+	finish(info, nil)
+}
+
+// Shutdown cancels all in-flight decompositions and pending
+// maintenance work, then waits (bounded by ctx) until every dataset's
+// background work has drained. After Shutdown the engine rejects new
+// decompositions and mutations with ErrClosed; queries keep working.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.closeOnce.Do(func() { close(e.closed) })
+
+	e.mu.RLock()
+	all := make([]*dataset, 0, len(e.datasets))
+	for _, ds := range e.datasets {
+		all = append(all, ds)
+	}
+	e.mu.RUnlock()
+
+	// Fence the mutation queues: Mutate stages (and Add()s its applier)
+	// under pendMu and re-checks the closed flag there, so once this
+	// loop passes, every staged applier is visible to the Wait below
+	// and no further ones can start.
+	for _, ds := range all {
+		ds.pendMu.Lock()
+		// The lock acquisition itself is the fence; the flag read only
+		// keeps the critical section non-empty.
+		_ = ds.applying
+		ds.pendMu.Unlock()
+	}
+
+	var dones []chan struct{}
+	for _, ds := range all {
+		ds.mu.RLock()
+		cancel, done := ds.cancel, ds.done
+		ds.mu.RUnlock()
+		if cancel != nil {
+			cancel()
+		}
+		if done != nil {
+			dones = append(dones, done)
+		}
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for _, done := range dones {
+			<-done
+		}
+		for _, ds := range all {
+			ds.appliers.Wait()
+		}
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// View is an immutable query handle onto one snapshot of a dataset:
+// every answer obtained through one View is consistent with the single
+// graph version it reports, regardless of concurrent mutations.
+type View struct {
+	name string
+	snap *snapshot
+}
+
+// View returns a handle onto the dataset's current snapshot.
+func (e *Engine) View(name string) (*View, error) {
+	ds, err := e.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	ds.mu.RLock()
+	snap := ds.snap
+	ds.mu.RUnlock()
+	return &View{name: ds.name, snap: snap}, nil
+}
+
+// Version returns the mutation version of the viewed snapshot.
+func (v *View) Version() int64 { return v.snap.version }
+
+// Decomposed reports whether the viewed snapshot carries a
+// decomposition.
+func (v *View) Decomposed() bool { return v.snap.res != nil }
+
+// ready returns the snapshot's result and index or ErrNotDecomposed.
+func (v *View) ready() (*core.Result, *community.Index, error) {
+	if v.snap.res == nil || v.snap.idx == nil {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotDecomposed, v.name)
+	}
+	return v.snap.res, v.snap.idx, nil
 }
 
 // globalUpper converts a layer-local upper index to a global vertex id.
@@ -359,36 +748,114 @@ func edgeID(g *bigraph.Graph, u, v int) (int32, error) {
 }
 
 // Phi returns the bitruss number of the edge between upper-layer u and
-// lower-layer v of a decomposed dataset.
-func (e *Engine) Phi(name string, u, v int) (int64, error) {
-	ds, err := e.dataset(name)
+// lower-layer v.
+func (v *View) Phi(u, w int) (int64, error) {
+	res, _, err := v.ready()
 	if err != nil {
 		return 0, err
 	}
-	res, _, err := ds.ready()
-	if err != nil {
-		return 0, err
-	}
-	eid, err := edgeID(ds.g, u, v)
+	eid, err := edgeID(v.snap.g, u, w)
 	if err != nil {
 		return 0, err
 	}
 	return res.Phi[eid], nil
 }
 
-// Support returns the butterfly support of the edge (u, v), computed
-// on demand — available as soon as the graph is loaded, before any
-// decomposition.
-func (e *Engine) Support(name string, u, v int) (int64, error) {
-	ds, err := e.dataset(name)
+// Support returns the butterfly support of the edge (u, v): from the
+// snapshot's maintained supports when decomposed, computed on demand
+// otherwise (so it works as soon as the graph is loaded).
+func (v *View) Support(u, w int) (int64, error) {
+	eid, err := edgeID(v.snap.g, u, w)
 	if err != nil {
 		return 0, err
 	}
-	eid, err := edgeID(ds.g, u, v)
+	if v.snap.res != nil && v.snap.res.Sup != nil {
+		return v.snap.res.Sup[eid], nil
+	}
+	return butterfly.EdgeSupport(v.snap.g, eid), nil
+}
+
+// Levels returns the distinct bitruss numbers, ascending.
+func (v *View) Levels() ([]int64, error) {
+	_, idx, err := v.ready()
+	if err != nil {
+		return nil, err
+	}
+	return idx.Levels(), nil
+}
+
+// TopCommunities returns the n largest communities of the k-bitruss
+// (all of them when n is negative) together with the total component
+// count, both from this view's single snapshot.
+func (v *View) TopCommunities(k int64, n int) ([]Community, int, error) {
+	_, idx, err := v.ready()
+	if err != nil {
+		return nil, 0, err
+	}
+	cs := idx.TopCommunities(k, n)
+	out := make([]Community, len(cs))
+	for i := range cs {
+		out[i] = toCommunity(v.snap.g, &cs[i])
+	}
+	return out, idx.NumCommunities(k), nil
+}
+
+// NumCommunities returns the number of connected components of the
+// k-bitruss without materialising them.
+func (v *View) NumCommunities(k int64) (int, error) {
+	_, idx, err := v.ready()
 	if err != nil {
 		return 0, err
 	}
-	return butterfly.EdgeSupport(ds.g, eid), nil
+	return idx.NumCommunities(k), nil
+}
+
+// CommunityOf returns the community of the k-bitruss containing the
+// given layer-local vertex, or ok=false when the vertex has no edge at
+// that level.
+func (v *View) CommunityOf(layer Layer, vertex int, k int64) (Community, bool, error) {
+	_, idx, err := v.ready()
+	if err != nil {
+		return Community{}, false, err
+	}
+	var global int32
+	switch layer {
+	case UpperLayer:
+		gu, ok := globalUpper(v.snap.g, vertex)
+		if !ok {
+			return Community{}, false, nil
+		}
+		global = gu
+	case LowerLayer:
+		if vertex < 0 || vertex >= v.snap.g.NumLower() {
+			return Community{}, false, nil
+		}
+		global = int32(vertex)
+	default:
+		return Community{}, false, fmt.Errorf("engine: unknown layer %d", int(layer))
+	}
+	c, ok := idx.CommunityOfVertex(global, k)
+	if !ok {
+		return Community{}, false, nil
+	}
+	return toCommunity(v.snap.g, &c), true, nil
+}
+
+// KBitrussEdges returns the edges of the k-bitruss as layer-local
+// (upper, lower, phi) triples, ascending by edge id.
+func (v *View) KBitrussEdges(k int64) ([][3]int64, error) {
+	res, idx, err := v.ready()
+	if err != nil {
+		return nil, err
+	}
+	ids := idx.KBitrussEdgeIDs(k)
+	nl := int64(v.snap.g.NumLower())
+	out := make([][3]int64, len(ids))
+	for i, eid := range ids {
+		ed := v.snap.g.Edge(eid)
+		out[i] = [3]int64{int64(ed.U) - nl, int64(ed.V), res.Phi[eid]}
+	}
+	return out, nil
 }
 
 // Community is a k-bitruss connected component with layer-local vertex
@@ -419,48 +886,6 @@ func toCommunity(g *bigraph.Graph, c *community.Community) Community {
 	return out
 }
 
-// Communities returns the connected components of the dataset's
-// k-bitruss, largest first, answered from the cached index.
-func (e *Engine) Communities(name string, k int64) ([]Community, error) {
-	cs, _, err := e.TopCommunities(name, k, -1)
-	return cs, err
-}
-
-// TopCommunities returns the n largest communities of the k-bitruss
-// (all of them when n is negative) together with the total component
-// count, both taken from one index snapshot so they cannot disagree
-// under a concurrent re-decomposition.
-func (e *Engine) TopCommunities(name string, k int64, n int) ([]Community, int, error) {
-	ds, err := e.dataset(name)
-	if err != nil {
-		return nil, 0, err
-	}
-	_, idx, err := ds.ready()
-	if err != nil {
-		return nil, 0, err
-	}
-	cs := idx.TopCommunities(k, n)
-	out := make([]Community, len(cs))
-	for i := range cs {
-		out[i] = toCommunity(ds.g, &cs[i])
-	}
-	return out, idx.NumCommunities(k), nil
-}
-
-// NumCommunities returns the number of connected components of the
-// dataset's k-bitruss without materialising them.
-func (e *Engine) NumCommunities(name string, k int64) (int, error) {
-	ds, err := e.dataset(name)
-	if err != nil {
-		return 0, err
-	}
-	_, idx, err := ds.ready()
-	if err != nil {
-		return 0, err
-	}
-	return idx.NumCommunities(k), nil
-}
-
 // Layer selects the side of the bipartition in vertex-addressed
 // queries.
 type Layer int
@@ -470,72 +895,82 @@ const (
 	LowerLayer
 )
 
+// Phi returns the bitruss number of the edge between upper-layer u and
+// lower-layer v of a decomposed dataset.
+func (e *Engine) Phi(name string, u, v int) (int64, error) {
+	vw, err := e.View(name)
+	if err != nil {
+		return 0, err
+	}
+	return vw.Phi(u, v)
+}
+
+// Support returns the butterfly support of the edge (u, v) — available
+// as soon as the graph is loaded, before any decomposition.
+func (e *Engine) Support(name string, u, v int) (int64, error) {
+	vw, err := e.View(name)
+	if err != nil {
+		return 0, err
+	}
+	return vw.Support(u, v)
+}
+
+// Communities returns the connected components of the dataset's
+// k-bitruss, largest first, answered from the cached index.
+func (e *Engine) Communities(name string, k int64) ([]Community, error) {
+	cs, _, err := e.TopCommunities(name, k, -1)
+	return cs, err
+}
+
+// TopCommunities returns the n largest communities of the k-bitruss
+// (all of them when n is negative) together with the total component
+// count, both taken from one snapshot so they cannot disagree under a
+// concurrent re-decomposition or mutation.
+func (e *Engine) TopCommunities(name string, k int64, n int) ([]Community, int, error) {
+	vw, err := e.View(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return vw.TopCommunities(k, n)
+}
+
+// NumCommunities returns the number of connected components of the
+// dataset's k-bitruss without materialising them.
+func (e *Engine) NumCommunities(name string, k int64) (int, error) {
+	vw, err := e.View(name)
+	if err != nil {
+		return 0, err
+	}
+	return vw.NumCommunities(k)
+}
+
 // CommunityOf returns the community of the k-bitruss containing the
 // given layer-local vertex, or ok=false when the vertex has no edge at
 // that level.
 func (e *Engine) CommunityOf(name string, layer Layer, vertex int, k int64) (Community, bool, error) {
-	ds, err := e.dataset(name)
+	vw, err := e.View(name)
 	if err != nil {
 		return Community{}, false, err
 	}
-	_, idx, err := ds.ready()
-	if err != nil {
-		return Community{}, false, err
-	}
-	var global int32
-	switch layer {
-	case UpperLayer:
-		gu, ok := globalUpper(ds.g, vertex)
-		if !ok {
-			return Community{}, false, nil
-		}
-		global = gu
-	case LowerLayer:
-		if vertex < 0 || vertex >= ds.g.NumLower() {
-			return Community{}, false, nil
-		}
-		global = int32(vertex)
-	default:
-		return Community{}, false, fmt.Errorf("engine: unknown layer %d", int(layer))
-	}
-	c, ok := idx.CommunityOfVertex(global, k)
-	if !ok {
-		return Community{}, false, nil
-	}
-	return toCommunity(ds.g, &c), true, nil
+	return vw.CommunityOf(layer, vertex, k)
 }
 
 // Levels returns the distinct bitruss numbers of a decomposed dataset,
 // ascending.
 func (e *Engine) Levels(name string) ([]int64, error) {
-	ds, err := e.dataset(name)
+	vw, err := e.View(name)
 	if err != nil {
 		return nil, err
 	}
-	_, idx, err := ds.ready()
-	if err != nil {
-		return nil, err
-	}
-	return idx.Levels(), nil
+	return vw.Levels()
 }
 
 // KBitrussEdges returns the edges of the dataset's k-bitruss as
 // layer-local (upper, lower, phi) triples, ascending by edge id.
 func (e *Engine) KBitrussEdges(name string, k int64) ([][3]int64, error) {
-	ds, err := e.dataset(name)
+	vw, err := e.View(name)
 	if err != nil {
 		return nil, err
 	}
-	res, idx, err := ds.ready()
-	if err != nil {
-		return nil, err
-	}
-	ids := idx.KBitrussEdgeIDs(k)
-	nl := int64(ds.g.NumLower())
-	out := make([][3]int64, len(ids))
-	for i, eid := range ids {
-		ed := ds.g.Edge(eid)
-		out[i] = [3]int64{int64(ed.U) - nl, int64(ed.V), res.Phi[eid]}
-	}
-	return out, nil
+	return vw.KBitrussEdges(k)
 }

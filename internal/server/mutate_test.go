@@ -1,0 +1,232 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// registerUniform registers a generated graph through the HTTP API and
+// returns its merged edge count.
+func registerUniform(t *testing.T, baseURL, name string, nu, nl, m int, seed int64) int {
+	t.Helper()
+	g := gen.Uniform(nu, nl, m, seed)
+	edges := make([][2]int, g.NumEdges())
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(int32(e))
+		edges[e] = [2]int{int(ed.U) - g.NumLower(), int(ed.V)}
+	}
+	var ds datasetJSON
+	code := doJSON(t, "POST", baseURL+"/datasets", addDatasetRequest{Name: name, Edges: edges}, &ds)
+	if code != http.StatusCreated {
+		t.Fatalf("POST /datasets = %d", code)
+	}
+	return g.NumEdges()
+}
+
+func TestServerMutationEndpoints(t *testing.T) {
+	_, ts := newTestServer(t)
+	edges := registerUniform(t, ts.URL, "dyn", 20, 20, 120, 9)
+	decomposeAndWait(t, ts, "dyn")
+
+	// Version starts at 0 with nothing pending.
+	var ver struct {
+		Dataset string `json:"dataset"`
+		Version int64  `json:"version"`
+		Pending int    `json:"pending"`
+		Status  string `json:"status"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/datasets/dyn/version", nil, &ver); code != http.StatusOK {
+		t.Fatalf("GET /version = %d", code)
+	}
+	if ver.Version != 0 || ver.Status != "ready" {
+		t.Fatalf("version %+v", ver)
+	}
+
+	// Insert two edges, waited: version bumps, maintenance ran.
+	var mres mutateJSON
+	code := doJSON(t, "POST", ts.URL+"/datasets/dyn/edges", mutateRequest{
+		Insert: [][2]int{{25, 3}, {26, 4}}, Wait: true,
+	}, &mres)
+	if code != http.StatusOK {
+		t.Fatalf("POST /edges = %d (%+v)", code, mres)
+	}
+	if !mres.Applied || !mres.Maintained || mres.Version != 1 || mres.Inserted != 2 {
+		t.Fatalf("mutation %+v", mres)
+	}
+
+	// The inserted edge answers φ queries, stamped with the version.
+	var phi struct {
+		Version int64 `json:"version"`
+		Phi     int64 `json:"phi"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/phi?dataset=dyn&u=25&v=3", nil, &phi); code != http.StatusOK {
+		t.Fatalf("GET /phi = %d", code)
+	}
+	if phi.Version != 1 {
+		t.Fatalf("phi response version %d", phi.Version)
+	}
+
+	// Deletion-only sugar.
+	code = doJSON(t, "DELETE", ts.URL+"/datasets/dyn/edges", map[string]any{
+		"edges": [][2]int{{25, 3}}, "wait": true,
+	}, &mres)
+	if code != http.StatusOK || !mres.Applied || mres.Deleted != 1 || mres.Version != 2 {
+		t.Fatalf("DELETE /edges = %d %+v", code, mres)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/phi?dataset=dyn&u=25&v=3", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("deleted edge φ = %d, want 404", code)
+	}
+
+	// Dataset listing reflects the mutated size and version.
+	var list []datasetJSON
+	if code := doJSON(t, "GET", ts.URL+"/datasets", nil, &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("GET /datasets = %d %v", code, list)
+	}
+	if list[0].Edges != edges+1 || list[0].Version != 2 {
+		t.Fatalf("listing %+v, want %d edges at version 2", list[0], edges+1)
+	}
+
+	// /version reports the last applied batch.
+	var ver2 struct {
+		Version      int64          `json:"version"`
+		LastMutation map[string]any `json:"last_mutation"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/datasets/dyn/version", nil, &ver2); code != http.StatusOK {
+		t.Fatalf("GET /version = %d", code)
+	}
+	if ver2.Version != 2 || ver2.LastMutation == nil {
+		t.Fatalf("version after mutations %+v", ver2)
+	}
+
+	// Error paths.
+	if code := doJSON(t, "POST", ts.URL+"/datasets/absent/edges", mutateRequest{Insert: [][2]int{{0, 0}}, Wait: true}, nil); code != http.StatusNotFound {
+		t.Fatalf("mutate absent = %d", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/datasets/dyn/edges", mutateRequest{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty mutation = %d", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/datasets/dyn/edges", mutateRequest{Insert: [][2]int{{-1, 2}}, Wait: true}, nil); code == http.StatusOK {
+		t.Fatal("negative vertex accepted")
+	}
+}
+
+// TestServerMutateFireAndForget: un-waited mutations return 202 and
+// eventually land.
+func TestServerMutateFireAndForget(t *testing.T) {
+	_, ts := newTestServer(t)
+	registerUniform(t, ts.URL, "ff", 10, 10, 60, 4)
+	decomposeAndWait(t, ts, "ff")
+
+	var mres mutateJSON
+	if code := doJSON(t, "POST", ts.URL+"/datasets/ff/edges", mutateRequest{Insert: [][2]int{{11, 1}}}, &mres); code != http.StatusAccepted {
+		t.Fatalf("fire-and-forget = %d", code)
+	}
+	// A waited no-op flushes the queue deterministically.
+	if code := doJSON(t, "POST", ts.URL+"/datasets/ff/edges", mutateRequest{Insert: [][2]int{{11, 1}}, Wait: true}, &mres); code != http.StatusOK {
+		t.Fatalf("flush = %d", code)
+	}
+	var phi struct {
+		Phi int64 `json:"phi"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/phi?dataset=ff&u=11&v=1", nil, &phi); code != http.StatusOK {
+		t.Fatalf("inserted edge φ = %d", code)
+	}
+}
+
+// TestServerMutateUnderQueryLoad drives concurrent HTTP mutations and
+// community queries; every response must be self-consistent (levels
+// monotone, community totals coherent) and versions monotone per
+// client. Run under -race in CI.
+func TestServerMutateUnderQueryLoad(t *testing.T) {
+	_, ts := newTestServer(t)
+	registerUniform(t, ts.URL, "load", 30, 30, 300, 6)
+	decomposeAndWait(t, ts, "load")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		rng := rand.New(rand.NewSource(8))
+		for i := 0; i < 12; i++ {
+			req := mutateRequest{Wait: true}
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				p := [2]int{rng.Intn(33), rng.Intn(33)}
+				if rng.Intn(2) == 0 {
+					req.Insert = append(req.Insert, p)
+				} else {
+					req.Delete = append(req.Delete, p)
+				}
+			}
+			var mres mutateJSON
+			if code := doJSON(t, "POST", ts.URL+"/datasets/load/edges", req, &mres); code != http.StatusOK {
+				t.Errorf("mutation %d = %d", i, code)
+				return
+			}
+		}
+	}()
+	for q := 0; q < 3; q++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lastVersion := int64(-1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var lv struct {
+					Version int64   `json:"version"`
+					Levels  []int64 `json:"levels"`
+				}
+				if code := doJSON(t, "GET", ts.URL+"/levels?dataset=load", nil, &lv); code != http.StatusOK {
+					t.Errorf("querier %d: /levels = %d", id, code)
+					return
+				}
+				if lv.Version < lastVersion {
+					t.Errorf("querier %d: version went backwards %d -> %d", id, lastVersion, lv.Version)
+					return
+				}
+				lastVersion = lv.Version
+				for i := 1; i < len(lv.Levels); i++ {
+					if lv.Levels[i] <= lv.Levels[i-1] {
+						t.Errorf("querier %d: levels not ascending: %v", id, lv.Levels)
+						return
+					}
+				}
+				k := lv.Levels[len(lv.Levels)/2]
+				var cs struct {
+					Version     int64 `json:"version"`
+					Total       int   `json:"total"`
+					Communities []struct {
+						Size  int   `json:"size"`
+						Edges []int `json:"edges"`
+					} `json:"communities"`
+				}
+				u := fmt.Sprintf("%s/communities?dataset=load&k=%d", ts.URL, k)
+				if code := doJSON(t, "GET", u, nil, &cs); code != http.StatusOK {
+					t.Errorf("querier %d: /communities = %d", id, code)
+					return
+				}
+				if cs.Total != len(cs.Communities) {
+					t.Errorf("querier %d: total %d != %d", id, cs.Total, len(cs.Communities))
+					return
+				}
+				for _, c := range cs.Communities {
+					if c.Size != len(c.Edges) {
+						t.Errorf("querier %d: community size %d != %d edges", id, c.Size, len(c.Edges))
+						return
+					}
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+}

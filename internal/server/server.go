@@ -10,6 +10,11 @@
 //	GET    /datasets                     list datasets and their status
 //	POST   /datasets                     register {name, path|edges, oneBased}
 //	DELETE /datasets/{name}              unregister (cancels in-flight work)
+//	POST   /datasets/{name}/edges       mutate {insert, delete, wait}: stage edge
+//	                                     insertions/deletions; the decomposition is
+//	                                     maintained incrementally
+//	DELETE /datasets/{name}/edges       delete {edges, wait}: deletion-only sugar
+//	GET    /datasets/{name}/version     served snapshot version + pending mutations
 //	POST   /decompose                    {dataset, algorithm, tau, workers, ranges, wait}
 //	GET    /phi?dataset=D&u=U&v=V        bitruss number of one edge
 //	GET    /support?dataset=D&u=U&v=V    butterfly support (works pre-decomposition)
@@ -17,6 +22,10 @@
 //	GET    /communities?dataset=D&k=K[&top=N]
 //	GET    /community_of?dataset=D&layer=upper|lower&vertex=V&k=K
 //	GET    /kbitruss?dataset=D&k=K       edges of the k-bitruss
+//
+// Every query response carries the snapshot version it was answered
+// from; all fields of one response are consistent with that single
+// version even while mutations are applied concurrently.
 package server
 
 import (
@@ -50,6 +59,9 @@ func New(eng *engine.Engine) *Server {
 	s.mux.HandleFunc("GET /datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /datasets", s.handleAddDataset)
 	s.mux.HandleFunc("DELETE /datasets/{name}", s.handleDeleteDataset)
+	s.mux.HandleFunc("POST /datasets/{name}/edges", s.handleMutate)
+	s.mux.HandleFunc("DELETE /datasets/{name}/edges", s.handleDeleteEdges)
+	s.mux.HandleFunc("GET /datasets/{name}/version", s.handleVersion)
 	s.mux.HandleFunc("POST /decompose", s.handleDecompose)
 	s.mux.HandleFunc("GET /phi", s.handlePhi)
 	s.mux.HandleFunc("GET /support", s.handleSupport)
@@ -99,6 +111,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, engine.ErrNotDecomposed):
 		status = http.StatusConflict
+	case errors.Is(err, engine.ErrClosed):
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, errBadRequest):
 		status = http.StatusBadRequest
 	}
@@ -121,6 +135,8 @@ type datasetJSON struct {
 	Upper   int    `json:"upper"`
 	Lower   int    `json:"lower"`
 	Edges   int    `json:"edges"`
+	Version int64  `json:"version"`
+	Pending int    `json:"pending,omitempty"`
 	Status  string `json:"status"`
 	Algo    string `json:"algorithm,omitempty"`
 	MaxPhi  int64  `json:"max_phi,omitempty"`
@@ -135,6 +151,8 @@ func toDatasetJSON(i engine.DatasetInfo) datasetJSON {
 		Upper:   i.Upper,
 		Lower:   i.Lower,
 		Edges:   i.Edges,
+		Version: i.Version,
+		Pending: i.Pending,
 		Status:  i.Status.String(),
 		Algo:    i.Algo,
 		MaxPhi:  i.MaxPhi,
@@ -209,6 +227,112 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "removed"})
+}
+
+// mutateRequest is the wire form of engine.MutateRequest.
+type mutateRequest struct {
+	Insert [][2]int `json:"insert,omitempty"`
+	Delete [][2]int `json:"delete,omitempty"`
+	// Wait blocks until the mutation is part of the served snapshot;
+	// fire-and-forget requests return 202 with the staging state.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// mutateJSON is the wire form of engine.MutateResult.
+type mutateJSON struct {
+	Dataset    string `json:"dataset"`
+	Version    int64  `json:"version"`
+	Pending    int    `json:"pending,omitempty"`
+	Applied    bool   `json:"applied"`
+	Inserted   int    `json:"inserted,omitempty"`
+	Deleted    int    `json:"deleted,omitempty"`
+	Maintained bool   `json:"maintained,omitempty"`
+	FellBack   bool   `json:"fell_back,omitempty"`
+	Candidates int    `json:"candidates,omitempty"`
+	ChangedPhi int    `json:"changed_phi,omitempty"`
+	TimeMS     int64  `json:"apply_ms"`
+}
+
+func (s *Server) mutate(w http.ResponseWriter, r *http.Request, req engine.MutateRequest) {
+	name := r.PathValue("name")
+	if len(req.Insert) == 0 && len(req.Delete) == 0 {
+		writeError(w, badRequestf("mutation needs insert or delete pairs"))
+		return
+	}
+	res, err := s.eng.Mutate(r.Context(), name, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if req.Wait {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, mutateJSON{
+		Dataset:    name,
+		Version:    res.Version,
+		Pending:    res.Pending,
+		Applied:    res.Applied,
+		Inserted:   res.Inserted,
+		Deleted:    res.Deleted,
+		Maintained: res.Maintained,
+		FellBack:   res.FellBack,
+		Candidates: res.Candidates,
+		ChangedPhi: res.ChangedPhi,
+		TimeMS:     res.Duration.Milliseconds(),
+	})
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var req mutateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.mutate(w, r, engine.MutateRequest{Insert: req.Insert, Delete: req.Delete, Wait: req.Wait})
+}
+
+// handleDeleteEdges is deletion-only sugar over the mutation path.
+func (s *Server) handleDeleteEdges(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Edges [][2]int `json:"edges"`
+		Wait  bool     `json:"wait,omitempty"`
+	}
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.mutate(w, r, engine.MutateRequest{Delete: req.Edges, Wait: req.Wait})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	info, err := s.eng.Info(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out := map[string]any{
+		"dataset": name,
+		"version": info.Version,
+		"pending": info.Pending,
+		"status":  info.Status.String(),
+	}
+	if log, err := s.eng.MutationLog(name); err == nil && len(log) > 0 {
+		last := log[len(log)-1]
+		out["last_mutation"] = map[string]any{
+			"version":     last.Version,
+			"requests":    last.Requests,
+			"inserted":    last.Inserted,
+			"deleted":     last.Deleted,
+			"maintained":  last.Maintained,
+			"fell_back":   last.FellBack,
+			"candidates":  last.Candidates,
+			"changed_phi": last.ChangedPhi,
+			"apply_ms":    last.Duration.Milliseconds(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 type decomposeRequest struct {
@@ -297,13 +421,18 @@ func (s *Server) handlePhi(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	phi, err := s.eng.Phi(name, int(u), int(v))
+	vw, err := s.eng.View(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	phi, err := vw.Phi(int(u), int(v))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset": name, "u": u, "v": v, "phi": phi,
+		"dataset": name, "version": vw.Version(), "u": u, "v": v, "phi": phi,
 	})
 }
 
@@ -323,13 +452,18 @@ func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	sup, err := s.eng.Support(name, int(u), int(v))
+	vw, err := s.eng.View(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	sup, err := vw.Support(int(u), int(v))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset": name, "u": u, "v": v, "support": sup,
+		"dataset": name, "version": vw.Version(), "u": u, "v": v, "support": sup,
 	})
 }
 
@@ -339,12 +473,17 @@ func (s *Server) handleLevels(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	levels, err := s.eng.Levels(name)
+	vw, err := s.eng.View(name)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"dataset": name, "levels": levels})
+	levels, err := vw.Levels()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dataset": name, "version": vw.Version(), "levels": levels})
 }
 
 func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request) {
@@ -367,13 +506,18 @@ func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request) {
 		}
 		top = n
 	}
-	cs, total, err := s.eng.TopCommunities(name, k, top)
+	vw, err := s.eng.View(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	cs, total, err := vw.TopCommunities(k, top)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset": name, "k": k, "total": total, "communities": cs,
+		"dataset": name, "version": vw.Version(), "k": k, "total": total, "communities": cs,
 	})
 }
 
@@ -403,7 +547,12 @@ func (s *Server) handleCommunityOf(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequestf("layer must be upper or lower"))
 		return
 	}
-	c, ok, err := s.eng.CommunityOf(name, layer, int(vertex), k)
+	vw, err := s.eng.View(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	c, ok, err := vw.CommunityOf(layer, int(vertex), k)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -415,7 +564,7 @@ func (s *Server) handleCommunityOf(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset": name, "k": k, "community": c,
+		"dataset": name, "version": vw.Version(), "k": k, "community": c,
 	})
 }
 
@@ -430,7 +579,12 @@ func (s *Server) handleKBitruss(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	edges, err := s.eng.KBitrussEdges(name, k)
+	vw, err := s.eng.View(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	edges, err := vw.KBitrussEdges(k)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -445,6 +599,6 @@ func (s *Server) handleKBitruss(w http.ResponseWriter, r *http.Request) {
 		out[i] = edgeJSON{U: e[0], V: e[1], Phi: e[2]}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset": name, "k": k, "edges": out,
+		"dataset": name, "version": vw.Version(), "k": k, "edges": out,
 	})
 }
