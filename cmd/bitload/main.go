@@ -1,0 +1,22 @@
+// Command bitload is a closed-loop HTTP load generator for bitserved:
+// a worker pool issues back-to-back queries drawn from a weighted
+// endpoint mix against one dataset and reports sustained QPS and
+// latency quantiles (p50/p90/p99). Use it to size caches and measure
+// the serving path; see the README's "Serving performance" section.
+//
+//	bitload -addr http://127.0.0.1:8080 -dataset dblp -workers 16 -duration 30s
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.Load(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bitload:", err)
+		os.Exit(1)
+	}
+}

@@ -2,6 +2,7 @@ package butterfly
 
 import (
 	"math/rand"
+	"sync"
 
 	"repro/internal/bigraph"
 )
@@ -53,9 +54,23 @@ func edgeSupportDense(g *bigraph.Graph, u, v int32) int64 {
 	return sup
 }
 
+// sparseMarkPool recycles the mark sets of edgeSupportSparse across
+// calls (the serving path issues one per /support query on a large,
+// undecomposed graph): like the wedgeCounts scratch of the counting
+// kernels, the map is cleared and reused instead of reallocated.
+var sparseMarkPool = sync.Pool{New: func() any {
+	return make(map[int32]struct{}, 64)
+}}
+
+// maxPooledMarkEntries drops maps that one hub-vertex query grew huge
+// instead of pooling them: Go maps never shrink, so returning a
+// 100k-bucket map would pin its memory for the process lifetime while
+// typical queries need tens of entries.
+const maxPooledMarkEntries = 1 << 14
+
 func edgeSupportSparse(g *bigraph.Graph, u, v int32) int64 {
 	nbrsU, _ := g.Neighbors(u)
-	mark := make(map[int32]struct{}, len(nbrsU))
+	mark := sparseMarkPool.Get().(map[int32]struct{})
 	for _, x := range nbrsU {
 		mark[x] = struct{}{}
 	}
@@ -74,6 +89,10 @@ func edgeSupportSparse(g *bigraph.Graph, u, v int32) int64 {
 				sup++
 			}
 		}
+	}
+	if len(mark) <= maxPooledMarkEntries {
+		clear(mark)
+		sparseMarkPool.Put(mark)
 	}
 	return sup
 }

@@ -1,6 +1,10 @@
 package butterfly
 
-import "repro/internal/bigraph"
+import (
+	"sync"
+
+	"repro/internal/bigraph"
+)
 
 // This file implements delta butterfly counting for incremental bitruss
 // maintenance: instead of recounting every edge's support after a batch
@@ -92,6 +96,12 @@ func DeltaSupports(g *bigraph.Graph, batch []int32) (map[int32]int64, int64) {
 	return delta, total
 }
 
+// wedgeMarkPool recycles ForEachButterflyOfEdge's neighbour→edge mark
+// maps across calls.
+var wedgeMarkPool = sync.Pool{New: func() any {
+	return make(map[int32]int32, 64)
+}}
+
 // ForEachButterflyOfEdge calls fn once for every butterfly containing
 // edge e, passing the ids of the butterfly's three other edges. alive,
 // when non-nil, restricts the enumeration to butterflies whose three
@@ -103,7 +113,17 @@ func ForEachButterflyOfEdge(g *bigraph.Graph, e int32, alive func(int32) bool, f
 	if g.Degree(u) > g.Degree(v) {
 		u, v = v, u
 	}
-	mark := make(map[int32]int32, g.Degree(u))
+	// Maintenance enumerates one call per candidate edge: reuse the mark
+	// map across calls (pooled, cleared on return) rather than paying a
+	// d(u)-sized allocation each time. Hub-grown maps are dropped, not
+	// pooled (maps never shrink; see maxPooledMarkEntries).
+	mark := wedgeMarkPool.Get().(map[int32]int32)
+	defer func() {
+		if len(mark) <= maxPooledMarkEntries {
+			clear(mark)
+			wedgeMarkPool.Put(mark)
+		}
+	}()
 	nbrsU, eidsU := g.Neighbors(u)
 	for i, x := range nbrsU {
 		if x != v && (alive == nil || alive(eidsU[i])) {

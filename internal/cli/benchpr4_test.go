@@ -1,0 +1,179 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+// TestWriteBenchPR4 emits the BENCH_pr4.json serving-path summary when
+// BENCH_PR4 names an output path (e.g.
+// BENCH_PR4=BENCH_pr4.json go test -run WriteBenchPR4 ./internal/cli/).
+// It drives the closed-loop load generator against the same engine
+// twice — uncached (the pre-PR serving behaviour) and cached — on the
+// 60k-edge reference graph, and times the serial vs parallel community
+// index build (cross-checked identical). Skipped without the env var
+// so regular runs stay fast.
+func TestWriteBenchPR4(t *testing.T) {
+	out := os.Getenv("BENCH_PR4")
+	if out == "" {
+		t.Skip("set BENCH_PR4=<path> to emit the benchmark summary")
+	}
+	const (
+		benchUpper = 5000
+		benchLower = 5000
+		benchDraws = 61500
+		benchSeed  = 42
+	)
+	g := gen.Uniform(benchUpper, benchLower, benchDraws, benchSeed)
+	res, err := core.Decompose(g, core.Options{Algorithm: core.BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const reps = 5
+	measure := func(fn func()) float64 {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			fn()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return float64(best.Nanoseconds()) / 1e6
+	}
+
+	// Index build: serial vs parallel, cross-validated identical through
+	// the full exported query surface (the community package's white-box
+	// tests additionally compare the internal structures field by field).
+	idxWorkers := runtime.NumCPU()
+	if idxWorkers > 8 {
+		idxWorkers = 8
+	}
+	if idxWorkers < 4 {
+		idxWorkers = 4
+	}
+	var serialIdx, parIdx *community.Index
+	serialMS := measure(func() { serialIdx = community.NewIndex(g, res.Phi) })
+	parallelMS := measure(func() { parIdx = community.NewIndexParallel(g, res.Phi, idxWorkers) })
+	identical := reflect.DeepEqual(serialIdx.Levels(), parIdx.Levels())
+	for _, k := range serialIdx.Levels() {
+		if !reflect.DeepEqual(serialIdx.Communities(k), parIdx.Communities(k)) ||
+			serialIdx.NumCommunities(k) != parIdx.NumCommunities(k) {
+			identical = false
+			break
+		}
+	}
+	if !identical {
+		t.Error("parallel index build diverges from the serial build")
+	}
+
+	// Load: the same engine behind an uncached and a cached front end.
+	eng := engine.New()
+	if err := eng.Register("bench", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Decompose(context.Background(), "bench", engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Query the lowest meaningful community level (the 1-bitruss here):
+	// that is where the answers — community member lists, k-bitruss edge
+	// sets — are big, i.e. the regime the response cache exists for.
+	// (k=0 would be the entire graph, which is not a community query.)
+	vw, err := eng.View("bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvls, err := vw.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadK := lvls[0]
+	if len(lvls) > 1 && lvls[0] == 0 {
+		loadK = lvls[1]
+	}
+	runLoad := func(ts *httptest.Server) LoadReport {
+		rep, err := RunLoad(context.Background(), LoadOptions{
+			BaseURL:  ts.URL,
+			Dataset:  "bench",
+			Workers:  8,
+			Duration: 2 * time.Second,
+			K:        loadK,
+			Seed:     1,
+			Client:   ts.Client(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Errors > 0 {
+			t.Fatalf("load run hit %d hard errors", rep.Errors)
+		}
+		return rep
+	}
+	uncachedTS := httptest.NewServer(server.New(eng, server.WithoutQueryCache()).Handler())
+	before := runLoad(uncachedTS)
+	uncachedTS.Close()
+	cachedTS := httptest.NewServer(server.New(eng).Handler())
+	after := runLoad(cachedTS)
+	cachedTS.Close()
+
+	speedup := after.QPS / before.QPS
+	summary := map[string]any{
+		"pr":    4,
+		"graph": fmt.Sprintf("gen.Uniform(%d, %d, %d, seed=%d)", benchUpper, benchLower, benchDraws, benchSeed),
+		"edges": g.NumEdges(),
+		"load": map[string]any{
+			"mix":         DefaultLoadMix(),
+			"workers":     8,
+			"duration_s":  2,
+			"k":           after.K,
+			"before":      before,
+			"after":       after,
+			"qps_speedup": speedup,
+		},
+		"index_build": map[string]any{
+			"serial_ms":   serialMS,
+			"parallel_ms": parallelMS,
+			"workers":     idxWorkers,
+			"speedup":     serialMS / parallelMS,
+			"identical":   identical,
+			"num_cpu":     runtime.NumCPU(),
+		},
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", out, data)
+
+	// The acceptance bars: >= 5x QPS on the cached hot-endpoint mix with
+	// no p99 regression; the parallel index build must beat serial when
+	// the cores exist (on fewer cores it must merely stay identical —
+	// recorded above — and close to serial).
+	if speedup < 5 {
+		t.Errorf("cached QPS speedup %.1fx < 5x (before %.0f qps, after %.0f qps)", speedup, before.QPS, after.QPS)
+	}
+	if after.P99 > before.P99 {
+		t.Errorf("cached p99 %v exceeds uncached p99 %v", after.P99, before.P99)
+	}
+	if runtime.NumCPU() >= 4 && parallelMS >= serialMS {
+		t.Errorf("parallel index build (%.2fms at %d workers) not faster than serial (%.2fms) on %d CPUs",
+			parallelMS, idxWorkers, serialMS, runtime.NumCPU())
+	}
+}

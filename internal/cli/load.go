@@ -1,0 +1,364 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file implements `bitload`, a closed-loop HTTP load generator
+// for bitserved: a fixed worker pool issues back-to-back queries drawn
+// from a weighted endpoint mix against one dataset and reports
+// throughput (QPS) and latency quantiles (p50/p90/p99). Closed-loop
+// means each worker waits for a response before sending the next
+// request, so the reported QPS is the server's sustainable service
+// rate at that concurrency, not an open-loop arrival rate.
+
+// LoadEndpoints lists the query endpoints bitload can exercise.
+var LoadEndpoints = []string{"levels", "communities", "community_of", "kbitruss", "phi", "support"}
+
+// LoadOptions configures one load run.
+type LoadOptions struct {
+	// BaseURL of the target server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Dataset to query; it must be registered and decomposed.
+	Dataset string
+	// Workers is the closed-loop concurrency (default 8).
+	Workers int
+	// Duration of the measured run (default 10s).
+	Duration time.Duration
+	// Mix assigns a weight to each endpoint (see LoadEndpoints);
+	// nil/empty uses DefaultLoadMix.
+	Mix map[string]int
+	// K is the community level queried; negative picks the median
+	// populated level of the dataset.
+	K int64
+	// Top caps /communities responses (matches the server's pre-warm
+	// default when left 0 → 10).
+	Top int
+	// Seed makes the request sequence reproducible.
+	Seed int64
+	// Client overrides the HTTP client (tests inject httptest clients).
+	Client *http.Client
+}
+
+// DefaultLoadMix weights the hot read endpoints roughly like a
+// community-browsing workload: mostly community listings and k-bitruss
+// extractions (the answers the decomposition exists to serve), some
+// point lookups. community_of is excluded by default — its responses
+// are keyed per vertex, so it exercises the miss path; add it with
+// -mix to measure that.
+func DefaultLoadMix() map[string]int {
+	return map[string]int{"levels": 2, "communities": 5, "kbitruss": 3, "phi": 2}
+}
+
+// LoadReport is the outcome of one load run.
+type LoadReport struct {
+	Duration  time.Duration `json:"-"`
+	Requests  int64         `json:"requests"`
+	NotFound  int64         `json:"not_found"` // 404s (valid probes of absent objects)
+	Errors    int64         `json:"errors"`    // non-2xx/404 responses and transport failures
+	QPS       float64       `json:"qps"`
+	P50       time.Duration `json:"-"`
+	P90       time.Duration `json:"-"`
+	P99       time.Duration `json:"-"`
+	Max       time.Duration `json:"-"`
+	K         int64         `json:"k"` // community level actually queried
+	DurationS float64       `json:"duration_s"`
+	P50Micros int64         `json:"p50_us"`
+	P90Micros int64         `json:"p90_us"`
+	P99Micros int64         `json:"p99_us"`
+	MaxMicros int64         `json:"max_us"`
+}
+
+// RunLoad bootstraps against the target (resolving the query level and
+// sampling real edges for point lookups), then drives the closed loop
+// until the duration elapses or ctx is cancelled.
+func RunLoad(ctx context.Context, opt LoadOptions) (LoadReport, error) {
+	if opt.BaseURL == "" || opt.Dataset == "" {
+		return LoadReport{}, fmt.Errorf("%w: load needs a base URL and a dataset", ErrUsage)
+	}
+	base := strings.TrimSuffix(opt.BaseURL, "/")
+	if opt.Workers <= 0 {
+		opt.Workers = 8
+	}
+	if opt.Duration <= 0 {
+		opt.Duration = 10 * time.Second
+	}
+	if opt.Top == 0 {
+		opt.Top = 10
+	}
+	if len(opt.Mix) == 0 {
+		opt.Mix = DefaultLoadMix()
+	}
+	client := opt.Client
+	if client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = opt.Workers
+		client = &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	}
+
+	// Bootstrap: populated levels → query level; a k-bitruss sample →
+	// real (u, v) pairs and member vertices for point lookups.
+	var levelsResp struct {
+		Levels []int64 `json:"levels"`
+	}
+	if err := getJSON(ctx, client, base+"/levels?dataset="+opt.Dataset, &levelsResp); err != nil {
+		return LoadReport{}, fmt.Errorf("bootstrap levels: %w", err)
+	}
+	if len(levelsResp.Levels) == 0 {
+		return LoadReport{}, fmt.Errorf("dataset %q has no populated levels", opt.Dataset)
+	}
+	k := opt.K
+	if k < 0 {
+		k = levelsResp.Levels[len(levelsResp.Levels)/2]
+	}
+	var edgesResp struct {
+		Edges []struct {
+			U int64 `json:"u"`
+			V int64 `json:"v"`
+		} `json:"edges"`
+	}
+	if err := getJSON(ctx, client, base+"/kbitruss?dataset="+opt.Dataset+"&k="+strconv.FormatInt(k, 10), &edgesResp); err != nil {
+		return LoadReport{}, fmt.Errorf("bootstrap kbitruss: %w", err)
+	}
+	if len(edgesResp.Edges) == 0 {
+		return LoadReport{}, fmt.Errorf("dataset %q: k=%d has no edges to sample", opt.Dataset, k)
+	}
+	const maxSample = 4096
+	edges := edgesResp.Edges
+	if len(edges) > maxSample {
+		edges = edges[:maxSample]
+	}
+
+	// Weighted endpoint table in deterministic order.
+	var table []string
+	for _, ep := range LoadEndpoints {
+		for i := 0; i < opt.Mix[ep]; i++ {
+			table = append(table, ep)
+		}
+	}
+	if len(table) == 0 {
+		return LoadReport{}, fmt.Errorf("%w: mix selects no endpoints", ErrUsage)
+	}
+
+	kStr := strconv.FormatInt(k, 10)
+	buildURL := func(rng *rand.Rand, ep string) string {
+		switch ep {
+		case "levels":
+			return base + "/levels?dataset=" + opt.Dataset
+		case "communities":
+			return base + "/communities?dataset=" + opt.Dataset + "&k=" + kStr + "&top=" + strconv.Itoa(opt.Top)
+		case "kbitruss":
+			return base + "/kbitruss?dataset=" + opt.Dataset + "&k=" + kStr
+		case "community_of":
+			e := edges[rng.Intn(len(edges))]
+			return base + "/community_of?dataset=" + opt.Dataset + "&layer=upper&vertex=" + strconv.FormatInt(e.U, 10) + "&k=" + kStr
+		case "phi":
+			e := edges[rng.Intn(len(edges))]
+			return base + "/phi?dataset=" + opt.Dataset + "&u=" + strconv.FormatInt(e.U, 10) + "&v=" + strconv.FormatInt(e.V, 10)
+		case "support":
+			e := edges[rng.Intn(len(edges))]
+			return base + "/support?dataset=" + opt.Dataset + "&u=" + strconv.FormatInt(e.U, 10) + "&v=" + strconv.FormatInt(e.V, 10)
+		default:
+			return base + "/healthz"
+		}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, opt.Duration)
+	defer cancel()
+
+	type workerState struct {
+		lats     []time.Duration
+		requests int64
+		notFound int64
+		errors   int64
+	}
+	states := make([]workerState, opt.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wkr := 0; wkr < opt.Workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			st := &states[wkr]
+			st.lats = make([]time.Duration, 0, 4096)
+			rng := rand.New(rand.NewSource(opt.Seed + int64(wkr)*7919))
+			for runCtx.Err() == nil {
+				url := buildURL(rng, table[rng.Intn(len(table))])
+				req, err := http.NewRequestWithContext(runCtx, http.MethodGet, url, nil)
+				if err != nil {
+					st.errors++
+					continue
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					if runCtx.Err() != nil {
+						return // the deadline cut this request short; don't count it
+					}
+					st.errors++
+					// Transport errors (refused connections, a server
+					// dying mid-run) fail in microseconds: back off so
+					// the workers don't hot-spin at full CPU until the
+					// deadline.
+					select {
+					case <-runCtx.Done():
+						return
+					case <-time.After(20 * time.Millisecond):
+					}
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lat := time.Since(t0)
+				st.requests++
+				st.lats = append(st.lats, lat)
+				switch {
+				case resp.StatusCode == http.StatusNotFound:
+					st.notFound++
+				case resp.StatusCode >= 300:
+					st.errors++
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := LoadReport{Duration: elapsed, DurationS: elapsed.Seconds(), K: k}
+	var all []time.Duration
+	for i := range states {
+		rep.Requests += states[i].requests
+		rep.NotFound += states[i].notFound
+		rep.Errors += states[i].errors
+		all = append(all, states[i].lats...)
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		q := func(p float64) time.Duration {
+			i := int(p * float64(len(all)-1))
+			return all[i]
+		}
+		rep.P50, rep.P90, rep.P99, rep.Max = q(0.50), q(0.90), q(0.99), all[len(all)-1]
+		rep.P50Micros = rep.P50.Microseconds()
+		rep.P90Micros = rep.P90.Microseconds()
+		rep.P99Micros = rep.P99.Microseconds()
+		rep.MaxMicros = rep.Max.Microseconds()
+	}
+	return rep, ctx.Err()
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// ParseLoadMix parses "levels=2,communities=5,phi=1" into a mix map.
+func ParseLoadMix(spec string) (map[string]int, error) {
+	mix := map[string]int{}
+	known := map[string]bool{}
+	for _, ep := range LoadEndpoints {
+		known[ep] = true
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weight, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q wants endpoint=weight", part)
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown endpoint %q (have %s)", name, strings.Join(LoadEndpoints, ", "))
+		}
+		w, err := strconv.Atoi(weight)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix weight %q must be a non-negative integer", weight)
+		}
+		mix[name] = w
+	}
+	return mix, nil
+}
+
+// Load implements the `bitload` tool.
+func Load(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bitload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the bitserved instance")
+	dataset := fs.String("dataset", "", "dataset to query (required)")
+	workers := fs.Int("workers", 8, "closed-loop concurrency")
+	duration := fs.Duration("duration", 10*time.Second, "measured run length")
+	mixSpec := fs.String("mix", "", "endpoint mix as name=weight,... (default levels=2,communities=5,kbitruss=3,phi=2)")
+	k := fs.Int64("k", -1, "community level to query (-1 = median populated level)")
+	top := fs.Int("top", 10, "top parameter of /communities requests")
+	seed := fs.Int64("seed", 1, "workload RNG seed")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataset == "" {
+		return fmt.Errorf("%w: -dataset is required", ErrUsage)
+	}
+	mix := DefaultLoadMix()
+	if *mixSpec != "" {
+		var err error
+		if mix, err = ParseLoadMix(*mixSpec); err != nil {
+			return fmt.Errorf("%w: %v", ErrUsage, err)
+		}
+	}
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL:  *addr,
+		Dataset:  *dataset,
+		Workers:  *workers,
+		Duration: *duration,
+		Mix:      mix,
+		K:        *k,
+		Top:      *top,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(stdout, "bitload: %d requests in %.2fs (%d workers, k=%d)\n",
+		rep.Requests, rep.Duration.Seconds(), *workers, rep.K)
+	fmt.Fprintf(stdout, "  qps       %.0f\n", rep.QPS)
+	fmt.Fprintf(stdout, "  latency   p50 %v   p90 %v   p99 %v   max %v\n", rep.P50, rep.P90, rep.P99, rep.Max)
+	if rep.NotFound > 0 {
+		fmt.Fprintf(stdout, "  not found %d\n", rep.NotFound)
+	}
+	if rep.Errors > 0 {
+		fmt.Fprintf(stdout, "  errors    %d\n", rep.Errors)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+// loadTarget spins up an in-process bitserved over a decomposed
+// generated dataset.
+func loadTarget(t *testing.T, opts ...server.Option) *httptest.Server {
+	t.Helper()
+	eng := engine.New()
+	if err := eng.Register("bench", gen.Uniform(120, 120, 1400, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Decompose(context.Background(), "bench", engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(eng, opts...).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestLoadSmoke drives the closed loop briefly against an in-process
+// server: every endpoint of the default mix must answer without hard
+// errors. CI runs it with BITLOAD_SMOKE=2s as the serving smoke step.
+func TestLoadSmoke(t *testing.T) {
+	dur := 300 * time.Millisecond
+	if env := os.Getenv("BITLOAD_SMOKE"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil {
+			t.Fatalf("BITLOAD_SMOKE: %v", err)
+		}
+		dur = d
+	}
+	ts := loadTarget(t)
+	mix := DefaultLoadMix()
+	mix["kbitruss"] = 1
+	mix["support"] = 1
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL:  ts.URL,
+		Dataset:  "bench",
+		Workers:  4,
+		Duration: dur,
+		Mix:      mix,
+		K:        -1,
+		Client:   ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("load run issued no requests")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("load run hit %d hard errors (%d requests)", rep.Errors, rep.Requests)
+	}
+	if rep.QPS <= 0 || rep.P99 <= 0 || rep.P50 > rep.P99 {
+		t.Fatalf("implausible report: qps=%.1f p50=%v p99=%v", rep.QPS, rep.P50, rep.P99)
+	}
+	t.Logf("smoke: %d requests, %.0f qps, p50=%v p99=%v (%d not-found probes)",
+		rep.Requests, rep.QPS, rep.P50, rep.P99, rep.NotFound)
+}
+
+// TestLoadCLI exercises the flag surface end to end.
+func TestLoadCLI(t *testing.T) {
+	ts := loadTarget(t)
+	var out, errb bytes.Buffer
+	err := Load([]string{
+		"-addr", ts.URL, "-dataset", "bench",
+		"-duration", "150ms", "-workers", "2",
+		"-mix", "levels=1,phi=1", "-json",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("Load: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), `"qps"`) {
+		t.Fatalf("JSON report missing qps: %s", out.String())
+	}
+}
+
+// TestLoadCLIUsage covers the usage errors.
+func TestLoadCLIUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := Load([]string{"-addr", "http://x"}, &out, &errb); err == nil {
+		t.Fatal("missing -dataset accepted")
+	}
+	if err := Load([]string{"-dataset", "d", "-mix", "bogus=1"}, &out, &errb); err == nil {
+		t.Fatal("unknown mix endpoint accepted")
+	}
+}
+
+// TestParseLoadMix covers the mix parser.
+func TestParseLoadMix(t *testing.T) {
+	mix, err := ParseLoadMix("levels=2, communities=5 ,phi=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := map[string]int{"levels": 2, "communities": 5, "phi": 0}; !reflect.DeepEqual(mix, want) {
+		t.Fatalf("mix = %v, want %v", mix, want)
+	}
+	for _, bad := range []string{"levels", "levels=-1", "nope=3", "levels=x"} {
+		if _, err := ParseLoadMix(bad); err == nil {
+			t.Fatalf("ParseLoadMix(%q) accepted", bad)
+		}
+	}
+}

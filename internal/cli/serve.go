@@ -2,10 +2,13 @@ package cli
 
 import (
 	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -45,6 +48,11 @@ func Serve(args []string, stdout, stderr io.Writer) error {
 	tau := fs.Float64("tau", 0, "BiT-PC threshold decrement fraction (0 = default)")
 	workers := fs.Int("workers", 0, "parallel workers for the startup decompositions")
 	ranges := fs.Int("ranges", 0, "coarse support ranges of the bu++p peeler (0 = derived from -workers)")
+	cacheOn := fs.Bool("cache", true, "serve hot queries from the per-snapshot response cache")
+	cacheBytes := fs.Int64("cache-bytes", 32<<20, "response-cache bound per snapshot, in payload bytes (0 disables)")
+	prewarmLevels := fs.Int("prewarm-levels", 16, "bitruss levels whose top communities are pre-warmed on snapshot publish (0 disables)")
+	prewarmTop := fs.Int("prewarm-top", 10, "top parameter pre-warmed per level")
+	debugAddr := fs.String("debug-addr", "", "optional debug listener (pprof + expvar + serving stats), e.g. 127.0.0.1:6060")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +68,19 @@ func Serve(args []string, stdout, stderr io.Writer) error {
 	defer cancelServer()
 
 	eng := engine.New()
+	eng.SetCacheMaxBytes(*cacheBytes)
+	// Build the server before kicking off the startup decompositions:
+	// server.New registers the engine's publish hook, and a small
+	// dataset could finish decomposing (and publish its snapshot) before
+	// a later-constructed server could register — silently skipping the
+	// pre-warm for exactly the datasets an operator preloads.
+	var srvOpts []server.Option
+	if !*cacheOn || *cacheBytes <= 0 {
+		srvOpts = append(srvOpts, server.WithoutQueryCache())
+	}
+	srvOpts = append(srvOpts, server.WithPrewarm(*prewarmLevels, *prewarmTop))
+	api := server.New(eng, srvOpts...)
+
 	for _, spec := range datasets {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {
@@ -81,10 +102,23 @@ func Serve(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: server.New(eng).Handler()}
+	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Fprintf(stdout, "bitserved listening on %s\n", *addr)
+
+	// The debug listener is separate from the API listener so pprof and
+	// counters are never exposed on the serving address by accident.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: debugMux(api, eng, time.Now())}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(stdout, "debug listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(stdout, "debug endpoints on http://%s/debug/\n", *debugAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -108,10 +142,70 @@ func Serve(args []string, stdout, stderr io.Writer) error {
 		}()
 		cancelServer()
 		err := srv.Shutdown(ctx)
+		if debugSrv != nil {
+			if derr := debugSrv.Shutdown(ctx); err == nil {
+				err = derr
+			}
+		}
 		if serr := eng.Shutdown(ctx); err == nil {
 			err = serr
 		}
 		fmt.Fprintln(stdout, "bitserved stopped")
 		return err
 	}
+}
+
+// debugMux assembles the -debug-addr handler: the standard pprof
+// surface, the expvar page, and a serving-stats JSON endpoint with
+// request/cache counters, QPS since start and per-dataset snapshot
+// versions.
+func debugMux(api *server.Server, eng *engine.Engine, start time.Time) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := api.Stats()
+		uptime := time.Since(start)
+		type datasetStats struct {
+			Version      int64 `json:"version"`
+			Pending      int   `json:"pending"`
+			CacheEntries int   `json:"cache_entries"`
+			CacheBytes   int64 `json:"cache_bytes"`
+		}
+		out := struct {
+			UptimeS     float64                 `json:"uptime_s"`
+			Requests    uint64                  `json:"requests"`
+			QPS         float64                 `json:"qps"`
+			CacheHits   uint64                  `json:"cache_hits"`
+			CacheMisses uint64                  `json:"cache_misses"`
+			HitRate     float64                 `json:"cache_hit_rate"`
+			Datasets    map[string]datasetStats `json:"datasets"`
+		}{
+			UptimeS:     uptime.Seconds(),
+			Requests:    st.Requests,
+			QPS:         float64(st.Requests) / max(uptime.Seconds(), 1e-9),
+			CacheHits:   st.CacheHits,
+			CacheMisses: st.CacheMisses,
+			Datasets:    map[string]datasetStats{},
+		}
+		if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+			out.HitRate = float64(st.CacheHits) / float64(lookups)
+		}
+		for _, info := range eng.List() {
+			ds := datasetStats{Version: info.Version, Pending: info.Pending}
+			if vw, err := eng.View(info.Name); err == nil {
+				ds.CacheEntries, ds.CacheBytes = vw.CacheStats()
+			}
+			out.Datasets[info.Name] = ds
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+	return mux
 }

@@ -1,7 +1,7 @@
 package community
 
 import (
-	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -66,6 +66,22 @@ type inode struct {
 // NewIndex precomputes the community hierarchy of the decomposition phi
 // of g. The phi slice is copied; g is retained (it is immutable).
 func NewIndex(g *bigraph.Graph, phi []int64) *Index {
+	return NewIndexParallel(g, phi, 1)
+}
+
+// NewIndexParallel is NewIndex with the embarrassingly parallel stages
+// — the per-level edge bucketing, the depth-first subtree layout (one
+// independent traversal per forest root) and the per-level component
+// ordering — fanned out over the given number of workers (<= 0 means
+// GOMAXPROCS). The descending-level union-find stays serial: it is the
+// only stage whose state threads through every level. Every stage is
+// deterministic, so the resulting Index is identical, field for field,
+// to the serial build; parallelism only changes when the snapshot
+// becomes servable.
+func NewIndexParallel(g *bigraph.Graph, phi []int64, workers int) *Index {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	ix := &Index{
 		g:      g,
 		phi:    append([]int64(nil), phi...),
@@ -79,16 +95,7 @@ func NewIndex(g *bigraph.Graph, phi []int64) *Index {
 	}
 	ix.maxPhi = ix.levels[nLevels-1]
 
-	// Bucket edges by level index.
-	levelIdx := make(map[int64]int, nLevels)
-	for i, k := range ix.levels {
-		levelIdx[k] = i
-	}
-	buckets := make([][]int32, nLevels)
-	for e, p := range phi {
-		li := levelIdx[p]
-		buckets[li] = append(buckets[li], int32(e))
-	}
+	buckets := bucketEdgesByLevel(phi, ix.levels, workers)
 
 	// Incremental union-find over vertices.
 	parent := make([]int32, g.NumVertices())
@@ -137,17 +144,24 @@ func NewIndex(g *bigraph.Graph, phi []int64) *Index {
 
 		// Regroup the touched nodes and the new edges by post-union root;
 		// every group gains at least one edge, so it becomes a new node.
+		// Groups are processed in first-seen edge order so node ids (and
+		// with them the whole Index) are deterministic.
 		groupChildren := map[int32][]int32{}
 		for r, n := range touched {
 			groupChildren[find(r)] = append(groupChildren[find(r)], n)
 			delete(rootNode, r)
 		}
 		groupEdges := map[int32][]int32{}
+		groupOrder := make([]int32, 0, 8)
 		for _, e := range es {
 			r := find(g.Edge(e).U)
+			if _, ok := groupEdges[r]; !ok {
+				groupOrder = append(groupOrder, r)
+			}
 			groupEdges[r] = append(groupEdges[r], e)
 		}
-		for r, ges := range groupEdges {
+		for _, r := range groupOrder {
+			ges := groupEdges[r]
 			id := int32(len(ix.nodes))
 			ix.nodes = append(ix.nodes, inode{level: k, parent: -1})
 			ch := groupChildren[r]
@@ -173,38 +187,13 @@ func NewIndex(g *bigraph.Graph, phi []int64) *Index {
 		ix.comps[li] = snap
 	}
 
-	// Depth-first layout: every subtree's edges become one contiguous
-	// range of ix.order.
-	ix.order = make([]int32, 0, len(phi))
-	var dfs func(id int32) int32
-	dfs = func(id int32) int32 {
-		nd := &ix.nodes[id]
-		nd.start = int32(len(ix.order))
-		minE := int32(math.MaxInt32)
-		for _, c := range children[id] {
-			if m := dfs(c); m < minE {
-				minE = m
-			}
-		}
-		for _, e := range own[id] {
-			ix.order = append(ix.order, e)
-			if e < minE {
-				minE = e
-			}
-		}
-		nd.end = int32(len(ix.order))
-		nd.minEdge = minE
-		return minE
-	}
-	for _, r := range ix.comps[0] {
-		if ix.nodes[r].parent == -1 {
-			dfs(r)
-		}
-	}
+	layoutSubtrees(ix, children, own, workers)
 
 	// Order every level's component list the way the one-shot
-	// Communities does: largest first, smallest edge id as tie-break.
-	for li := range ix.comps {
+	// Communities does: largest first, smallest edge id as tie-break
+	// (a total order: components of one level have disjoint edge sets).
+	// Levels sort independently of each other.
+	parallelDo(workers, len(ix.comps), func(li int) {
 		cs := ix.comps[li]
 		sort.Slice(cs, func(i, j int) bool {
 			a, b := &ix.nodes[cs[i]], &ix.nodes[cs[j]]
@@ -213,7 +202,7 @@ func NewIndex(g *bigraph.Graph, phi []int64) *Index {
 			}
 			return a.minEdge < b.minEdge
 		})
-	}
+	})
 	return ix
 }
 

@@ -1,0 +1,164 @@
+package community
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the parallel stages of NewIndexParallel. All of them
+// are deterministic: for any worker count they produce byte-identical
+// data structures, which the cross-validation tests enforce field by
+// field against the serial build.
+
+// parallelDo runs fn(0..n-1), fanning the indices out over the given
+// number of workers. workers <= 1 degrades to a plain loop, and small n
+// never spawns more goroutines than items.
+func parallelDo(workers, n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// bucketEdgesByLevel partitions the edge ids by level index via a
+// two-pass counting sort: edges within one bucket stay in ascending id
+// order for any worker count (each worker owns a contiguous, ascending
+// edge range and writes it into a contiguous slot of its level's
+// bucket). The buckets share one backing array sized len(phi).
+func bucketEdgesByLevel(phi []int64, levels []int64, workers int) [][]int32 {
+	nLevels := len(levels)
+	levelIdx := make(map[int64]int, nLevels)
+	for i, k := range levels {
+		levelIdx[k] = i
+	}
+	m := len(phi)
+	if workers > m/4096+1 {
+		// Under ~4k edges per worker the fan-out costs more than the scan.
+		workers = m/4096 + 1
+	}
+
+	// Pass 1: per-worker, per-level counts over contiguous edge ranges.
+	counts := make([][]int32, workers)
+	chunk := (m + workers - 1) / workers
+	parallelDo(workers, workers, func(w int) {
+		cnt := make([]int32, nLevels)
+		lo, hi := w*chunk, min((w+1)*chunk, m)
+		for e := lo; e < hi; e++ {
+			cnt[levelIdx[phi[e]]]++
+		}
+		counts[w] = cnt
+	})
+
+	// Per-(level, worker) write offsets: levels laid out ascending in one
+	// backing array, workers ascending within a level.
+	backing := make([]int32, m)
+	buckets := make([][]int32, nLevels)
+	off := int32(0)
+	offsets := make([][]int32, workers)
+	for w := range offsets {
+		offsets[w] = make([]int32, nLevels)
+	}
+	for li := 0; li < nLevels; li++ {
+		start := off
+		for w := 0; w < workers; w++ {
+			offsets[w][li] = off
+			off += counts[w][li]
+		}
+		buckets[li] = backing[start:off:off]
+	}
+
+	// Pass 2: scatter.
+	parallelDo(workers, workers, func(w int) {
+		pos := offsets[w]
+		lo, hi := w*chunk, min((w+1)*chunk, m)
+		for e := lo; e < hi; e++ {
+			li := levelIdx[phi[e]]
+			backing[pos[li]] = int32(e)
+			pos[li]++
+		}
+	})
+	return buckets
+}
+
+// layoutSubtrees computes the depth-first edge layout: every node's
+// subtree becomes one contiguous range of ix.order, exactly as the
+// recursive serial traversal produced it. Roots are laid out in
+// ascending node-id order; their subtree extents are known up front
+// (children always carry smaller ids than their parent, so one
+// ascending sweep yields subtree sizes), which makes every root an
+// independent unit of work.
+func layoutSubtrees(ix *Index, children, own [][]int32, workers int) {
+	n := len(ix.nodes)
+	size := make([]int32, n)
+	for id := 0; id < n; id++ {
+		sz := int32(len(own[id]))
+		for _, c := range children[id] {
+			sz += size[c]
+		}
+		size[id] = sz
+	}
+	roots := make([]int32, 0, 16)
+	for id := 0; id < n; id++ {
+		if ix.nodes[id].parent == -1 {
+			roots = append(roots, int32(id))
+		}
+	}
+	offs := make([]int32, len(roots))
+	total := int32(0)
+	for i, r := range roots {
+		offs[i] = total
+		total += size[r]
+	}
+	ix.order = make([]int32, total)
+
+	parallelDo(workers, len(roots), func(ri int) {
+		pos := offs[ri]
+		var dfs func(id int32) int32
+		dfs = func(id int32) int32 {
+			nd := &ix.nodes[id]
+			nd.start = pos
+			minE := int32(math.MaxInt32)
+			for _, c := range children[id] {
+				if m := dfs(c); m < minE {
+					minE = m
+				}
+			}
+			for _, e := range own[id] {
+				ix.order[pos] = e
+				pos++
+				if e < minE {
+					minE = e
+				}
+			}
+			nd.end = pos
+			nd.minEdge = minE
+			return minE
+		}
+		dfs(roots[ri])
+	})
+}

@@ -1,0 +1,109 @@
+package community
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/testgraphs"
+)
+
+func phiOfB(b *testing.B, g *bigraph.Graph) []int64 {
+	b.Helper()
+	res, err := core.Decompose(g, core.Options{Algorithm: core.BiTBUPlusPlus})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Phi
+}
+
+// requireIdenticalIndexes asserts that two indexes are identical field
+// for field — not just query-equivalent: node table, subtree layout,
+// intro mapping and per-level component order must all match, which is
+// the contract NewIndexParallel makes with the serial build.
+func requireIdenticalIndexes(t *testing.T, name string, want, got *Index) {
+	t.Helper()
+	if len(want.nodes) != len(got.nodes) {
+		t.Fatalf("%s: %d nodes, want %d", name, len(got.nodes), len(want.nodes))
+	}
+	for i := range want.nodes {
+		w, g := &want.nodes[i], &got.nodes[i]
+		if w.level != g.level || w.parent != g.parent || w.start != g.start || w.end != g.end || w.minEdge != g.minEdge {
+			t.Fatalf("%s: node %d = {level %d parent %d [%d,%d) min %d}, want {level %d parent %d [%d,%d) min %d}",
+				name, i, g.level, g.parent, g.start, g.end, g.minEdge, w.level, w.parent, w.start, w.end, w.minEdge)
+		}
+	}
+	if fmt.Sprint(want.order) != fmt.Sprint(got.order) {
+		t.Fatalf("%s: order differs", name)
+	}
+	if fmt.Sprint(want.intro) != fmt.Sprint(got.intro) {
+		t.Fatalf("%s: intro differs", name)
+	}
+	if fmt.Sprint(want.levels) != fmt.Sprint(got.levels) || want.maxPhi != got.maxPhi {
+		t.Fatalf("%s: levels/maxPhi differ", name)
+	}
+	if len(want.comps) != len(got.comps) {
+		t.Fatalf("%s: %d comp levels, want %d", name, len(got.comps), len(want.comps))
+	}
+	for li := range want.comps {
+		if fmt.Sprint(want.comps[li]) != fmt.Sprint(got.comps[li]) {
+			t.Fatalf("%s: comps[%d] = %v, want %v", name, li, got.comps[li], want.comps[li])
+		}
+	}
+}
+
+// TestNewIndexParallelIdentical cross-validates the parallel index
+// build against the serial one across structurally diverse graphs and
+// worker counts: the resulting structures must be byte-identical.
+func TestNewIndexParallelIdentical(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *bigraph.Graph
+	}{
+		{"figure1", testgraphs.Figure1()},
+		{"star", testgraphs.Star(12)},
+		{"bloom", testgraphs.Bloom(20)},
+		{"biclique", testgraphs.CompleteBiclique(6, 7)},
+		{"uniform", gen.Uniform(60, 60, 700, 1)},
+		{"zipf", gen.Zipf(50, 80, 900, 1.4, 1.2, 2)},
+		{"blocks", gen.Blocks(40, 40, []gen.BlockConfig{{Upper: 8, Lower: 8, Density: 0.9}, {Upper: 6, Lower: 6, Density: 0.8}}, 120, 3)},
+		{"bloomchain", gen.BloomChain(5, 6)},
+		{"hubspokes", gen.HubAndSpokes(9)},
+	}
+	for _, tc := range graphs {
+		phi := phiOf(t, tc.g)
+		serial := NewIndex(tc.g, phi)
+		for _, workers := range []int{2, 4, 8} {
+			par := NewIndexParallel(tc.g, phi, workers)
+			requireIdenticalIndexes(t, fmt.Sprintf("%s/workers=%d", tc.name, workers), serial, par)
+		}
+		// The parallel build must also still agree with the legacy
+		// one-shot query path (the strongest external oracle).
+		checkIndexMatchesLegacy(t, tc.name+"/parallel", tc.g, phi)
+	}
+}
+
+// TestNewIndexParallelEmpty covers the degenerate shapes.
+func TestNewIndexParallelEmpty(t *testing.T) {
+	g := testgraphs.Star(3) // no butterflies: single level 0
+	phi := phiOf(t, g)
+	requireIdenticalIndexes(t, "star3", NewIndex(g, phi), NewIndexParallel(g, phi, 4))
+}
+
+// BenchmarkNewIndex measures the serial vs parallel hierarchy build on
+// the 60k-edge reference graph (meaningful speedups need multiple
+// cores; on one core the parallel build must only not regress).
+func BenchmarkNewIndex(b *testing.B) {
+	g := gen.Uniform(5000, 5000, 61500, 42)
+	phi := phiOfB(b, g)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				NewIndexParallel(g, phi, workers)
+			}
+		})
+	}
+}

@@ -20,7 +20,14 @@ import "repro/internal/bigraph"
 // every cached community transfers. Passing old == nil degrades to
 // NewIndex.
 func UpdateIndex(old *Index, g *bigraph.Graph, phi []int64, rm *bigraph.Remap, maxChangedLevel int64) *Index {
-	ix := NewIndex(g, phi)
+	return UpdateIndexParallel(old, g, phi, rm, maxChangedLevel, 1)
+}
+
+// UpdateIndexParallel is UpdateIndex with the forest rebuild fanned out
+// over workers (see NewIndexParallel; <= 0 means GOMAXPROCS). The
+// result is identical to the serial update.
+func UpdateIndexParallel(old *Index, g *bigraph.Graph, phi []int64, rm *bigraph.Remap, maxChangedLevel int64, workers int) *Index {
+	ix := NewIndexParallel(g, phi, workers)
 	if old == nil {
 		return ix
 	}

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+)
+
+// errFillPanicked is what concurrent waiters of a fill observe when the
+// filling goroutine panicked; the entry itself is dropped so the next
+// request retries.
+var errFillPanicked = errors.New("engine: cache fill panicked")
+
+// queryCache memoises fully marshalled query responses for one
+// snapshot. Because snapshots are immutable and versioned, a response
+// is determined entirely by (snapshot, key): entries never need
+// invalidation — the whole cache is dropped with its snapshot when a
+// mutation installs the next version, so a stale answer cannot survive
+// a version swap by construction.
+//
+// Concurrent lookups of the same key are singleflight-deduplicated:
+// the first caller computes, every concurrent caller blocks on the
+// entry's ready channel and shares the result. Total cached payload
+// bytes are bounded; least-recently-used entries are evicted past the
+// bound. Failed fills are never cached (the next caller retries).
+type queryCache struct {
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	lru     list.List // front = most recently used; only filled entries are listed
+	bytes   int64     // total data bytes of filled entries
+}
+
+// cacheEntry is one cached response. data and err are written exactly
+// once, before ready is closed; afterwards they are immutable.
+type cacheEntry struct {
+	key   string
+	ready chan struct{}
+	data  []byte
+	err   error
+	elem  *list.Element // nil while the fill is in flight or after eviction
+}
+
+// defaultCacheMaxBytes bounds one snapshot's cached payloads unless the
+// operator tunes it (-cache-bytes in bitserved).
+const defaultCacheMaxBytes = 32 << 20
+
+func newQueryCache(maxBytes int64) *queryCache {
+	if maxBytes <= 0 {
+		return nil // disabled: View.Cached degrades to calling fill
+	}
+	return &queryCache{maxBytes: maxBytes, entries: make(map[string]*cacheEntry)}
+}
+
+// get returns the cached bytes under key, running fill on a miss. The
+// second result reports whether the bytes came from the cache (a
+// singleflight join counts as a hit: the caller did not compute). The
+// returned bytes are shared and must be treated as read-only.
+//
+// key is accepted as a byte slice so hot callers can build it in a
+// pooled buffer: the hit path does not retain it (map lookups on
+// string(key) do not allocate), only a miss copies it into the entry.
+func (c *queryCache) get(key []byte, fill func() ([]byte, error)) ([]byte, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[string(key)]; ok {
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		c.mu.Unlock()
+		<-e.ready
+		return e.data, true, e.err
+	}
+	e := &cacheEntry{key: string(key), ready: make(chan struct{})}
+	c.entries[e.key] = e
+	c.mu.Unlock()
+
+	// A fill that panics (the HTTP layer recovers panics per request)
+	// must not wedge the key: waiters would block on ready forever and
+	// every later request would join them. Unwind: fail the waiters,
+	// drop the entry so the next request retries, re-panic.
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		e.err = errFillPanicked
+		close(e.ready)
+		c.mu.Lock()
+		delete(c.entries, e.key)
+		c.mu.Unlock()
+	}()
+	e.data, e.err = fill()
+	completed = true
+	close(e.ready)
+
+	c.mu.Lock()
+	if e.err != nil {
+		// Errors are not cached; a later request retries the fill.
+		// (The entry may already have waiters — they share the error.)
+		delete(c.entries, e.key)
+	} else if int64(len(e.data)) > c.maxBytes {
+		// A single response larger than the whole bound must not be
+		// cached at all: the LRU loop never evicts the newest entry, so
+		// it would pin the cache above its budget for the snapshot's
+		// lifetime. Serve it (waiters included) and drop the entry.
+		delete(c.entries, e.key)
+	} else {
+		e.elem = c.lru.PushFront(e)
+		c.bytes += int64(len(e.data))
+		for c.bytes > c.maxBytes && c.lru.Len() > 1 {
+			back := c.lru.Back()
+			be := back.Value.(*cacheEntry)
+			c.lru.Remove(back)
+			be.elem = nil
+			delete(c.entries, be.key)
+			c.bytes -= int64(len(be.data))
+		}
+	}
+	c.mu.Unlock()
+	return e.data, false, e.err
+}
+
+// stats reports the filled entry count and payload bytes held.
+func (c *queryCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len(), c.bytes
+}

@@ -1,0 +1,284 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bigraph"
+	"repro/internal/gen"
+)
+
+func readyDataset(t *testing.T, e *Engine, name string) {
+	t.Helper()
+	if err := e.Register(name, gen.Uniform(20, 20, 120, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Decompose(context.Background(), name, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCachedSingleflight launches many concurrent lookups of one key
+// and requires exactly one fill.
+func TestCachedSingleflight(t *testing.T) {
+	e := New()
+	readyDataset(t, e, "d")
+	vw, err := e.View("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fills atomic.Int32
+	gate := make(chan struct{})
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([][]byte, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, _, err := vw.Cached([]byte("k"), func() ([]byte, error) {
+				fills.Add(1)
+				<-gate // hold every concurrent caller in the join path
+				return []byte("payload"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = data
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if got := fills.Load(); got != 1 {
+		t.Fatalf("fill ran %d times, want 1", got)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, []byte("payload")) {
+			t.Fatalf("caller %d got %q", i, r)
+		}
+	}
+}
+
+// TestCachedErrorNotCached requires failed fills to be retried.
+func TestCachedErrorNotCached(t *testing.T) {
+	e := New()
+	readyDataset(t, e, "d")
+	vw, _ := e.View("d")
+	boom := errors.New("boom")
+	if _, _, err := vw.Cached([]byte("k"), func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	data, hit, err := vw.Cached([]byte("k"), func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || hit || string(data) != "ok" {
+		t.Fatalf("retry = (%q, hit=%v, %v), want fresh ok", data, hit, err)
+	}
+	if _, _, err := vw.Cached([]byte("k"), func() ([]byte, error) { return nil, boom }); err != nil {
+		t.Fatalf("cached hit returned %v", err)
+	}
+}
+
+// TestCachedFillPanic requires a panicking fill to release concurrent
+// waiters with an error and leave the key retryable — never a wedged
+// entry that blocks every later request.
+func TestCachedFillPanic(t *testing.T) {
+	c := newQueryCache(1 << 20)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if recover() == nil {
+				t.Error("fill panic was swallowed")
+			}
+		}()
+		_, _, _ = c.get([]byte("k"), func() ([]byte, error) {
+			close(entered)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-entered
+	// A concurrent waiter joins the in-flight fill (or, if it loses the
+	// race with the cleanup, refills the dropped key — both are fine;
+	// what must never happen is blocking forever on a wedged entry).
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.get([]byte("k"), func() ([]byte, error) { return []byte("late"), nil })
+		waiterErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // make the join interleaving likely
+	close(release)
+	wg.Wait()
+	select {
+	case err := <-waiterErr:
+		if err != nil && !errors.Is(err, errFillPanicked) {
+			t.Fatalf("waiter got %v, want nil or errFillPanicked", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter wedged on the panicked entry")
+	}
+	// The key must be retryable afterwards.
+	data, hit, err := c.get([]byte("k"), func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || hit || string(data) != "ok" {
+		t.Fatalf("retry after panic = (%q, hit=%v, %v), want fresh ok", data, hit, err)
+	}
+}
+
+// TestCacheBound fills past the byte bound and checks LRU eviction.
+func TestCacheBound(t *testing.T) {
+	c := newQueryCache(1000)
+	payload := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < 50; i++ {
+		key := fmt.Appendf(nil, "k%d", i)
+		if _, _, err := c.get(key, func() ([]byte, error) { return payload, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, b := c.stats()
+	if b > 1000 {
+		t.Fatalf("cache holds %d bytes, bound 1000", b)
+	}
+	if entries == 0 || entries > 10 {
+		t.Fatalf("cache holds %d entries, want 1..10", entries)
+	}
+	// The most recent key must have survived; the oldest must refill.
+	if _, hit, _ := c.get([]byte("k49"), func() ([]byte, error) { return payload, nil }); !hit {
+		t.Fatal("most recent entry was evicted")
+	}
+	if _, hit, _ := c.get([]byte("k0"), func() ([]byte, error) { return payload, nil }); hit {
+		t.Fatal("oldest entry survived a full wrap of the bound")
+	}
+}
+
+// TestCacheOversizedEntryNotCached: a single response bigger than the
+// whole byte bound must be served but never stored (the LRU cannot
+// evict the newest entry, so storing it would pin the cache above its
+// budget for the snapshot's lifetime).
+func TestCacheOversizedEntryNotCached(t *testing.T) {
+	c := newQueryCache(1000)
+	huge := bytes.Repeat([]byte("x"), 4000)
+	data, hit, err := c.get([]byte("big"), func() ([]byte, error) { return huge, nil })
+	if err != nil || hit || len(data) != len(huge) {
+		t.Fatalf("oversized fill = (%d bytes, hit=%v, %v)", len(data), hit, err)
+	}
+	if entries, b := c.stats(); entries != 0 || b != 0 {
+		t.Fatalf("oversized entry was cached: %d entries, %d bytes", entries, b)
+	}
+	// Normal entries still cache fine afterwards.
+	if _, _, err := c.get([]byte("small"), func() ([]byte, error) { return []byte("ok"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _ := c.get([]byte("small"), func() ([]byte, error) { return nil, nil }); !hit {
+		t.Fatal("small entry not cached")
+	}
+}
+
+// TestCacheDroppedOnMutation pins a view before a mutation and checks
+// that the post-mutation snapshot starts with an empty cache while the
+// old view keeps serving its own (version-consistent) entries.
+func TestCacheDroppedOnMutation(t *testing.T) {
+	e := New()
+	readyDataset(t, e, "d")
+	before, _ := e.View("d")
+	if _, _, err := before.Cached([]byte("k"), func() ([]byte, error) { return []byte("v1"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Mutate(context.Background(), "d", MutateRequest{Insert: [][2]int{{19, 3}, {18, 7}}, Wait: true}); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := e.View("d")
+	if after.Version() == before.Version() {
+		t.Fatal("mutation did not bump the version")
+	}
+	if n, _ := after.CacheStats(); n != 0 {
+		// The publish hook is unset in this test, so nothing pre-warms.
+		t.Fatalf("fresh snapshot cache holds %d entries, want 0", n)
+	}
+	data, hit, err := after.Cached([]byte("k"), func() ([]byte, error) { return []byte("v2"), nil })
+	if err != nil || hit || string(data) != "v2" {
+		t.Fatalf("new snapshot served (%q, hit=%v, %v), want fresh v2", data, hit, err)
+	}
+	// The pinned old view still answers from its own snapshot.
+	data, hit, _ = before.Cached([]byte("k"), func() ([]byte, error) { return []byte("wrong"), nil })
+	if !hit || string(data) != "v1" {
+		t.Fatalf("old view served (%q, hit=%v), want cached v1", data, hit)
+	}
+}
+
+// TestPublishHook checks the hook fires for decompositions and applied
+// mutation batches, with a view pinned to the fresh snapshot.
+func TestPublishHook(t *testing.T) {
+	e := New()
+	type event struct {
+		name    string
+		version int64
+	}
+	var mu sync.Mutex
+	var events []event
+	e.SetPublishHook(func(name string, v *View) {
+		mu.Lock()
+		events = append(events, event{name, v.Version()})
+		mu.Unlock()
+	})
+	g, err := bigraph.FromEdges([][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("d", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Decompose(context.Background(), "d", Options{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Mutate(context.Background(), "d", MutateRequest{Insert: [][2]int{{2, 0}}, Wait: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Applied {
+		t.Fatal("insert of a fresh edge reported Applied=false")
+	}
+	mu.Lock()
+	if len(events) != 2 {
+		t.Fatalf("hook fired %d times (%v), want 2", len(events), events)
+	}
+	if events[0].name != "d" || events[1].version != res.Version {
+		t.Fatalf("events = %v, want decompose then version %d", events, res.Version)
+	}
+	mu.Unlock()
+	// A no-op batch (re-inserting an existing edge) installs no snapshot
+	// and must not fire.
+	if _, err := e.Mutate(context.Background(), "d", MutateRequest{Insert: [][2]int{{2, 0}}, Wait: true}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 2 {
+		t.Fatalf("hook fired on a no-op batch: %v", events)
+	}
+}
+
+// TestCacheDisabled covers SetCacheMaxBytes(0).
+func TestCacheDisabled(t *testing.T) {
+	e := New()
+	e.SetCacheMaxBytes(0)
+	readyDataset(t, e, "d")
+	vw, _ := e.View("d")
+	var fills int
+	for i := 0; i < 3; i++ {
+		_, hit, err := vw.Cached([]byte("k"), func() ([]byte, error) { fills++; return []byte("v"), nil })
+		if err != nil || hit {
+			t.Fatalf("disabled cache reported hit=%v err=%v", hit, err)
+		}
+	}
+	if fills != 3 {
+		t.Fatalf("fill ran %d times, want 3 (no caching)", fills)
+	}
+}

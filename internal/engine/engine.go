@@ -21,8 +21,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bigraph"
@@ -111,6 +113,11 @@ type snapshot struct {
 	res     *core.Result     // nil until a decomposition completes
 	idx     *community.Index // non-nil iff res is
 	algo    core.Algorithm   // algorithm that produced res
+	// cache memoises marshalled query responses for this snapshot (nil
+	// when caching is disabled). It lives and dies with the snapshot:
+	// installing a successor drops every entry atomically, so no stale
+	// response can outlive its version.
+	cache *queryCache
 }
 
 // MutateRequest is a batch of edge mutations against a dataset, as
@@ -183,14 +190,15 @@ type mutOutcome struct {
 type dataset struct {
 	name string
 
-	mu      sync.RWMutex // guards snap, status, err, cancel, done, log
-	snap    *snapshot
-	status  Status
-	runAlgo core.Algorithm // algorithm of the in-flight run
-	err     error
-	cancel  context.CancelFunc
-	done    chan struct{} // closed when the in-flight decomposition ends
-	log     []MutationRecord
+	mu         sync.RWMutex // guards snap, status, err, cancel, done, log, idxWorkers
+	snap       *snapshot
+	status     Status
+	runAlgo    core.Algorithm // algorithm of the in-flight run
+	err        error
+	cancel     context.CancelFunc
+	done       chan struct{} // closed when the in-flight decomposition ends
+	log        []MutationRecord
+	idxWorkers int // Workers of the cached decomposition: index rebuild fan-out
 
 	// workMu serialises snapshot-producing work (decompositions and
 	// mutation applications); queries never take it.
@@ -209,13 +217,62 @@ type Engine struct {
 	mu       sync.RWMutex
 	datasets map[string]*dataset
 
+	cacheMaxBytes atomic.Int64 // per-snapshot response cache bound; <= 0 disables
+	onPublish     atomic.Value // func(dataset string, v *View), may hold nil
+
 	closeOnce sync.Once
 	closed    chan struct{}
 }
 
 // New returns an empty engine.
 func New() *Engine {
-	return &Engine{datasets: make(map[string]*dataset), closed: make(chan struct{})}
+	e := &Engine{datasets: make(map[string]*dataset), closed: make(chan struct{})}
+	e.cacheMaxBytes.Store(defaultCacheMaxBytes)
+	return e
+}
+
+// SetCacheMaxBytes bounds the per-snapshot query-response cache (in
+// payload bytes); n <= 0 disables caching entirely. The setting applies
+// to snapshots installed afterwards — typically call it once at startup
+// before registering datasets.
+func (e *Engine) SetCacheMaxBytes(n int64) { e.cacheMaxBytes.Store(n) }
+
+// publishHook is the registered snapshot-publication callback type.
+type publishHook func(dataset string, v *View)
+
+// SetPublishHook registers fn to be called whenever a dataset has
+// produced a decomposed snapshot — on decomposition completion and on
+// every applied mutation batch. The hook runs synchronously on the
+// background goroutine that produced the snapshot (never on a query
+// path), immediately BEFORE the snapshot is installed for serving:
+// queries keep answering from the previous version until the hook
+// returns, so whatever it fills into the View's cache (the HTTP layer
+// pre-warms responses) is visible from the new version's first
+// request. At most one hook is active; passing nil unregisters.
+func (e *Engine) SetPublishHook(fn func(dataset string, v *View)) {
+	e.onPublish.Store(publishHook(fn))
+}
+
+func (e *Engine) firePublish(name string, snap *snapshot) {
+	fn, ok := e.onPublish.Load().(publishHook)
+	if !ok || fn == nil {
+		return
+	}
+	// The hook runs on a producer goroutine with nothing above it to
+	// recover: a panic that a query path would turn into one failed
+	// request must not take the whole process down just because the
+	// pre-warmer hit it first. Publication proceeds; the affected
+	// entries simply stay cold.
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("engine: publish hook for %q panicked: %v", name, r)
+		}
+	}()
+	fn(name, &View{name: name, snap: snap})
+}
+
+func (e *Engine) newCache() *queryCache {
+	return newQueryCache(e.cacheMaxBytes.Load())
 }
 
 func (e *Engine) isClosed() bool {
@@ -242,7 +299,7 @@ func (e *Engine) Register(name string, g *bigraph.Graph) error {
 	}
 	e.datasets[name] = &dataset{
 		name:   name,
-		snap:   &snapshot{version: g.Version(), g: g},
+		snap:   &snapshot{version: g.Version(), g: g, cache: e.newCache()},
 		status: StatusLoaded,
 	}
 	return nil
@@ -408,9 +465,21 @@ func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) e
 		})
 		var idx *community.Index
 		if err == nil {
-			idx = community.NewIndex(snap.g, res.Phi)
+			// The hierarchy index partitions cleanly across workers
+			// (byte-identical to the serial build), so a fresh snapshot
+			// becomes servable sooner on multi-core hosts.
+			idx = community.NewIndexParallel(snap.g, res.Phi, opt.Workers)
 		} else if errors.Is(err, core.ErrCancelled) && runCtx.Err() != nil {
 			err = runCtx.Err()
+		}
+		var newSnap *snapshot
+		if err == nil {
+			newSnap = &snapshot{version: snap.version, g: snap.g, res: res, idx: idx, algo: opt.Algorithm, cache: e.newCache()}
+			// Pre-warm before installation: the hook fills the fresh
+			// snapshot's cache while the previous snapshot still serves,
+			// so the new version starts taking traffic with its hot
+			// entries already encoded.
+			e.firePublish(ds.name, newSnap)
 		}
 		ds.mu.Lock()
 		if err != nil {
@@ -424,7 +493,8 @@ func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) e
 			ds.err = err
 		} else {
 			ds.status = StatusReady
-			ds.snap = &snapshot{version: snap.version, g: snap.g, res: res, idx: idx, algo: opt.Algorithm}
+			ds.snap = newSnap
+			ds.idxWorkers = opt.Workers
 			ds.err = nil
 		}
 		ds.cancel = nil
@@ -560,6 +630,7 @@ func (ds *dataset) applyBatch(e *Engine, batch []*mutOp) {
 	start := time.Now()
 	ds.mu.RLock()
 	snap := ds.snap
+	idxWorkers := ds.idxWorkers
 	ds.mu.RUnlock()
 
 	finish := func(info MutateResult, err error) {
@@ -588,7 +659,7 @@ func (ds *dataset) applyBatch(e *Engine, batch []*mutOp) {
 		return
 	}
 
-	next := &snapshot{version: g2.Version(), g: g2, algo: snap.algo}
+	next := &snapshot{version: g2.Version(), g: g2, algo: snap.algo, cache: e.newCache()}
 	info := MutateResult{
 		Version:  g2.Version(),
 		Applied:  true,
@@ -606,7 +677,7 @@ func (ds *dataset) applyBatch(e *Engine, batch []*mutOp) {
 			return
 		}
 		next.res = res2
-		next.idx = community.UpdateIndex(snap.idx, g2, res2.Phi, rm, stats.MaxChangedLevel)
+		next.idx = community.UpdateIndexParallel(snap.idx, g2, res2.Phi, rm, stats.MaxChangedLevel, idxWorkers)
 		info.Maintained = true
 		info.FellBack = stats.FellBack
 		info.Candidates = stats.Candidates
@@ -614,6 +685,12 @@ func (ds *dataset) applyBatch(e *Engine, batch []*mutOp) {
 	}
 	info.Duration = time.Since(start)
 
+	if next.res != nil {
+		// Pre-warm before the swap: queries keep answering from the old
+		// snapshot while the new one's cache is primed, and the first
+		// request against the new version can already hit.
+		e.firePublish(ds.name, next)
+	}
 	ds.mu.Lock()
 	ds.snap = next
 	ds.log = append(ds.log, MutationRecord{
@@ -713,6 +790,32 @@ func (e *Engine) View(name string) (*View, error) {
 
 // Version returns the mutation version of the viewed snapshot.
 func (v *View) Version() int64 { return v.snap.version }
+
+// Cached returns the response bytes stored under key for this view's
+// snapshot, running fill on a miss and memoising its result. Because
+// the cache is owned by the snapshot, a cached response can never
+// outlive its version: a mutation installs a successor snapshot with a
+// fresh cache and this one becomes garbage. Concurrent misses on one
+// key are deduplicated — exactly one caller computes, the rest share.
+// The second result reports a cache hit. The returned bytes are shared
+// and must not be modified. With caching disabled, fill runs every
+// time. fill errors are returned but never cached.
+func (v *View) Cached(key []byte, fill func() ([]byte, error)) ([]byte, bool, error) {
+	if c := v.snap.cache; c != nil {
+		return c.get(key, fill)
+	}
+	data, err := fill()
+	return data, false, err
+}
+
+// CacheStats reports the snapshot cache's filled entry count and total
+// payload bytes (zeroes when caching is disabled).
+func (v *View) CacheStats() (entries int, bytes int64) {
+	if c := v.snap.cache; c != nil {
+		return c.stats()
+	}
+	return 0, 0
+}
 
 // Decomposed reports whether the viewed snapshot carries a
 // decomposition.

@@ -29,12 +29,18 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"net/url"
+	"os"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bigraph"
 	"repro/internal/core"
@@ -46,15 +52,69 @@ import (
 const maxBodyBytes = 64 << 20
 
 // Server wraps an engine with an http.Handler.
+//
+// The read path is allocation-disciplined: hot GET endpoints answer
+// from the engine's per-snapshot response cache (final marshalled
+// bytes, singleflight-deduplicated; see engine.View.Cached) so the
+// steady-state fast path is a cache lookup plus one Write. Misses and
+// the remaining endpoints encode through pooled buffer+encoder pairs
+// instead of allocating per request. On snapshot publication the cache
+// is pre-warmed with /levels and the top communities of each level.
 type Server struct {
 	eng *engine.Engine
 	mux *http.ServeMux
+
+	useCache      bool
+	prewarmLevels int // levels to pre-warm top communities for (0 = no pre-warm)
+	prewarmTop    int // `top` parameter warmed per level
+	errLog        *log.Logger
+
+	requests    atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithoutQueryCache serves every query through the uncached path:
+// recompute and re-encode per request. The cached and uncached paths
+// are byte-identical (enforced by tests); this exists for baseline
+// benchmarks and as an operator escape hatch.
+func WithoutQueryCache() Option {
+	return func(s *Server) { s.useCache = false }
+}
+
+// WithPrewarm tunes snapshot-publication pre-warming: for up to
+// `levels` populated bitruss levels, the community listings (both the
+// top=`top` page and the unpaged default) plus /levels itself are
+// encoded into the fresh snapshot's cache before it starts taking
+// traffic. The cache's byte bound still applies — oversized listings
+// are served but not retained. levels <= 0 disables pre-warming.
+func WithPrewarm(levels, top int) Option {
+	return func(s *Server) { s.prewarmLevels, s.prewarmTop = levels, top }
+}
+
+// WithErrorLog routes response-encoding failures to l (default: a
+// stderr logger).
+func WithErrorLog(l *log.Logger) Option {
+	return func(s *Server) { s.errLog = l }
 }
 
 // New builds a Server over an existing engine (which may already hold
 // datasets loaded at startup).
-func New(eng *engine.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+func New(eng *engine.Engine, opts ...Option) *Server {
+	s := &Server{
+		eng:           eng,
+		mux:           http.NewServeMux(),
+		useCache:      true,
+		prewarmLevels: 16,
+		prewarmTop:    10,
+		errLog:        log.New(os.Stderr, "server: ", log.LstdFlags),
+	}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /datasets", s.handleAddDataset)
@@ -69,14 +129,36 @@ func New(eng *engine.Engine) *Server {
 	s.mux.HandleFunc("GET /communities", s.handleCommunities)
 	s.mux.HandleFunc("GET /community_of", s.handleCommunityOf)
 	s.mux.HandleFunc("GET /kbitruss", s.handleKBitruss)
+	if s.useCache && s.prewarmLevels > 0 {
+		eng.SetPublishHook(s.warmSnapshot)
+	}
 	return s
 }
 
+// Stats is a point-in-time read of the server's serving counters.
+type Stats struct {
+	Requests    uint64 `json:"requests"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
+// Stats returns the request and cache counters accumulated since start.
+// Hits count cached responses and singleflight joins; misses count
+// fills. Uncached endpoints contribute to neither.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:    s.requests.Load(),
+		CacheHits:   s.cacheHits.Load(),
+		CacheMisses: s.cacheMisses.Load(),
+	}
+}
+
 // Handler returns the HTTP handler serving all endpoints.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -89,23 +171,81 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// encBuf pairs a reusable buffer with a JSON encoder writing into it,
+// so the steady state allocates neither per response.
+type encBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	eb := &encBuf{}
+	eb.enc = json.NewEncoder(&eb.buf)
+	eb.enc.SetEscapeHTML(false)
+	return eb
+}}
+
+// maxPooledBuf keeps one-off giant responses (full k-bitruss dumps)
+// from pinning pool memory forever.
+const maxPooledBuf = 1 << 20
+
+func getEnc() *encBuf {
+	eb := encPool.Get().(*encBuf)
+	eb.buf.Reset()
+	return eb
+}
+
+func putEnc(eb *encBuf) {
+	if eb.buf.Cap() <= maxPooledBuf {
+		encPool.Put(eb)
+	}
+}
+
+// keyPool recycles the small scratch buffers cache keys are built in;
+// the cache's hit path never retains them.
+var keyPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 96)
+	return &b
+}}
+
+// writeJSON encodes v through a pooled encoder. Encoding failures are
+// logged and turn into a clean 500 — never a truncated 200 body.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
+	eb := getEnc()
+	defer putEnc(eb)
+	if err := eb.enc.Encode(v); err != nil {
+		s.errLog.Printf("%s %s: encoding response: %v", r.Method, r.URL.Path, err)
+		writeRawError(w, http.StatusInternalServerError, "internal: encoding response failed")
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	_, _ = w.Write(eb.buf.Bytes())
 }
 
 type errorBody struct {
 	Error string `json:"error"`
 }
 
+// writeRawError emits an error body through the pooled non-escaping
+// encoder — the same escaping rules as every success response, so error
+// strings keep their exact historical bytes (clients match them).
+// Encoding errorBody cannot fail (one plain string field), so this is
+// safe to call from writeJSON's own failure path.
+func writeRawError(w http.ResponseWriter, status int, msg string) {
+	eb := getEnc()
+	defer putEnc(eb)
+	_ = eb.enc.Encode(errorBody{Error: msg})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(eb.buf.Bytes())
+}
+
 // writeError maps engine errors onto HTTP status codes.
-func writeError(w http.ResponseWriter, err error) {
+func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, engine.ErrNotFound), errors.Is(err, engine.ErrNoEdge):
+	case errors.Is(err, engine.ErrNotFound), errors.Is(err, engine.ErrNoEdge), errors.Is(err, errNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, engine.ErrExists), errors.Is(err, engine.ErrBusy):
 		status = http.StatusConflict
@@ -116,17 +256,83 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, errBadRequest):
 		status = http.StatusBadRequest
 	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	writeRawError(w, status, err.Error())
 }
 
-var errBadRequest = errors.New("bad request")
+var (
+	errBadRequest = errors.New("bad request")
+	// errNotFound marks "queried object absent" outcomes (e.g. a vertex
+	// with no community at the level) that map to 404 and are never
+	// cached.
+	errNotFound = errors.New("not found")
+)
 
 func badRequestf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
 }
 
+// notFoundError maps to 404 while keeping the wire body exactly the
+// formatted message (no wrapping prefix — clients match these strings).
+type notFoundError struct{ msg string }
+
+func (e *notFoundError) Error() string { return e.msg }
+func (e *notFoundError) Is(target error) bool {
+	return target == errNotFound
+}
+
+func notFoundf(format string, args ...any) error {
+	return &notFoundError{msg: fmt.Sprintf(format, args...)}
+}
+
+// encodeToBytes runs fill and marshals its value through the pooled
+// encoder into a stable copy fit for cache storage. It is the single
+// encode path shared by cache misses and the pre-warmer, so warmed
+// bytes are exactly what a cold fill would have produced.
+func encodeToBytes(fill func() (any, error)) ([]byte, error) {
+	v, err := fill()
+	if err != nil {
+		return nil, err
+	}
+	eb := getEnc()
+	defer putEnc(eb)
+	if err := eb.enc.Encode(v); err != nil {
+		return nil, fmt.Errorf("encoding response: %w", err)
+	}
+	return bytes.Clone(eb.buf.Bytes()), nil
+}
+
+// respond serves one hot-endpoint response: from the snapshot cache
+// when enabled (key identifies endpoint+params; the snapshot identifies
+// dataset+version), through the pooled uncached path otherwise. fill
+// returns the response value to encode; both paths produce identical
+// bytes.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, vw *engine.View, key []byte, fill func() (any, error)) {
+	if !s.useCache {
+		v, err := fill()
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		s.writeJSON(w, r, http.StatusOK, v)
+		return
+	}
+	data, hit, err := vw.Cached(key, func() ([]byte, error) { return encodeToBytes(fill) })
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if hit {
+		s.cacheHits.Add(1)
+	} else {
+		s.cacheMisses.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // datasetJSON is the wire form of engine.DatasetInfo.
@@ -168,7 +374,7 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	for i, info := range infos {
 		out[i] = toDatasetJSON(info)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, r, http.StatusOK, out)
 }
 
 type addDatasetRequest struct {
@@ -181,11 +387,11 @@ type addDatasetRequest struct {
 func (s *Server) handleAddDataset(w http.ResponseWriter, r *http.Request) {
 	var req addDatasetRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if req.Name == "" {
-		writeError(w, badRequestf("name is required"))
+		s.writeError(w, badRequestf("name is required"))
 		return
 	}
 	var err error
@@ -210,23 +416,23 @@ func (s *Server) handleAddDataset(w http.ResponseWriter, r *http.Request) {
 		err = badRequestf("either path or edges is required")
 	}
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	info, err := s.eng.Info(req.Name)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, toDatasetJSON(info))
+	s.writeJSON(w, r, http.StatusCreated, toDatasetJSON(info))
 }
 
 func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	if err := s.eng.Remove(r.PathValue("name")); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "removed"})
+	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "removed"})
 }
 
 // mutateRequest is the wire form of engine.MutateRequest.
@@ -256,19 +462,19 @@ type mutateJSON struct {
 func (s *Server) mutate(w http.ResponseWriter, r *http.Request, req engine.MutateRequest) {
 	name := r.PathValue("name")
 	if len(req.Insert) == 0 && len(req.Delete) == 0 {
-		writeError(w, badRequestf("mutation needs insert or delete pairs"))
+		s.writeError(w, badRequestf("mutation needs insert or delete pairs"))
 		return
 	}
 	res, err := s.eng.Mutate(r.Context(), name, req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	status := http.StatusAccepted
 	if req.Wait {
 		status = http.StatusOK
 	}
-	writeJSON(w, status, mutateJSON{
+	s.writeJSON(w, r, status, mutateJSON{
 		Dataset:    name,
 		Version:    res.Version,
 		Pending:    res.Pending,
@@ -286,7 +492,7 @@ func (s *Server) mutate(w http.ResponseWriter, r *http.Request, req engine.Mutat
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	var req mutateRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	s.mutate(w, r, engine.MutateRequest{Insert: req.Insert, Delete: req.Delete, Wait: req.Wait})
@@ -299,7 +505,7 @@ func (s *Server) handleDeleteEdges(w http.ResponseWriter, r *http.Request) {
 		Wait  bool     `json:"wait,omitempty"`
 	}
 	if err := decodeBody(w, r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	s.mutate(w, r, engine.MutateRequest{Delete: req.Edges, Wait: req.Wait})
@@ -309,7 +515,7 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	info, err := s.eng.Info(name)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	out := map[string]any{
@@ -332,7 +538,7 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 			"apply_ms":    last.Duration.Milliseconds(),
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, r, http.StatusOK, out)
 }
 
 type decomposeRequest struct {
@@ -350,14 +556,14 @@ type decomposeRequest struct {
 func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	var req decomposeRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	algo := core.BiTBUPlusPlus
 	if req.Algorithm != "" {
 		var ok bool
 		if algo, ok = core.ParseAlgorithm(req.Algorithm); !ok {
-			writeError(w, badRequestf("unknown algorithm %q", req.Algorithm))
+			s.writeError(w, badRequestf("unknown algorithm %q", req.Algorithm))
 			return
 		}
 	}
@@ -368,25 +574,28 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		// cancels the peeling loops. The work is done when we reply,
 		// so the status is 200, not 202.
 		if err := s.eng.Decompose(r.Context(), req.Dataset, opt); err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		status = http.StatusOK
 	} else if err := s.eng.StartDecompose(context.WithoutCancel(r.Context()), req.Dataset, opt); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	info, err := s.eng.Info(req.Dataset)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, status, toDatasetJSON(info))
+	s.writeJSON(w, r, status, toDatasetJSON(info))
 }
 
-// queryInt parses a required integer query parameter.
-func queryInt(r *http.Request, name string) (int64, error) {
-	raw := r.URL.Query().Get(name)
+// queryInt parses a required integer query parameter. Handlers parse
+// r.URL.Query() exactly once and thread the values through — every
+// url.Values lookup via r.URL.Query() re-parses the raw query string
+// and allocates.
+func queryInt(q url.Values, name string) (int64, error) {
+	raw := q.Get(name)
 	if raw == "" {
 		return 0, badRequestf("%s is required", name)
 	}
@@ -397,208 +606,356 @@ func queryInt(r *http.Request, name string) (int64, error) {
 	return n, nil
 }
 
-func queryDataset(r *http.Request) (string, error) {
-	name := r.URL.Query().Get("dataset")
+func queryDataset(q url.Values) (string, error) {
+	name := q.Get("dataset")
 	if name == "" {
 		return "", badRequestf("dataset is required")
 	}
 	return name, nil
 }
 
+// Typed wire forms of the hot query endpoints: encoding a struct
+// through the pooled encoder allocates nothing per request, unlike the
+// map[string]any forms these replaced.
+type edgeQueryResponse struct {
+	Dataset string `json:"dataset"`
+	Version int64  `json:"version"`
+	U       int64  `json:"u"`
+	V       int64  `json:"v"`
+	Phi     *int64 `json:"phi,omitempty"`
+	Support *int64 `json:"support,omitempty"`
+}
+
+type levelsResponse struct {
+	Dataset string  `json:"dataset"`
+	Version int64   `json:"version"`
+	Levels  []int64 `json:"levels"`
+}
+
+type communitiesResponse struct {
+	Dataset     string             `json:"dataset"`
+	Version     int64              `json:"version"`
+	K           int64              `json:"k"`
+	Total       int                `json:"total"`
+	Communities []engine.Community `json:"communities"`
+}
+
+type communityOfResponse struct {
+	Dataset   string           `json:"dataset"`
+	Version   int64            `json:"version"`
+	K         int64            `json:"k"`
+	Community engine.Community `json:"community"`
+}
+
+type kbitrussEdge struct {
+	U   int64 `json:"u"`
+	V   int64 `json:"v"`
+	Phi int64 `json:"phi"`
+}
+
+type kbitrussResponse struct {
+	Dataset string         `json:"dataset"`
+	Version int64          `json:"version"`
+	K       int64          `json:"k"`
+	Edges   []kbitrussEdge `json:"edges"`
+}
+
+// Cache keys identify (endpoint, params); the snapshot the cache hangs
+// off already pins (dataset, version). Keys are built into pooled
+// buffers — getKey/putKey bracket every use.
+func getKey() *[]byte  { return keyPool.Get().(*[]byte) }
+func putKey(b *[]byte) { *b = (*b)[:0]; keyPool.Put(b) }
+
+func edgeQueryKey(b []byte, endpoint string, u, v int64) []byte {
+	b = append(b, endpoint...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, u, 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, v, 10)
+	return b
+}
+
+func communitiesKey(b []byte, k int64, top int) []byte {
+	b = append(b, "communities|"...)
+	b = strconv.AppendInt(b, k, 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(top), 10)
+	return b
+}
+
+func communityOfKey(b []byte, layer engine.Layer, vertex, k int64) []byte {
+	b = append(b, "community_of|"...)
+	b = strconv.AppendInt(b, int64(layer), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, vertex, 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, k, 10)
+	return b
+}
+
+func kbitrussKey(b []byte, k int64) []byte {
+	b = append(b, "kbitruss|"...)
+	b = strconv.AppendInt(b, k, 10)
+	return b
+}
+
 func (s *Server) handlePhi(w http.ResponseWriter, r *http.Request) {
-	name, err := queryDataset(r)
+	q := r.URL.Query()
+	name, err := queryDataset(q)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	u, err := queryInt(r, "u")
+	u, err := queryInt(q, "u")
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	v, err := queryInt(r, "v")
+	v, err := queryInt(q, "v")
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	vw, err := s.eng.View(name)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	phi, err := vw.Phi(int(u), int(v))
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset": name, "version": vw.Version(), "u": u, "v": v, "phi": phi,
+	kb := getKey()
+	defer putKey(kb)
+	s.respond(w, r, vw, edgeQueryKey(*kb, "phi", u, v), func() (any, error) {
+		phi, err := vw.Phi(int(u), int(v))
+		if err != nil {
+			return nil, err
+		}
+		return edgeQueryResponse{Dataset: name, Version: vw.Version(), U: u, V: v, Phi: &phi}, nil
 	})
 }
 
 func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
-	name, err := queryDataset(r)
+	q := r.URL.Query()
+	name, err := queryDataset(q)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	u, err := queryInt(r, "u")
+	u, err := queryInt(q, "u")
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	v, err := queryInt(r, "v")
+	v, err := queryInt(q, "v")
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	vw, err := s.eng.View(name)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	sup, err := vw.Support(int(u), int(v))
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset": name, "version": vw.Version(), "u": u, "v": v, "support": sup,
+	kb := getKey()
+	defer putKey(kb)
+	s.respond(w, r, vw, edgeQueryKey(*kb, "support", u, v), func() (any, error) {
+		sup, err := vw.Support(int(u), int(v))
+		if err != nil {
+			return nil, err
+		}
+		return edgeQueryResponse{Dataset: name, Version: vw.Version(), U: u, V: v, Support: &sup}, nil
 	})
 }
 
+// fillLevels builds the /levels response; shared by the handler and the
+// pre-warmer so warmed bytes are exactly what the handler would serve.
+func fillLevels(name string, vw *engine.View) func() (any, error) {
+	return func() (any, error) {
+		levels, err := vw.Levels()
+		if err != nil {
+			return nil, err
+		}
+		return levelsResponse{Dataset: name, Version: vw.Version(), Levels: levels}, nil
+	}
+}
+
+// fillCommunities builds the /communities response for (k, top).
+func fillCommunities(name string, vw *engine.View, k int64, top int) func() (any, error) {
+	return func() (any, error) {
+		cs, total, err := vw.TopCommunities(k, top)
+		if err != nil {
+			return nil, err
+		}
+		return communitiesResponse{Dataset: name, Version: vw.Version(), K: k, Total: total, Communities: cs}, nil
+	}
+}
+
 func (s *Server) handleLevels(w http.ResponseWriter, r *http.Request) {
-	name, err := queryDataset(r)
+	q := r.URL.Query()
+	name, err := queryDataset(q)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	vw, err := s.eng.View(name)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	levels, err := vw.Levels()
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"dataset": name, "version": vw.Version(), "levels": levels})
+	kb := getKey()
+	defer putKey(kb)
+	s.respond(w, r, vw, append(*kb, "levels"...), fillLevels(name, vw))
 }
 
 func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request) {
-	name, err := queryDataset(r)
+	q := r.URL.Query()
+	name, err := queryDataset(q)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	k, err := queryInt(r, "k")
+	k, err := queryInt(q, "k")
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	top := -1
-	if raw := r.URL.Query().Get("top"); raw != "" {
+	if raw := q.Get("top"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n < 0 {
-			writeError(w, badRequestf("top: must be a non-negative integer"))
+			s.writeError(w, badRequestf("top: must be a non-negative integer"))
 			return
 		}
 		top = n
 	}
 	vw, err := s.eng.View(name)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	cs, total, err := vw.TopCommunities(k, top)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset": name, "version": vw.Version(), "k": k, "total": total, "communities": cs,
-	})
+	kb := getKey()
+	defer putKey(kb)
+	s.respond(w, r, vw, communitiesKey(*kb, k, top), fillCommunities(name, vw, k, top))
 }
 
 func (s *Server) handleCommunityOf(w http.ResponseWriter, r *http.Request) {
-	name, err := queryDataset(r)
+	q := r.URL.Query()
+	name, err := queryDataset(q)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	k, err := queryInt(r, "k")
+	k, err := queryInt(q, "k")
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	vertex, err := queryInt(r, "vertex")
+	vertex, err := queryInt(q, "vertex")
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	var layer engine.Layer
-	switch r.URL.Query().Get("layer") {
+	switch q.Get("layer") {
 	case "upper", "":
 		layer = engine.UpperLayer
 	case "lower":
 		layer = engine.LowerLayer
 	default:
-		writeError(w, badRequestf("layer must be upper or lower"))
+		s.writeError(w, badRequestf("layer must be upper or lower"))
 		return
 	}
 	vw, err := s.eng.View(name)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	c, ok, err := vw.CommunityOf(layer, int(vertex), k)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{
-			Error: fmt.Sprintf("vertex %d has no community at level %d", vertex, k),
-		})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset": name, "version": vw.Version(), "k": k, "community": c,
+	kb := getKey()
+	defer putKey(kb)
+	s.respond(w, r, vw, communityOfKey(*kb, layer, vertex, k), func() (any, error) {
+		c, ok, err := vw.CommunityOf(layer, int(vertex), k)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// Absence is a 404, never cached (errors skip the cache).
+			return nil, notFoundf("vertex %d has no community at level %d", vertex, k)
+		}
+		return communityOfResponse{Dataset: name, Version: vw.Version(), K: k, Community: c}, nil
 	})
 }
 
 func (s *Server) handleKBitruss(w http.ResponseWriter, r *http.Request) {
-	name, err := queryDataset(r)
+	q := r.URL.Query()
+	name, err := queryDataset(q)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	k, err := queryInt(r, "k")
+	k, err := queryInt(q, "k")
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	vw, err := s.eng.View(name)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	edges, err := vw.KBitrussEdges(k)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	type edgeJSON struct {
-		U   int64 `json:"u"`
-		V   int64 `json:"v"`
-		Phi int64 `json:"phi"`
-	}
-	out := make([]edgeJSON, len(edges))
-	for i, e := range edges {
-		out[i] = edgeJSON{U: e[0], V: e[1], Phi: e[2]}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset": name, "version": vw.Version(), "k": k, "edges": out,
+	kb := getKey()
+	defer putKey(kb)
+	s.respond(w, r, vw, kbitrussKey(*kb, k), func() (any, error) {
+		edges, err := vw.KBitrussEdges(k)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]kbitrussEdge, len(edges))
+		for i, e := range edges {
+			out[i] = kbitrussEdge{U: e[0], V: e[1], Phi: e[2]}
+		}
+		return kbitrussResponse{Dataset: name, Version: vw.Version(), K: k, Edges: out}, nil
 	})
+}
+
+// warmSnapshot is the engine publish hook: when a dataset produces a
+// fresh decomposed snapshot it encodes /levels and the top communities
+// of the first prewarmLevels populated levels into the new snapshot's
+// cache. The engine fires it before installing the snapshot, so the
+// new version starts taking traffic with these entries already warm.
+// It runs on the engine's background producer goroutine, never on a
+// query path, and shares the handlers' fill/key/encode functions, so
+// warmed bytes are byte-identical to cold responses.
+func (s *Server) warmSnapshot(name string, vw *engine.View) {
+	if !vw.Decomposed() {
+		return
+	}
+	levels, err := vw.Levels()
+	if err != nil {
+		return
+	}
+	warm := func(key []byte, fill func() (any, error)) {
+		_, _, _ = vw.Cached(key, func() ([]byte, error) { return encodeToBytes(fill) })
+	}
+	kb := getKey()
+	defer putKey(kb)
+	warm(append(*kb, "levels"...), fillLevels(name, vw))
+	n := len(levels)
+	if n > s.prewarmLevels {
+		n = s.prewarmLevels
+	}
+	for _, k := range levels[:n] {
+		// Both request shapes clients actually send: the explicit
+		// top=prewarmTop page, and the no-top default (keyed top=-1) —
+		// but the latter only when the level has at most prewarmTop
+		// components, where the full listing costs the same as the page.
+		// Encoding a huge unpaged listing per level on every publish
+		// would burn producer-goroutine CPU (and delay the snapshot
+		// install) for bytes the cache may not even retain.
+		if cnt, err := vw.NumCommunities(k); err == nil && cnt <= s.prewarmTop {
+			kb2 := getKey()
+			warm(communitiesKey(*kb2, k, -1), fillCommunities(name, vw, k, -1))
+			putKey(kb2)
+		}
+		kb2 := getKey()
+		warm(communitiesKey(*kb2, k, s.prewarmTop), fillCommunities(name, vw, k, s.prewarmTop))
+		putKey(kb2)
+	}
 }
