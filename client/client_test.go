@@ -1,0 +1,305 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/server"
+	"repro/internal/testgraphs"
+)
+
+// newServer spins up an in-process bitserved instance and a client
+// bound to it.
+func newServer(t *testing.T) (*engine.Engine, *client.Client) {
+	t.Helper()
+	eng := engine.New()
+	ts := httptest.NewServer(server.New(eng).Handler())
+	t.Cleanup(ts.Close)
+	return eng, client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	_, c := newServer(t)
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+
+	ds, err := c.CreateDataset(ctx, client.CreateDatasetRequest{
+		Name: "fig1", Edges: testgraphs.Figure1Edges(),
+	})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if ds.Status != "loaded" || ds.Edges != 11 {
+		t.Fatalf("created dataset = %+v", ds)
+	}
+
+	h := c.Dataset("fig1")
+	if ds, err = h.Decompose(ctx, client.DecomposeRequest{Algorithm: "bu++", Wait: true}); err != nil || ds.Status != "ready" {
+		t.Fatalf("decompose: %v (%+v)", err, ds)
+	}
+
+	// Every ground-truth φ of the Figure 1 network.
+	for pair, want := range testgraphs.Figure1Bitruss() {
+		res, err := h.Phi(ctx, pair[0], pair[1])
+		if err != nil {
+			t.Fatalf("phi%v: %v", pair, err)
+		}
+		if res.Phi == nil || *res.Phi != want {
+			t.Errorf("phi%v = %v, want %d", pair, res.Phi, want)
+		}
+	}
+	for pair, want := range testgraphs.Figure1Supports() {
+		res, err := h.Support(ctx, pair[0], pair[1])
+		if err != nil {
+			t.Fatalf("support%v: %v", pair, err)
+		}
+		if res.Support == nil || *res.Support != want {
+			t.Errorf("support%v = %v, want %d", pair, res.Support, want)
+		}
+	}
+
+	lv, err := h.Levels(ctx)
+	if err != nil || len(lv.Levels) != 3 || lv.Levels[2] != 2 {
+		t.Fatalf("levels = %+v (%v)", lv, err)
+	}
+
+	page, err := h.Communities(ctx, 2, client.CommunitiesOptions{})
+	if err != nil {
+		t.Fatalf("communities: %v", err)
+	}
+	if page.Total != 1 || len(page.Communities) != 1 || page.Communities[0].Size != 6 || page.NextCursor != "" {
+		t.Fatalf("communities = %+v", page)
+	}
+
+	cof, err := h.CommunityOf(ctx, client.UpperLayer, 1, 2)
+	if err != nil || cof.Community.Size != 6 || cof.Community.K != 2 {
+		t.Fatalf("community_of = %+v (%v)", cof, err)
+	}
+	// u3 is outside the 2-bitruss.
+	if _, err := h.CommunityOf(ctx, client.UpperLayer, 3, 2); !client.IsNotFound(err) || !client.HasCode(err, client.CodeNotFound) {
+		t.Fatalf("community_of outside = %v, want CodeNotFound", err)
+	}
+
+	kb, err := h.KBitruss(ctx, 2)
+	if err != nil || len(kb.Edges) != 6 {
+		t.Fatalf("kbitruss = %+v (%v)", kb, err)
+	}
+
+	// Batch: mixed ops incl. a per-item failure, one version for all.
+	batch, err := h.Batch(ctx, []client.BatchQuery{
+		client.BatchPhi(0, 0),
+		client.BatchSupport(0, 0),
+		client.BatchCommunityOf(client.UpperLayer, 1, 2),
+		client.BatchPhi(0, 4), // absent edge: per-item error
+	})
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if batch.Count != 4 || len(batch.Results) != 4 {
+		t.Fatalf("batch = %+v", batch)
+	}
+	if r := batch.Results[0]; r.Phi == nil || *r.Phi != testgraphs.Figure1Bitruss()[[2]int{0, 0}] {
+		t.Fatalf("batch phi = %+v", r)
+	}
+	if r := batch.Results[1]; r.Support == nil || *r.Support != testgraphs.Figure1Supports()[[2]int{0, 0}] {
+		t.Fatalf("batch support = %+v", r)
+	}
+	if r := batch.Results[2]; r.Community == nil || r.Community.Size != 6 {
+		t.Fatalf("batch community_of = %+v", r)
+	}
+	if r := batch.Results[3]; r.Error == nil || r.Error.Code != client.CodeEdgeNotFound {
+		t.Fatalf("batch absent edge = %+v", r)
+	}
+
+	if err := h.Delete(ctx); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := h.Levels(ctx); !client.HasCode(err, client.CodeDatasetNotFound) {
+		t.Fatalf("levels after delete = %v, want dataset_not_found", err)
+	}
+}
+
+func TestClientMutateAndPinning(t *testing.T) {
+	_, c := newServer(t)
+	ctx := context.Background()
+
+	g := gen.Uniform(20, 20, 120, 9)
+	edges := make([][2]int, g.NumEdges())
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(int32(e))
+		edges[e] = [2]int{int(ed.U) - g.NumLower(), int(ed.V)}
+	}
+	if _, err := c.CreateDataset(ctx, client.CreateDatasetRequest{Name: "dyn", Edges: edges}); err != nil {
+		t.Fatal(err)
+	}
+	h := c.Dataset("dyn")
+	if _, err := h.Decompose(ctx, client.DecomposeRequest{Wait: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := h.Mutate(ctx, client.MutateRequest{Insert: [][2]int{{25, 3}, {26, 4}}, Wait: true})
+	if err != nil {
+		t.Fatalf("mutate: %v", err)
+	}
+	if !res.Applied || !res.Maintained || res.Version != 1 || res.Inserted != 2 {
+		t.Fatalf("mutate = %+v", res)
+	}
+	if h.PinnedVersion() != 1 {
+		t.Fatalf("pin after waited mutate = %d, want 1", h.PinnedVersion())
+	}
+	// Read-your-writes: the inserted edge answers φ at version >= 1.
+	phi, err := h.Phi(ctx, 25, 3)
+	if err != nil {
+		t.Fatalf("phi after insert: %v", err)
+	}
+	if phi.Version < 1 {
+		t.Fatalf("phi version = %d, want >= 1", phi.Version)
+	}
+
+	dres, err := h.DeleteEdges(ctx, [][2]int{{25, 3}}, true)
+	if err != nil || !dres.Applied || dres.Deleted != 1 || dres.Version != 2 {
+		t.Fatalf("delete edges = %+v (%v)", dres, err)
+	}
+	if _, err := h.Phi(ctx, 25, 3); !client.HasCode(err, client.CodeEdgeNotFound) {
+		t.Fatalf("deleted edge φ = %v, want edge_not_found", err)
+	}
+
+	vi, err := h.Version(ctx)
+	if err != nil || vi.Version != 2 || vi.LastMutation == nil {
+		t.Fatalf("version = %+v (%v)", vi, err)
+	}
+}
+
+func TestClientPaginationWalk(t *testing.T) {
+	eng, c := newServer(t)
+	ctx := context.Background()
+	if err := eng.Register("big", gen.Uniform(300, 300, 900, 17)); err != nil {
+		t.Fatal(err)
+	}
+	h := c.Dataset("big")
+	if _, err := h.Decompose(ctx, client.DecomposeRequest{Wait: true}); err != nil {
+		t.Fatal(err)
+	}
+	lv, err := h.Levels(ctx)
+	if err != nil || len(lv.Levels) == 0 {
+		t.Fatalf("levels: %+v (%v)", lv, err)
+	}
+	k := lv.Levels[0]
+
+	// An over-large top page is the ground truth for the page walk.
+	full, err := h.Communities(ctx, k, client.CommunitiesOptions{Top: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Total < 3 {
+		t.Skipf("graph yielded only %d communities at k=%d", full.Total, k)
+	}
+	walked, err := h.CommunitiesAll(ctx, k, 2)
+	if err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+	if len(walked) != full.Total {
+		t.Fatalf("walk returned %d communities, want %d", len(walked), full.Total)
+	}
+	for i := range walked {
+		if walked[i].Size != full.Communities[i].Size || walked[i].K != full.Communities[i].K {
+			t.Fatalf("page walk diverges at %d: %+v vs %+v", i, walked[i], full.Communities[i])
+		}
+	}
+	// An unqualified v1 listing is capped by the server default, so a
+	// small limit must produce a cursor.
+	page, err := h.Communities(ctx, k, client.CommunitiesOptions{Limit: 1})
+	if err != nil || len(page.Communities) != 1 || page.NextCursor == "" {
+		t.Fatalf("limit=1 page = %+v (%v)", page, err)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	_, c := newServer(t)
+	ctx := context.Background()
+
+	if _, err := c.Dataset("ghost").Levels(ctx); !client.IsNotFound(err) || !client.HasCode(err, client.CodeDatasetNotFound) {
+		t.Fatalf("unknown dataset = %v", err)
+	}
+	if _, err := c.CreateDataset(ctx, client.CreateDatasetRequest{Name: "d", Edges: [][2]int{{0, 0}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateDataset(ctx, client.CreateDatasetRequest{Name: "d", Edges: [][2]int{{0, 0}}}); !client.IsConflict(err) || !client.HasCode(err, client.CodeDatasetExists) {
+		t.Fatalf("duplicate create = %v", err)
+	}
+	if _, err := c.Dataset("d").Phi(ctx, 0, 0); !client.HasCode(err, client.CodeNotDecomposed) {
+		t.Fatalf("phi before decompose = %v", err)
+	}
+	var ae *client.APIError
+	if _, err := c.Dataset("d").Communities(ctx, 1, client.CommunitiesOptions{Top: 5, Limit: 5}); !errors.As(err, &ae) || ae.Code != client.CodeBadRequest {
+		t.Fatalf("top+limit = %v", err)
+	}
+}
+
+// TestClientRetryOn503 pins the retry policy: idempotent calls ride
+// out transient 503s, and give up after the budget.
+func TestClientRetryOn503(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":{"code":"shutting_down","message":"engine: shut down"}}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()), client.WithRetry(2, time.Millisecond))
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health should have ridden out two 503s: %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+
+	hits.Store(-100) // next 100+ responses are 503: the budget must run out
+	err := c.Health(context.Background())
+	if !client.IsUnavailable(err) || !client.HasCode(err, client.CodeShuttingDown) {
+		t.Fatalf("exhausted retries = %v, want unavailable", err)
+	}
+}
+
+// TestClientStaleRead pins the version-pin contract against a server
+// stuck on an old snapshot.
+func TestClientStaleRead(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"dataset":"d","version":3,"levels":[1]}`))
+	}))
+	defer ts.Close()
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	h := c.Dataset("d")
+	h.PinVersion(7)
+	_, err := h.Levels(context.Background())
+	if !errors.Is(err, client.ErrStaleRead) {
+		t.Fatalf("read behind pin = %v, want ErrStaleRead", err)
+	}
+	// At or ahead of the pin the read succeeds and ratchets the pin.
+	h2 := c.Dataset("d")
+	h2.PinVersion(3)
+	if _, err := h2.Levels(context.Background()); err != nil {
+		t.Fatalf("read at pin: %v", err)
+	}
+	if h2.PinnedVersion() != 3 {
+		t.Fatalf("pin = %d, want 3", h2.PinnedVersion())
+	}
+}

@@ -1,0 +1,113 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Stable v1 error codes, mirrored from the server contract. Branch on
+// these (or the Is* helpers) instead of matching message strings.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeDatasetNotFound  = "dataset_not_found"
+	CodeEdgeNotFound     = "edge_not_found"
+	CodeNotFound         = "not_found"
+	CodeDatasetExists    = "dataset_exists"
+	CodeDecomposeBusy    = "decompose_in_flight"
+	CodeNotDecomposed    = "not_decomposed"
+	CodeShuttingDown     = "shutting_down"
+	CodeUnsupportedMedia = "unsupported_media_type"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeRouteNotFound    = "route_not_found"
+	CodeInternal         = "internal"
+)
+
+// ErrMalformedResponse marks a delivered 2xx response whose body did
+// not decode into the typed v1 contract — distinguishable (errors.Is)
+// from transport failures, where no response was received at all.
+var ErrMalformedResponse = errors.New("client: malformed response body")
+
+// ErrorInfo is the inner object of the v1 error envelope, also used
+// for per-item batch failures.
+type ErrorInfo struct {
+	Code    string         `json:"code"`
+	Message string         `json:"message"`
+	Details map[string]any `json:"details,omitempty"`
+}
+
+// APIError is a non-2xx response decoded into the v1 error model.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+	Details    map[string]any
+}
+
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("client: %s (%s, http %d)", e.Message, e.Code, e.StatusCode)
+	}
+	return fmt.Sprintf("client: %s (http %d)", e.Message, e.StatusCode)
+}
+
+// decodeAPIError parses a failure body: the v1 envelope
+// {"error": {code, message, details}}, falling back to the legacy flat
+// {"error": "message"} and then to the raw body so nothing is lost.
+func decodeAPIError(status int, body []byte) *APIError {
+	var envelope struct {
+		Error json.RawMessage `json:"error"`
+	}
+	out := &APIError{StatusCode: status}
+	if err := json.Unmarshal(body, &envelope); err == nil && len(envelope.Error) > 0 {
+		var info ErrorInfo
+		if err := json.Unmarshal(envelope.Error, &info); err == nil && info.Message != "" {
+			out.Code, out.Message, out.Details = info.Code, info.Message, info.Details
+			return out
+		}
+		var flat string
+		if err := json.Unmarshal(envelope.Error, &flat); err == nil && flat != "" {
+			out.Message = flat
+			return out
+		}
+	}
+	out.Message = strings.TrimSpace(string(body))
+	if out.Message == "" {
+		out.Message = http.StatusText(status)
+	}
+	return out
+}
+
+// IsNotFound reports whether err is an API error for an absent object:
+// unknown dataset, absent edge, or a vertex outside the k-bitruss.
+func IsNotFound(err error) bool {
+	return hasStatus(err, http.StatusNotFound)
+}
+
+// IsConflict reports whether err is an API error for a state conflict:
+// duplicate dataset, decomposition in flight, or querying φ before a
+// decomposition exists.
+func IsConflict(err error) bool {
+	return hasStatus(err, http.StatusConflict)
+}
+
+// IsUnavailable reports whether err is the server draining (503 after
+// shutdown began). Idempotent calls retry this automatically; seeing
+// it from a mutation means the write was rejected.
+func IsUnavailable(err error) bool {
+	return hasStatus(err, http.StatusServiceUnavailable)
+}
+
+// HasCode reports whether err is an *APIError carrying the given
+// stable code.
+func HasCode(err error, code string) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == code
+}
+
+func hasStatus(err error, status int) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == status
+}

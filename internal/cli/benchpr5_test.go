@@ -1,0 +1,143 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+// TestWriteBenchPR5 emits the BENCH_pr5.json batch-query summary when
+// BENCH_PR5 names an output path (e.g.
+// BENCH_PR5=BENCH_pr5.json go test -run WriteBenchPR5 ./internal/cli/).
+// It answers the same 100 mixed φ/support lookups both ways over real
+// HTTP through the typed client — 100 individual GETs vs one batch
+// POST — against the 60k-edge reference graph, and reports per-lookup
+// throughput. Skipped without the env var so regular runs stay fast.
+func TestWriteBenchPR5(t *testing.T) {
+	out := os.Getenv("BENCH_PR5")
+	if out == "" {
+		t.Skip("set BENCH_PR5=<path> to emit the benchmark summary")
+	}
+	const (
+		benchUpper = 5000
+		benchLower = 5000
+		benchDraws = 61500
+		benchSeed  = 42
+		lookups    = 100
+	)
+	g := gen.Uniform(benchUpper, benchLower, benchDraws, benchSeed)
+	eng := engine.New()
+	if err := eng.Register("bench", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Decompose(context.Background(), "bench", engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(eng).Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	ds := c.Dataset("bench")
+	ctx := context.Background()
+
+	lv, err := ds.Levels(ctx)
+	if err != nil || len(lv.Levels) == 0 {
+		t.Fatalf("levels: %v (%v)", lv, err)
+	}
+	k := lv.Levels[len(lv.Levels)/2]
+	kres, err := ds.KBitruss(ctx, k)
+	if err != nil || len(kres.Edges) == 0 {
+		t.Fatalf("kbitruss: %v", err)
+	}
+	edges := kres.Edges
+	queries := make([]client.BatchQuery, lookups)
+	for i := range queries {
+		e := edges[i%len(edges)]
+		if i%2 == 0 {
+			queries[i] = client.BatchPhi(int(e.U), int(e.V))
+		} else {
+			queries[i] = client.BatchSupport(int(e.U), int(e.V))
+		}
+	}
+
+	individualRound := func() {
+		for i := range queries {
+			e := edges[i%len(edges)]
+			var err error
+			if i%2 == 0 {
+				_, err = ds.Phi(ctx, int(e.U), int(e.V))
+			} else {
+				_, err = ds.Support(ctx, int(e.U), int(e.V))
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	batchRound := func() {
+		res, err := ds.Batch(ctx, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != lookups {
+			t.Fatalf("batch answered %d of %d", res.Count, lookups)
+		}
+	}
+
+	// Warm both paths (cache fills), then take the best of reps.
+	individualRound()
+	batchRound()
+	const reps = 7
+	measure := func(fn func()) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			fn()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	indTime := measure(individualRound)
+	batTime := measure(batchRound)
+
+	perLookup := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / lookups / 1e3 }
+	summary := map[string]any{
+		"pr":    5,
+		"graph": fmt.Sprintf("gen.Uniform(%d, %d, %d, seed=%d)", benchUpper, benchLower, benchDraws, benchSeed),
+		"edges": g.NumEdges(),
+		"batch_vs_individual": map[string]any{
+			"lookups":                  lookups,
+			"k":                        k,
+			"individual_round_us":      indTime.Microseconds(),
+			"batch_round_us":           batTime.Microseconds(),
+			"individual_us_per_lookup": perLookup(indTime),
+			"batch_us_per_lookup":      perLookup(batTime),
+			"throughput_speedup":       float64(indTime) / float64(batTime),
+		},
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", out, data)
+
+	// The acceptance bar: the batch path must be materially faster per
+	// lookup than individual cached GETs over HTTP (the allocation bar
+	// is asserted at the handler level by TestBatchAllocationAdvantage).
+	if float64(indTime) < 2*float64(batTime) {
+		t.Errorf("batch round %v not materially faster than %d individual GETs %v", batTime, lookups, indTime)
+	}
+}

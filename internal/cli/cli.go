@@ -5,6 +5,7 @@ package cli
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/client"
 	"repro/internal/bigraph"
 	"repro/internal/butterfly"
 	"repro/internal/community"
@@ -42,8 +44,21 @@ func Bitruss(args []string, stdout, stderr io.Writer) error {
 	communities := fs.Int64("communities", -1, "also list the communities of the k-bitruss at this level (-1 = off)")
 	top := fs.Int("top", -1, "cap the -communities listing to the n largest (-1 = all)")
 	mutate := fs.String("mutate", "", "replay a mutation file ('+ u v' / '- u v' lines, blank line or --- ends a batch) with incremental maintenance after the initial decomposition")
+	remote := fs.String("remote", "", "replay -mutate against a running bitserved instance (base URL) through the typed v1 client instead of in process")
+	remoteDS := fs.String("remote-dataset", "", "dataset name on the -remote server (required with -remote)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *remote != "" {
+		// Remote replay needs no local graph: the dataset lives on the
+		// server and every batch goes through client.Mutate (waited), so
+		// the printed locality lines are the server's own maintenance
+		// statistics.
+		if *mutate == "" || *remoteDS == "" {
+			fmt.Fprintln(stderr, "bitruss: -remote requires -mutate and -remote-dataset")
+			return ErrUsage
+		}
+		return replayMutationsRemote(*remote, *remoteDS, *mutate, *oneBased, stdout)
 	}
 	if *input == "" {
 		fmt.Fprintln(stderr, "bitruss: -input is required")
@@ -145,6 +160,59 @@ func replayMutations(g *bigraph.Graph, res *core.Result, algo core.Algorithm, pa
 	fmt.Fprintf(stdout, "final graph: |U|=%d |L|=%d |E|=%d, max bitruss %d\n",
 		g.NumUpper(), g.NumLower(), g.NumEdges(), res.MaxPhi)
 	return g, res, nil
+}
+
+// replayMutationsRemote replays the batches of a mutation file against
+// a running bitserved instance through the typed v1 client: each batch
+// is one waited client.Mutate call, and the per-batch line reports the
+// server's maintenance statistics (the remote analogue of the local
+// replay's locality summary). The client pins the handle to each
+// resulting version, so a follow-up query through the same handle is
+// guaranteed to see the final batch.
+func replayMutationsRemote(baseURL, dataset, path string, oneBased bool, stdout io.Writer) error {
+	batches, err := readMutationFile(path, oneBased)
+	if err != nil {
+		return err
+	}
+	c := client.New(baseURL)
+	ds := c.Dataset(dataset)
+	ctx := context.Background()
+	fmt.Fprintf(stdout, "replaying %d mutation batch(es) from %s against %s\n", len(batches), path, baseURL)
+	for bi, batch := range batches {
+		req := client.MutateRequest{Wait: true}
+		for _, op := range batch {
+			p := [2]int{op.u, op.v}
+			if op.insert {
+				req.Insert = append(req.Insert, p)
+			} else {
+				req.Delete = append(req.Delete, p)
+			}
+		}
+		res, err := ds.Mutate(ctx, req)
+		if err != nil {
+			return fmt.Errorf("batch %d: %w", bi+1, err)
+		}
+		if !res.Applied {
+			fmt.Fprintf(stdout, "batch %d: no net change\n", bi+1)
+			continue
+		}
+		mode := "maintained"
+		switch {
+		case res.FellBack:
+			mode = "recomputed (fallback)"
+		case !res.Maintained:
+			mode = "applied (no decomposition)"
+		}
+		fmt.Fprintf(stdout, "batch %d: +%d -%d edges -> version %d, %s in %dms (candidates %d, φ changes %d)\n",
+			bi+1, res.Inserted, res.Deleted, res.Version, mode, res.ApplyMS, res.Candidates, res.ChangedPhi)
+	}
+	info, err := ds.Get(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "final graph: |U|=%d |L|=%d |E|=%d at version %d, max bitruss %d\n",
+		info.Upper, info.Lower, info.Edges, info.Version, info.MaxPhi)
+	return nil
 }
 
 type mutOp struct {

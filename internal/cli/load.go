@@ -3,6 +3,7 @@ package cli
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -13,6 +14,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/client"
 )
 
 // This file implements `bitload`, a closed-loop HTTP load generator
@@ -22,9 +25,19 @@ import (
 // means each worker waits for a response before sending the next
 // request, so the reported QPS is the server's sustainable service
 // rate at that concurrency, not an open-loop arrival rate.
+//
+// Every request goes through the typed v1 client (package client), so
+// a load run doubles as a conformance sweep: any response that does
+// not decode into the typed result or the structured error model is
+// counted as an envelope violation.
 
 // LoadEndpoints lists the query endpoints bitload can exercise.
-var LoadEndpoints = []string{"levels", "communities", "community_of", "kbitruss", "phi", "support"}
+// "batch" issues one POST /v1/datasets/{name}/query carrying
+// batchSize mixed φ/support/community-of lookups.
+var LoadEndpoints = []string{"levels", "communities", "community_of", "kbitruss", "phi", "support", "batch"}
+
+// batchSize is the number of lookups per "batch" request.
+const batchSize = 16
 
 // LoadOptions configures one load run.
 type LoadOptions struct {
@@ -54,30 +67,35 @@ type LoadOptions struct {
 // DefaultLoadMix weights the hot read endpoints roughly like a
 // community-browsing workload: mostly community listings and k-bitruss
 // extractions (the answers the decomposition exists to serve), some
-// point lookups. community_of is excluded by default — its responses
-// are keyed per vertex, so it exercises the miss path; add it with
-// -mix to measure that.
+// point lookups. community_of and batch are excluded by default —
+// community_of responses are keyed per vertex (the miss path), and
+// batch measures the miner-style bulk-lookup path; add either with
+// -mix to measure them.
 func DefaultLoadMix() map[string]int {
 	return map[string]int{"levels": 2, "communities": 5, "kbitruss": 3, "phi": 2}
 }
 
 // LoadReport is the outcome of one load run.
 type LoadReport struct {
-	Duration  time.Duration `json:"-"`
-	Requests  int64         `json:"requests"`
-	NotFound  int64         `json:"not_found"` // 404s (valid probes of absent objects)
-	Errors    int64         `json:"errors"`    // non-2xx/404 responses and transport failures
-	QPS       float64       `json:"qps"`
-	P50       time.Duration `json:"-"`
-	P90       time.Duration `json:"-"`
-	P99       time.Duration `json:"-"`
-	Max       time.Duration `json:"-"`
-	K         int64         `json:"k"` // community level actually queried
-	DurationS float64       `json:"duration_s"`
-	P50Micros int64         `json:"p50_us"`
-	P90Micros int64         `json:"p90_us"`
-	P99Micros int64         `json:"p99_us"`
-	MaxMicros int64         `json:"max_us"`
+	Duration time.Duration `json:"-"`
+	Requests int64         `json:"requests"`
+	NotFound int64         `json:"not_found"` // 404s (valid probes of absent objects)
+	Errors   int64         `json:"errors"`    // other API errors and transport failures
+	// Violations counts responses that failed to decode into the typed
+	// v1 contract — error bodies without a stable code string included.
+	// A healthy server reports zero.
+	Violations int64         `json:"envelope_violations"`
+	QPS        float64       `json:"qps"`
+	P50        time.Duration `json:"-"`
+	P90        time.Duration `json:"-"`
+	P99        time.Duration `json:"-"`
+	Max        time.Duration `json:"-"`
+	K          int64         `json:"k"` // community level actually queried
+	DurationS  float64       `json:"duration_s"`
+	P50Micros  int64         `json:"p50_us"`
+	P90Micros  int64         `json:"p90_us"`
+	P99Micros  int64         `json:"p99_us"`
+	MaxMicros  int64         `json:"max_us"`
 }
 
 // RunLoad bootstraps against the target (resolving the query level and
@@ -87,7 +105,6 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadReport, error) {
 	if opt.BaseURL == "" || opt.Dataset == "" {
 		return LoadReport{}, fmt.Errorf("%w: load needs a base URL and a dataset", ErrUsage)
 	}
-	base := strings.TrimSuffix(opt.BaseURL, "/")
 	if opt.Workers <= 0 {
 		opt.Workers = 8
 	}
@@ -100,42 +117,39 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadReport, error) {
 	if len(opt.Mix) == 0 {
 		opt.Mix = DefaultLoadMix()
 	}
-	client := opt.Client
-	if client == nil {
+	httpClient := opt.Client
+	if httpClient == nil {
 		tr := http.DefaultTransport.(*http.Transport).Clone()
 		tr.MaxIdleConnsPerHost = opt.Workers
-		client = &http.Client{Transport: tr, Timeout: 30 * time.Second}
+		httpClient = &http.Client{Transport: tr, Timeout: 30 * time.Second}
 	}
+	// The load loop measures the server, not the retry policy: a 503 or
+	// refused connection counts as an error immediately.
+	c := client.New(opt.BaseURL, client.WithHTTPClient(httpClient), client.WithRetry(0, 0))
+	ds := c.Dataset(opt.Dataset)
 
 	// Bootstrap: populated levels → query level; a k-bitruss sample →
 	// real (u, v) pairs and member vertices for point lookups.
-	var levelsResp struct {
-		Levels []int64 `json:"levels"`
-	}
-	if err := getJSON(ctx, client, base+"/levels?dataset="+opt.Dataset, &levelsResp); err != nil {
+	lv, err := ds.Levels(ctx)
+	if err != nil {
 		return LoadReport{}, fmt.Errorf("bootstrap levels: %w", err)
 	}
-	if len(levelsResp.Levels) == 0 {
+	if len(lv.Levels) == 0 {
 		return LoadReport{}, fmt.Errorf("dataset %q has no populated levels", opt.Dataset)
 	}
 	k := opt.K
 	if k < 0 {
-		k = levelsResp.Levels[len(levelsResp.Levels)/2]
+		k = lv.Levels[len(lv.Levels)/2]
 	}
-	var edgesResp struct {
-		Edges []struct {
-			U int64 `json:"u"`
-			V int64 `json:"v"`
-		} `json:"edges"`
-	}
-	if err := getJSON(ctx, client, base+"/kbitruss?dataset="+opt.Dataset+"&k="+strconv.FormatInt(k, 10), &edgesResp); err != nil {
+	kres, err := ds.KBitruss(ctx, k)
+	if err != nil {
 		return LoadReport{}, fmt.Errorf("bootstrap kbitruss: %w", err)
 	}
-	if len(edgesResp.Edges) == 0 {
+	if len(kres.Edges) == 0 {
 		return LoadReport{}, fmt.Errorf("dataset %q: k=%d has no edges to sample", opt.Dataset, k)
 	}
 	const maxSample = 4096
-	edges := edgesResp.Edges
+	edges := kres.Edges
 	if len(edges) > maxSample {
 		edges = edges[:maxSample]
 	}
@@ -151,38 +165,60 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadReport, error) {
 		return LoadReport{}, fmt.Errorf("%w: mix selects no endpoints", ErrUsage)
 	}
 
-	kStr := strconv.FormatInt(k, 10)
-	buildURL := func(rng *rand.Rand, ep string) string {
-		switch ep {
-		case "levels":
-			return base + "/levels?dataset=" + opt.Dataset
-		case "communities":
-			return base + "/communities?dataset=" + opt.Dataset + "&k=" + kStr + "&top=" + strconv.Itoa(opt.Top)
-		case "kbitruss":
-			return base + "/kbitruss?dataset=" + opt.Dataset + "&k=" + kStr
-		case "community_of":
-			e := edges[rng.Intn(len(edges))]
-			return base + "/community_of?dataset=" + opt.Dataset + "&layer=upper&vertex=" + strconv.FormatInt(e.U, 10) + "&k=" + kStr
-		case "phi":
-			e := edges[rng.Intn(len(edges))]
-			return base + "/phi?dataset=" + opt.Dataset + "&u=" + strconv.FormatInt(e.U, 10) + "&v=" + strconv.FormatInt(e.V, 10)
-		case "support":
-			e := edges[rng.Intn(len(edges))]
-			return base + "/support?dataset=" + opt.Dataset + "&u=" + strconv.FormatInt(e.U, 10) + "&v=" + strconv.FormatInt(e.V, 10)
-		default:
-			return base + "/healthz"
-		}
-	}
-
 	runCtx, cancel := context.WithTimeout(ctx, opt.Duration)
 	defer cancel()
 
 	type workerState struct {
-		lats     []time.Duration
-		requests int64
-		notFound int64
-		errors   int64
+		lats       []time.Duration
+		requests   int64
+		notFound   int64
+		errors     int64
+		violations int64
 	}
+	// issue performs one closed-loop request through the typed client.
+	issue := func(rng *rand.Rand, ep string) error {
+		switch ep {
+		case "levels":
+			_, err := ds.Levels(runCtx)
+			return err
+		case "communities":
+			_, err := ds.Communities(runCtx, k, client.CommunitiesOptions{Top: opt.Top})
+			return err
+		case "kbitruss":
+			_, err := ds.KBitruss(runCtx, k)
+			return err
+		case "community_of":
+			e := edges[rng.Intn(len(edges))]
+			_, err := ds.CommunityOf(runCtx, client.UpperLayer, int(e.U), k)
+			return err
+		case "phi":
+			e := edges[rng.Intn(len(edges))]
+			_, err := ds.Phi(runCtx, int(e.U), int(e.V))
+			return err
+		case "support":
+			e := edges[rng.Intn(len(edges))]
+			_, err := ds.Support(runCtx, int(e.U), int(e.V))
+			return err
+		case "batch":
+			qs := make([]client.BatchQuery, batchSize)
+			for i := range qs {
+				e := edges[rng.Intn(len(edges))]
+				switch i % 3 {
+				case 0:
+					qs[i] = client.BatchPhi(int(e.U), int(e.V))
+				case 1:
+					qs[i] = client.BatchSupport(int(e.U), int(e.V))
+				default:
+					qs[i] = client.BatchCommunityOf(client.UpperLayer, int(e.U), k)
+				}
+			}
+			_, err := ds.Batch(runCtx, qs)
+			return err
+		default:
+			return c.Health(runCtx)
+		}
+	}
+
 	states := make([]workerState, opt.Workers)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -194,23 +230,22 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadReport, error) {
 			st.lats = make([]time.Duration, 0, 4096)
 			rng := rand.New(rand.NewSource(opt.Seed + int64(wkr)*7919))
 			for runCtx.Err() == nil {
-				url := buildURL(rng, table[rng.Intn(len(table))])
-				req, err := http.NewRequestWithContext(runCtx, http.MethodGet, url, nil)
-				if err != nil {
-					st.errors++
-					continue
-				}
+				ep := table[rng.Intn(len(table))]
 				t0 := time.Now()
-				resp, err := client.Do(req)
-				if err != nil {
-					if runCtx.Err() != nil {
-						return // the deadline cut this request short; don't count it
-					}
+				err := issue(rng, ep)
+				lat := time.Since(t0)
+				if runCtx.Err() != nil {
+					return // the deadline cut this request short; don't count it
+				}
+				var ae *client.APIError
+				malformed := errors.Is(err, client.ErrMalformedResponse)
+				if err != nil && !malformed && !errors.As(err, &ae) {
+					// Transport failure (refused connection, a server
+					// dying mid-run): no response was measured, so it
+					// contributes neither a request nor a latency sample
+					// — and it fails in microseconds, so back off to keep
+					// the workers from hot-spinning until the deadline.
 					st.errors++
-					// Transport errors (refused connections, a server
-					// dying mid-run) fail in microseconds: back off so
-					// the workers don't hot-spin at full CPU until the
-					// deadline.
 					select {
 					case <-runCtx.Done():
 						return
@@ -218,16 +253,23 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadReport, error) {
 					}
 					continue
 				}
-				_, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				lat := time.Since(t0)
 				st.requests++
 				st.lats = append(st.lats, lat)
 				switch {
-				case resp.StatusCode == http.StatusNotFound:
-					st.notFound++
-				case resp.StatusCode >= 300:
+				case err == nil:
+				case malformed:
+					// A delivered 2xx body outside the typed contract is
+					// exactly what the conformance sweep exists to catch.
 					st.errors++
+					st.violations++
+				case client.IsNotFound(err):
+					st.notFound++
+				default:
+					st.errors++
+					if ae.Code == "" {
+						// An error response outside the structured model.
+						st.violations++
+					}
 				}
 			}
 		}(wkr)
@@ -241,6 +283,7 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadReport, error) {
 		rep.Requests += states[i].requests
 		rep.NotFound += states[i].notFound
 		rep.Errors += states[i].errors
+		rep.Violations += states[i].violations
 		all = append(all, states[i].lats...)
 	}
 	if elapsed > 0 {
@@ -259,23 +302,6 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadReport, error) {
 		rep.MaxMicros = rep.Max.Microseconds()
 	}
 	return rep, ctx.Err()
-}
-
-func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // ParseLoadMix parses "levels=2,communities=5,phi=1" into a mix map.
@@ -314,7 +340,7 @@ func Load(args []string, stdout, stderr io.Writer) error {
 	dataset := fs.String("dataset", "", "dataset to query (required)")
 	workers := fs.Int("workers", 8, "closed-loop concurrency")
 	duration := fs.Duration("duration", 10*time.Second, "measured run length")
-	mixSpec := fs.String("mix", "", "endpoint mix as name=weight,... (default levels=2,communities=5,kbitruss=3,phi=2)")
+	mixSpec := fs.String("mix", "", "endpoint mix as name=weight,... (default levels=2,communities=5,kbitruss=3,phi=2; also: support, community_of, batch)")
 	k := fs.Int64("k", -1, "community level to query (-1 = median populated level)")
 	top := fs.Int("top", 10, "top parameter of /communities requests")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
@@ -358,7 +384,7 @@ func Load(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "  not found %d\n", rep.NotFound)
 	}
 	if rep.Errors > 0 {
-		fmt.Fprintf(stdout, "  errors    %d\n", rep.Errors)
+		fmt.Fprintf(stdout, "  errors    %d (%d outside the error model)\n", rep.Errors, rep.Violations)
 	}
 	return nil
 }

@@ -31,9 +31,11 @@ func loadTarget(t *testing.T, opts ...server.Option) *httptest.Server {
 	return ts
 }
 
-// TestLoadSmoke drives the closed loop briefly against an in-process
-// server: every endpoint of the default mix must answer without hard
-// errors. CI runs it with BITLOAD_SMOKE=2s as the serving smoke step.
+// TestLoadSmoke is the client-against-live-server smoke: it drives the
+// closed loop briefly through the typed v1 client — every endpoint of
+// the default mix plus the batch path — and requires non-zero QPS,
+// zero hard errors and zero error-model violations. CI runs it with
+// BITLOAD_SMOKE=2s as the serving smoke step.
 func TestLoadSmoke(t *testing.T) {
 	dur := 300 * time.Millisecond
 	if env := os.Getenv("BITLOAD_SMOKE"); env != "" {
@@ -47,6 +49,7 @@ func TestLoadSmoke(t *testing.T) {
 	mix := DefaultLoadMix()
 	mix["kbitruss"] = 1
 	mix["support"] = 1
+	mix["batch"] = 2
 	rep, err := RunLoad(context.Background(), LoadOptions{
 		BaseURL:  ts.URL,
 		Dataset:  "bench",
@@ -62,10 +65,16 @@ func TestLoadSmoke(t *testing.T) {
 	if rep.Requests == 0 {
 		t.Fatal("load run issued no requests")
 	}
+	if rep.QPS <= 0 {
+		t.Fatalf("load run reported %.1f qps", rep.QPS)
+	}
 	if rep.Errors != 0 {
 		t.Fatalf("load run hit %d hard errors (%d requests)", rep.Errors, rep.Requests)
 	}
-	if rep.QPS <= 0 || rep.P99 <= 0 || rep.P50 > rep.P99 {
+	if rep.Violations != 0 {
+		t.Fatalf("load run saw %d responses outside the v1 error model", rep.Violations)
+	}
+	if rep.P99 <= 0 || rep.P50 > rep.P99 {
 		t.Fatalf("implausible report: qps=%.1f p50=%v p99=%v", rep.QPS, rep.P50, rep.P99)
 	}
 	t.Logf("smoke: %d requests, %.0f qps, p50=%v p99=%v (%d not-found probes)",

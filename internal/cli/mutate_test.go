@@ -3,7 +3,9 @@ package cli
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -13,7 +15,9 @@ import (
 	"repro/internal/bigraph"
 	"repro/internal/core"
 	"repro/internal/dataio"
+	"repro/internal/engine"
 	"repro/internal/gen"
+	"repro/internal/server"
 )
 
 // TestBitrussMutateReplay drives the -mutate replay mode end to end
@@ -134,6 +138,100 @@ func TestBitrussMutateBadFile(t *testing.T) {
 	err = Bitruss([]string{"-input", graphPath, "-mutate", filepath.Join(dir, "absent")}, &out, &errw)
 	if err == nil {
 		t.Fatal("missing mutation file accepted")
+	}
+}
+
+// TestBitrussMutateRemoteReplay drives -mutate -remote end to end:
+// the batches replay against a live bitserved instance through the
+// typed client, and the server's final state matches a from-scratch
+// decomposition of the mutated edge set.
+func TestBitrussMutateRemoteReplay(t *testing.T) {
+	eng := engine.New()
+	g := gen.Uniform(25, 25, 160, 3)
+	if err := eng.Register("dyn", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Decompose(context.Background(), "dyn", engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(eng).Handler())
+	defer ts.Close()
+
+	dir := t.TempDir()
+	mutPath := filepath.Join(dir, "ops.txt")
+	ed0 := g.Edge(0)
+	nl := g.NumLower()
+	mutFile := strings.Join([]string{
+		"+ 30 4",
+		"+ 30 5",
+		"---",
+		"- " + itoa(int(ed0.U)-nl) + " " + itoa(int(ed0.V)),
+	}, "\n") + "\n"
+	if err := os.WriteFile(mutPath, []byte(mutFile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errw bytes.Buffer
+	err := Bitruss([]string{
+		"-mutate", mutPath, "-remote", ts.URL, "-remote-dataset", "dyn",
+	}, &out, &errw)
+	if err != nil {
+		t.Fatalf("bitruss -remote: %v (stderr: %s)", err, errw.String())
+	}
+	for _, want := range []string{"replaying 2 mutation batch(es)", "batch 1:", "batch 2:", "version 2", "final graph"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// The server's post-replay φ values match a fresh decomposition of
+	// the mutated edge set.
+	d := bigraph.NewDelta(g)
+	d.Insert(30, 4)
+	d.Insert(30, 5)
+	g2, _, err := d.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = bigraph.NewDelta(g2)
+	d.Delete(int(ed0.U)-nl, int(ed0.V))
+	g3, _, err := d.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Decompose(g3, core.Options{Algorithm: core.BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vw, err := eng.View("dyn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vw.Version() != 2 {
+		t.Fatalf("served version %d, want 2", vw.Version())
+	}
+	nl3 := int32(g3.NumLower())
+	for e := int32(0); e < int32(g3.NumEdges()); e++ {
+		ed := g3.Edge(e)
+		got, err := vw.Phi(int(ed.U-nl3), int(ed.V))
+		if err != nil {
+			t.Fatalf("phi(%d,%d): %v", ed.U-nl3, ed.V, err)
+		}
+		if got != want.Phi[e] {
+			t.Fatalf("replayed φ(%d,%d)=%d, fresh decomposition says %d", ed.U-nl3, ed.V, got, want.Phi[e])
+		}
+	}
+
+	// Usage errors.
+	if err := Bitruss([]string{"-remote", ts.URL, "-mutate", mutPath}, &out, &errw); !errors.Is(err, ErrUsage) {
+		t.Fatalf("missing -remote-dataset = %v, want ErrUsage", err)
+	}
+	if err := Bitruss([]string{"-remote", ts.URL, "-remote-dataset", "dyn"}, &out, &errw); !errors.Is(err, ErrUsage) {
+		t.Fatalf("missing -mutate = %v, want ErrUsage", err)
+	}
+	// Unknown dataset surfaces the typed API error.
+	if err := Bitruss([]string{"-remote", ts.URL, "-remote-dataset", "ghost", "-mutate", mutPath}, &out, &errw); err == nil {
+		t.Fatal("unknown remote dataset accepted")
 	}
 }
 

@@ -269,16 +269,34 @@ func (ix *Index) Communities(k int64) []Community {
 // (all of them when n is negative or exceeds the count), materialising
 // only those n.
 func (ix *Index) TopCommunities(k int64, n int) []Community {
+	return ix.CommunitiesRange(k, 0, n)
+}
+
+// CommunitiesRange returns the communities of the k-bitruss ranked
+// largest-first, restricted to the rank window [offset, offset+n)
+// (n < 0 = to the end) — the paging primitive behind cursor
+// pagination. Only the window's communities are materialised, so a
+// full page walk costs O(total), not O(total²/pagesize); out-of-range
+// offsets clamp to an empty tail instead of overflowing.
+func (ix *Index) CommunitiesRange(k int64, offset, n int) []Community {
 	li, ok := ix.levelFor(k)
 	if !ok {
 		return []Community{}
 	}
 	comps := ix.comps[li]
-	if n < 0 || n > len(comps) {
-		n = len(comps)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(comps) {
+		offset = len(comps)
+	}
+	// Clamp n before adding to offset: huge client-supplied windows
+	// must not overflow into "materialise everything".
+	if n < 0 || n > len(comps)-offset {
+		n = len(comps) - offset
 	}
 	out := make([]Community, 0, n)
-	for _, c := range comps[:n] {
+	for _, c := range comps[offset : offset+n] {
 		out = append(out, ix.community(c, k))
 	}
 	return out

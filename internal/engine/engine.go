@@ -41,6 +41,7 @@ var (
 	ErrNotDecomposed = errors.New("engine: dataset not decomposed yet")
 	ErrBusy          = errors.New("engine: decomposition already in flight")
 	ErrNoEdge        = errors.New("engine: no such edge")
+	ErrNoCommunity   = errors.New("engine: no community")
 	ErrClosed        = errors.New("engine: shut down")
 )
 
@@ -891,11 +892,22 @@ func (v *View) Levels() ([]int64, error) {
 // (all of them when n is negative) together with the total component
 // count, both from this view's single snapshot.
 func (v *View) TopCommunities(k int64, n int) ([]Community, int, error) {
+	return v.CommunitiesPage(k, 0, n)
+}
+
+// CommunitiesPage returns the communities of the k-bitruss ranked
+// largest-first, restricted to the half-open rank window
+// [offset, offset+limit) — the paging primitive behind the v1
+// /communities endpoint. A negative limit means "to the end". The
+// total component count is reported alongside so callers can compute
+// whether another page exists; both come from this view's single
+// snapshot, so a page walk pinned to one View is cut-free.
+func (v *View) CommunitiesPage(k int64, offset, limit int) ([]Community, int, error) {
 	_, idx, err := v.ready()
 	if err != nil {
 		return nil, 0, err
 	}
-	cs := idx.TopCommunities(k, n)
+	cs := idx.CommunitiesRange(k, offset, limit)
 	out := make([]Community, len(cs))
 	for i := range cs {
 		out[i] = toCommunity(v.snap.g, &cs[i])
@@ -959,6 +971,69 @@ func (v *View) KBitrussEdges(k int64) ([][3]int64, error) {
 		out[i] = [3]int64{int64(ed.U) - nl, int64(ed.V), res.Phi[eid]}
 	}
 	return out, nil
+}
+
+// BatchKind selects the lookup performed by one BatchOp.
+type BatchKind int
+
+const (
+	// BatchPhi looks up the bitruss number of edge (U, V).
+	BatchPhi BatchKind = iota
+	// BatchSupport looks up the butterfly support of edge (U, V).
+	BatchSupport
+	// BatchCommunityOf resolves the community containing (Layer, Vertex)
+	// at level K.
+	BatchCommunityOf
+)
+
+// BatchOp is one lookup of a batch query. The fields used depend on
+// Kind: U/V for edge lookups, Layer/Vertex/K for community resolution.
+type BatchOp struct {
+	Kind   BatchKind
+	U, V   int
+	Layer  Layer
+	Vertex int
+	K      int64
+}
+
+// BatchAnswer is the outcome of one BatchOp. Exactly one of the result
+// fields is meaningful, selected by the op's Kind; Err carries
+// per-item failures (absent edges, vertices outside the k-bitruss,
+// querying φ before a decomposition) without failing the batch.
+type BatchAnswer struct {
+	Value     int64     // phi or support
+	Community Community // community_of result
+	Err       error
+}
+
+// Batch answers a mixed sequence of φ/support/community-of lookups
+// against this view's single snapshot: every answer is consistent with
+// the one version the View reports, which N individual queries issued
+// over HTTP cannot guarantee under concurrent mutations. Item failures
+// are reported per answer, never as a batch failure.
+func (v *View) Batch(ops []BatchOp) []BatchAnswer {
+	out := make([]BatchAnswer, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case BatchPhi:
+			out[i].Value, out[i].Err = v.Phi(op.U, op.V)
+		case BatchSupport:
+			out[i].Value, out[i].Err = v.Support(op.U, op.V)
+		case BatchCommunityOf:
+			c, ok, err := v.CommunityOf(op.Layer, op.Vertex, op.K)
+			switch {
+			case err != nil:
+				out[i].Err = err
+			case !ok:
+				out[i].Err = fmt.Errorf("%w: vertex %d has no community at level %d", ErrNoCommunity, op.Vertex, op.K)
+			default:
+				out[i].Community = c
+			}
+		default:
+			out[i].Err = fmt.Errorf("engine: unknown batch op kind %d", int(op.Kind))
+		}
+	}
+	return out
 }
 
 // Community is a k-bitruss connected component with layer-local vertex

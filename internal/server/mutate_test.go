@@ -1,18 +1,18 @@
 package server
 
 import (
-	"fmt"
+	"context"
 	"math/rand"
-	"net/http"
 	"sync"
 	"testing"
 
+	"repro/client"
 	"repro/internal/gen"
 )
 
-// registerUniform registers a generated graph through the HTTP API and
-// returns its merged edge count.
-func registerUniform(t *testing.T, baseURL, name string, nu, nl, m int, seed int64) int {
+// registerUniform registers a generated graph through the typed client
+// and returns its merged edge count.
+func registerUniform(t *testing.T, c *client.Client, name string, nu, nl, m int, seed int64) int {
 	t.Helper()
 	g := gen.Uniform(nu, nl, m, seed)
 	edges := make([][2]int, g.NumEdges())
@@ -20,132 +20,126 @@ func registerUniform(t *testing.T, baseURL, name string, nu, nl, m int, seed int
 		ed := g.Edge(int32(e))
 		edges[e] = [2]int{int(ed.U) - g.NumLower(), int(ed.V)}
 	}
-	var ds datasetJSON
-	code := doJSON(t, "POST", baseURL+"/datasets", addDatasetRequest{Name: name, Edges: edges}, &ds)
-	if code != http.StatusCreated {
-		t.Fatalf("POST /datasets = %d", code)
+	if _, err := c.CreateDataset(context.Background(), client.CreateDatasetRequest{Name: name, Edges: edges}); err != nil {
+		t.Fatalf("create dataset: %v", err)
 	}
 	return g.NumEdges()
 }
 
 func TestServerMutationEndpoints(t *testing.T) {
-	_, ts := newTestServer(t)
-	edges := registerUniform(t, ts.URL, "dyn", 20, 20, 120, 9)
-	decomposeAndWait(t, ts, "dyn")
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+	edges := registerUniform(t, c, "dyn", 20, 20, 120, 9)
+	decomposeAndWait(t, c, "dyn")
+	h := c.Dataset("dyn")
 
 	// Version starts at 0 with nothing pending.
-	var ver struct {
-		Dataset string `json:"dataset"`
-		Version int64  `json:"version"`
-		Pending int    `json:"pending"`
-		Status  string `json:"status"`
-	}
-	if code := doJSON(t, "GET", ts.URL+"/datasets/dyn/version", nil, &ver); code != http.StatusOK {
-		t.Fatalf("GET /version = %d", code)
+	ver, err := h.Version(ctx)
+	if err != nil {
+		t.Fatalf("version: %v", err)
 	}
 	if ver.Version != 0 || ver.Status != "ready" {
 		t.Fatalf("version %+v", ver)
 	}
 
-	// Insert two edges, waited: version bumps, maintenance ran.
-	var mres mutateJSON
-	code := doJSON(t, "POST", ts.URL+"/datasets/dyn/edges", mutateRequest{
+	// Insert two edges, waited: version bumps, maintenance ran, and the
+	// handle is pinned to the new version.
+	mres, err := h.Mutate(ctx, client.MutateRequest{
 		Insert: [][2]int{{25, 3}, {26, 4}}, Wait: true,
-	}, &mres)
-	if code != http.StatusOK {
-		t.Fatalf("POST /edges = %d (%+v)", code, mres)
+	})
+	if err != nil {
+		t.Fatalf("mutate: %v", err)
 	}
 	if !mres.Applied || !mres.Maintained || mres.Version != 1 || mres.Inserted != 2 {
 		t.Fatalf("mutation %+v", mres)
 	}
+	if h.PinnedVersion() != 1 {
+		t.Fatalf("pin = %d, want 1", h.PinnedVersion())
+	}
 
 	// The inserted edge answers φ queries, stamped with the version.
-	var phi struct {
-		Version int64 `json:"version"`
-		Phi     int64 `json:"phi"`
-	}
-	if code := doJSON(t, "GET", ts.URL+"/phi?dataset=dyn&u=25&v=3", nil, &phi); code != http.StatusOK {
-		t.Fatalf("GET /phi = %d", code)
+	phi, err := h.Phi(ctx, 25, 3)
+	if err != nil {
+		t.Fatalf("phi: %v", err)
 	}
 	if phi.Version != 1 {
 		t.Fatalf("phi response version %d", phi.Version)
 	}
 
 	// Deletion-only sugar.
-	code = doJSON(t, "DELETE", ts.URL+"/datasets/dyn/edges", map[string]any{
-		"edges": [][2]int{{25, 3}}, "wait": true,
-	}, &mres)
-	if code != http.StatusOK || !mres.Applied || mres.Deleted != 1 || mres.Version != 2 {
-		t.Fatalf("DELETE /edges = %d %+v", code, mres)
+	dres, err := h.DeleteEdges(ctx, [][2]int{{25, 3}}, true)
+	if err != nil || !dres.Applied || dres.Deleted != 1 || dres.Version != 2 {
+		t.Fatalf("delete edges = %+v (%v)", dres, err)
 	}
-	if code := doJSON(t, "GET", ts.URL+"/phi?dataset=dyn&u=25&v=3", nil, nil); code != http.StatusNotFound {
-		t.Fatalf("deleted edge φ = %d, want 404", code)
+	if _, err := h.Phi(ctx, 25, 3); !client.IsNotFound(err) {
+		t.Fatalf("deleted edge φ = %v, want not found", err)
 	}
 
 	// Dataset listing reflects the mutated size and version.
-	var list []datasetJSON
-	if code := doJSON(t, "GET", ts.URL+"/datasets", nil, &list); code != http.StatusOK || len(list) != 1 {
-		t.Fatalf("GET /datasets = %d %v", code, list)
+	list, err := c.Datasets(ctx)
+	if err != nil || len(list) != 1 {
+		t.Fatalf("datasets = %v (%v)", list, err)
 	}
 	if list[0].Edges != edges+1 || list[0].Version != 2 {
 		t.Fatalf("listing %+v, want %d edges at version 2", list[0], edges+1)
 	}
 
 	// /version reports the last applied batch.
-	var ver2 struct {
-		Version      int64          `json:"version"`
-		LastMutation map[string]any `json:"last_mutation"`
-	}
-	if code := doJSON(t, "GET", ts.URL+"/datasets/dyn/version", nil, &ver2); code != http.StatusOK {
-		t.Fatalf("GET /version = %d", code)
+	ver2, err := h.Version(ctx)
+	if err != nil {
+		t.Fatalf("version: %v", err)
 	}
 	if ver2.Version != 2 || ver2.LastMutation == nil {
 		t.Fatalf("version after mutations %+v", ver2)
 	}
 
 	// Error paths.
-	if code := doJSON(t, "POST", ts.URL+"/datasets/absent/edges", mutateRequest{Insert: [][2]int{{0, 0}}, Wait: true}, nil); code != http.StatusNotFound {
-		t.Fatalf("mutate absent = %d", code)
+	if _, err := c.Dataset("absent").Mutate(ctx, client.MutateRequest{Insert: [][2]int{{0, 0}}, Wait: true}); !client.IsNotFound(err) {
+		t.Fatalf("mutate absent = %v", err)
 	}
-	if code := doJSON(t, "POST", ts.URL+"/datasets/dyn/edges", mutateRequest{}, nil); code != http.StatusBadRequest {
-		t.Fatalf("empty mutation = %d", code)
+	if _, err := h.Mutate(ctx, client.MutateRequest{}); !client.HasCode(err, client.CodeBadRequest) {
+		t.Fatalf("empty mutation = %v", err)
 	}
-	if code := doJSON(t, "POST", ts.URL+"/datasets/dyn/edges", mutateRequest{Insert: [][2]int{{-1, 2}}, Wait: true}, nil); code == http.StatusOK {
+	if _, err := h.Mutate(ctx, client.MutateRequest{Insert: [][2]int{{-1, 2}}, Wait: true}); err == nil {
 		t.Fatal("negative vertex accepted")
 	}
 }
 
-// TestServerMutateFireAndForget: un-waited mutations return 202 and
-// eventually land.
+// TestServerMutateFireAndForget: un-waited mutations return without
+// blocking and eventually land.
 func TestServerMutateFireAndForget(t *testing.T) {
-	_, ts := newTestServer(t)
-	registerUniform(t, ts.URL, "ff", 10, 10, 60, 4)
-	decomposeAndWait(t, ts, "ff")
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+	registerUniform(t, c, "ff", 10, 10, 60, 4)
+	decomposeAndWait(t, c, "ff")
+	h := c.Dataset("ff")
 
-	var mres mutateJSON
-	if code := doJSON(t, "POST", ts.URL+"/datasets/ff/edges", mutateRequest{Insert: [][2]int{{11, 1}}}, &mres); code != http.StatusAccepted {
-		t.Fatalf("fire-and-forget = %d", code)
+	mres, err := h.Mutate(ctx, client.MutateRequest{Insert: [][2]int{{11, 1}}})
+	if err != nil {
+		t.Fatalf("fire-and-forget: %v", err)
+	}
+	if mres.Version != 0 {
+		t.Fatalf("fire-and-forget reported version %d, want the staging-time 0", mres.Version)
 	}
 	// A waited no-op flushes the queue deterministically.
-	if code := doJSON(t, "POST", ts.URL+"/datasets/ff/edges", mutateRequest{Insert: [][2]int{{11, 1}}, Wait: true}, &mres); code != http.StatusOK {
-		t.Fatalf("flush = %d", code)
+	if _, err := h.Mutate(ctx, client.MutateRequest{Insert: [][2]int{{11, 1}}, Wait: true}); err != nil {
+		t.Fatalf("flush: %v", err)
 	}
-	var phi struct {
-		Phi int64 `json:"phi"`
-	}
-	if code := doJSON(t, "GET", ts.URL+"/phi?dataset=ff&u=11&v=1", nil, &phi); code != http.StatusOK {
-		t.Fatalf("inserted edge φ = %d", code)
+	if _, err := h.Phi(ctx, 11, 1); err != nil {
+		t.Fatalf("inserted edge φ: %v", err)
 	}
 }
 
-// TestServerMutateUnderQueryLoad drives concurrent HTTP mutations and
-// community queries; every response must be self-consistent (levels
-// monotone, community totals coherent) and versions monotone per
-// client. Run under -race in CI.
+// TestServerMutateUnderQueryLoad drives concurrent mutations and
+// community queries through the client; every response must be
+// self-consistent (levels monotone, community totals coherent) and
+// versions monotone per handle — which the client's pin enforces by
+// construction. Run under -race in CI.
 func TestServerMutateUnderQueryLoad(t *testing.T) {
-	_, ts := newTestServer(t)
-	registerUniform(t, ts.URL, "load", 30, 30, 300, 6)
-	decomposeAndWait(t, ts, "load")
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+	registerUniform(t, c, "load", 30, 30, 300, 6)
+	decomposeAndWait(t, c, "load")
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -153,9 +147,10 @@ func TestServerMutateUnderQueryLoad(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		defer close(stop)
+		h := c.Dataset("load")
 		rng := rand.New(rand.NewSource(8))
 		for i := 0; i < 12; i++ {
-			req := mutateRequest{Wait: true}
+			req := client.MutateRequest{Wait: true}
 			for j := 0; j < 1+rng.Intn(3); j++ {
 				p := [2]int{rng.Intn(33), rng.Intn(33)}
 				if rng.Intn(2) == 0 {
@@ -164,9 +159,8 @@ func TestServerMutateUnderQueryLoad(t *testing.T) {
 					req.Delete = append(req.Delete, p)
 				}
 			}
-			var mres mutateJSON
-			if code := doJSON(t, "POST", ts.URL+"/datasets/load/edges", req, &mres); code != http.StatusOK {
-				t.Errorf("mutation %d = %d", i, code)
+			if _, err := h.Mutate(ctx, req); err != nil {
+				t.Errorf("mutation %d: %v", i, err)
 				return
 			}
 		}
@@ -175,6 +169,7 @@ func TestServerMutateUnderQueryLoad(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			h := c.Dataset("load") // per-goroutine handle: monotone pin
 			lastVersion := int64(-1)
 			for {
 				select {
@@ -182,12 +177,9 @@ func TestServerMutateUnderQueryLoad(t *testing.T) {
 					return
 				default:
 				}
-				var lv struct {
-					Version int64   `json:"version"`
-					Levels  []int64 `json:"levels"`
-				}
-				if code := doJSON(t, "GET", ts.URL+"/levels?dataset=load", nil, &lv); code != http.StatusOK {
-					t.Errorf("querier %d: /levels = %d", id, code)
+				lv, err := h.Levels(ctx)
+				if err != nil {
+					t.Errorf("querier %d: levels: %v", id, err)
 					return
 				}
 				if lv.Version < lastVersion {
@@ -202,26 +194,18 @@ func TestServerMutateUnderQueryLoad(t *testing.T) {
 					}
 				}
 				k := lv.Levels[len(lv.Levels)/2]
-				var cs struct {
-					Version     int64 `json:"version"`
-					Total       int   `json:"total"`
-					Communities []struct {
-						Size  int   `json:"size"`
-						Edges []int `json:"edges"`
-					} `json:"communities"`
-				}
-				u := fmt.Sprintf("%s/communities?dataset=load&k=%d", ts.URL, k)
-				if code := doJSON(t, "GET", u, nil, &cs); code != http.StatusOK {
-					t.Errorf("querier %d: /communities = %d", id, code)
+				cs, err := h.Communities(ctx, k, client.CommunitiesOptions{})
+				if err != nil {
+					t.Errorf("querier %d: communities: %v", id, err)
 					return
 				}
-				if cs.Total != len(cs.Communities) {
+				if cs.NextCursor == "" && cs.Total != len(cs.Communities) {
 					t.Errorf("querier %d: total %d != %d", id, cs.Total, len(cs.Communities))
 					return
 				}
-				for _, c := range cs.Communities {
-					if c.Size != len(c.Edges) {
-						t.Errorf("querier %d: community size %d != %d edges", id, c.Size, len(c.Edges))
+				for _, cm := range cs.Communities {
+					if cm.Size != len(cm.Edges) {
+						t.Errorf("querier %d: community size %d != %d edges", id, cm.Size, len(cm.Edges))
 						return
 					}
 				}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net/http"
@@ -116,6 +117,93 @@ func BenchmarkServeUncached(b *testing.B) {
 	srv := New(eng, WithoutQueryCache())
 	for name, path := range benchPaths(b, eng) {
 		b.Run(name, func(b *testing.B) { benchServe(b, srv, path) })
+	}
+}
+
+// batchBenchBodies builds a 100-lookup batch body plus the equivalent
+// 100 individual GET requests against real edges.
+func batchBenchRequests(b *testing.B, eng *engine.Engine) ([]byte, []*http.Request) {
+	vw, err := eng.View("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	levels, err := vw.Levels()
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := levels[len(levels)/2]
+	edges, err := vw.KBitrussEdges(k)
+	if err != nil || len(edges) == 0 {
+		b.Fatalf("no edges at k=%d (%v)", k, err)
+	}
+	const n = 100
+	body := []byte(`{"queries":[`)
+	reqs := make([]*http.Request, 0, n)
+	for i := 0; i < n; i++ {
+		e := edges[i%len(edges)]
+		if i > 0 {
+			body = append(body, ',')
+		}
+		if i%2 == 0 {
+			body = fmt.Appendf(body, `{"op":"phi","u":%d,"v":%d}`, e[0], e[1])
+			reqs = append(reqs, httptest.NewRequest(http.MethodGet,
+				fmt.Sprintf("/v1/datasets/bench/phi?u=%d&v=%d", e[0], e[1]), nil))
+		} else {
+			body = fmt.Appendf(body, `{"op":"support","u":%d,"v":%d}`, e[0], e[1])
+			reqs = append(reqs, httptest.NewRequest(http.MethodGet,
+				fmt.Sprintf("/v1/datasets/bench/support?u=%d&v=%d", e[0], e[1]), nil))
+		}
+	}
+	body = append(body, []byte(`]}`)...)
+	return body, reqs
+}
+
+// BenchmarkBatchLookups100 answers 100 mixed φ/support lookups through
+// one cached batch request — the v1 bulk path. Compare per-op cost and
+// allocs/op against BenchmarkIndividualLookups100.
+func BenchmarkBatchLookups100(b *testing.B) {
+	eng := serveBenchEngine(b)
+	srv := New(eng)
+	body, _ := batchBenchRequests(b, eng)
+	w := &discardWriter{h: make(http.Header, 4)}
+	issue := func() {
+		clear(w.h)
+		req := httptest.NewRequest(http.MethodPost, "/v1/datasets/bench/query", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		srv.ServeHTTP(w, req)
+		if w.code != http.StatusOK {
+			b.Fatalf("batch: %d", w.code)
+		}
+	}
+	issue() // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		issue()
+	}
+}
+
+// BenchmarkIndividualLookups100 answers the same 100 lookups as 100
+// cached GETs — the pre-batch behaviour, one round-trip per edge.
+func BenchmarkIndividualLookups100(b *testing.B) {
+	eng := serveBenchEngine(b)
+	srv := New(eng)
+	_, reqs := batchBenchRequests(b, eng)
+	w := &discardWriter{h: make(http.Header, 4)}
+	issue := func() {
+		for _, req := range reqs {
+			clear(w.h)
+			srv.ServeHTTP(w, req)
+			if w.code != http.StatusOK {
+				b.Fatalf("GET %s: %d", req.URL, w.code)
+			}
+		}
+	}
+	issue() // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		issue()
 	}
 }
 

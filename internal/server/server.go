@@ -4,24 +4,38 @@
 // and queried concurrently while other decompositions run in the
 // background.
 //
-// Endpoints:
+// The public contract is the versioned, resource-oriented v1 surface,
+// where every query lives under the dataset it addresses:
 //
-//	GET    /healthz                      liveness probe
-//	GET    /datasets                     list datasets and their status
-//	POST   /datasets                     register {name, path|edges, oneBased}
-//	DELETE /datasets/{name}              unregister (cancels in-flight work)
-//	POST   /datasets/{name}/edges       mutate {insert, delete, wait}: stage edge
-//	                                     insertions/deletions; the decomposition is
-//	                                     maintained incrementally
-//	DELETE /datasets/{name}/edges       delete {edges, wait}: deletion-only sugar
-//	GET    /datasets/{name}/version     served snapshot version + pending mutations
-//	POST   /decompose                    {dataset, algorithm, tau, workers, ranges, wait}
-//	GET    /phi?dataset=D&u=U&v=V        bitruss number of one edge
-//	GET    /support?dataset=D&u=U&v=V    butterfly support (works pre-decomposition)
-//	GET    /levels?dataset=D             populated bitruss levels
-//	GET    /communities?dataset=D&k=K[&top=N]
-//	GET    /community_of?dataset=D&layer=upper|lower&vertex=V&k=K
-//	GET    /kbitruss?dataset=D&k=K       edges of the k-bitruss
+//	GET    /v1/healthz                                liveness probe
+//	GET    /v1/datasets                               list datasets and their status
+//	POST   /v1/datasets                               register {name, path|edges, oneBased}
+//	GET    /v1/datasets/{name}                        one dataset's status
+//	DELETE /v1/datasets/{name}                        unregister (cancels in-flight work)
+//	POST   /v1/datasets/{name}/edges                  mutate {insert, delete, wait}
+//	DELETE /v1/datasets/{name}/edges                  delete {edges, wait}: deletion-only sugar
+//	GET    /v1/datasets/{name}/version                served snapshot version + pending mutations
+//	POST   /v1/datasets/{name}/decompose              {algorithm, tau, workers, ranges, wait}
+//	GET    /v1/datasets/{name}/phi?u=U&v=V            bitruss number of one edge
+//	GET    /v1/datasets/{name}/support?u=U&v=V        butterfly support (works pre-decomposition)
+//	GET    /v1/datasets/{name}/levels                 populated bitruss levels
+//	GET    /v1/datasets/{name}/communities?k=K[&top=N|&limit=N][&cursor=C]
+//	GET    /v1/datasets/{name}/community_of?layer=upper|lower&vertex=V&k=K
+//	GET    /v1/datasets/{name}/kbitruss?k=K           edges of the k-bitruss
+//	POST   /v1/datasets/{name}/query                  batch of φ/support/community-of lookups,
+//	                                                  answered from one snapshot
+//
+// v1 failures are machine-readable envelopes {"error": {code, message,
+// details}} with stable code strings (see errors.go); non-JSON bodies
+// on v1 POST endpoints are rejected with 415 (the legacy aliases stay
+// lenient), wrong-method hits answer 405 with an Allow header derived
+// from the route table.
+//
+// Every pre-v1 root route (/datasets, /decompose, /phi, /support,
+// /levels, /communities, /community_of, /kbitruss, with the dataset as
+// a query parameter) remains as a thin deprecated alias onto the same
+// handlers — byte-identical success payloads, flat {"error": "msg"}
+// error bodies — registered from the same route table.
 //
 // Every query response carries the snapshot version it was answered
 // from; all fields of one response are consistent with that single
@@ -31,14 +45,17 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
+	"mime"
 	"net/http"
 	"net/url"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -50,6 +67,12 @@ import (
 // maxBodyBytes caps POST bodies (inline edge lists included): one
 // hostile request must not be able to exhaust server memory.
 const maxBodyBytes = 64 << 20
+
+// defaultCommunitiesLimit caps an unqualified v1 /communities listing.
+// The legacy alias keeps the historical unbounded behaviour
+// (deprecated); v1 clients page with limit/cursor or opt into the full
+// listing explicitly via top.
+const defaultCommunitiesLimit = 100
 
 // Server wraps an engine with an http.Handler.
 //
@@ -87,8 +110,8 @@ func WithoutQueryCache() Option {
 
 // WithPrewarm tunes snapshot-publication pre-warming: for up to
 // `levels` populated bitruss levels, the community listings (both the
-// top=`top` page and the unpaged default) plus /levels itself are
-// encoded into the fresh snapshot's cache before it starts taking
+// top=`top` page and the unpaged legacy default) plus /levels itself
+// are encoded into the fresh snapshot's cache before it starts taking
 // traffic. The cache's byte bound still applies — oversized listings
 // are served but not retained. levels <= 0 disables pre-warming.
 func WithPrewarm(levels, top int) Option {
@@ -99,6 +122,105 @@ func WithPrewarm(levels, top int) Option {
 // stderr logger).
 func WithErrorLog(l *log.Logger) Option {
 	return func(s *Server) { s.errLog = l }
+}
+
+// reqCtx carries per-request routing facts resolved by the dispatch
+// layer: which dataset the request addresses, whether it arrived on
+// the v1 surface (selects the error envelope), and the query values
+// parsed exactly once for GET routes.
+type reqCtx struct {
+	name string
+	v1   bool
+	q    url.Values
+}
+
+// nameSource says where a route's legacy alias finds the dataset name.
+// v1 routes always carry it in the path.
+type nameSource int
+
+const (
+	nameNone  nameSource = iota // route is not dataset-scoped
+	namePath                    // legacy path {name} segment
+	nameQuery                   // legacy ?dataset= parameter
+	nameBody                    // legacy body field (decompose)
+)
+
+// route is one row of the API routing table: the v1 pattern, its
+// legacy alias (empty = v1-only), and how the alias locates the
+// dataset. The table is the single source of truth for both surfaces —
+// registration, the 405 Allow set (computed by the mux from these
+// patterns), the alias-parity test and the README reference all derive
+// from it.
+type route struct {
+	method string
+	v1     string
+	legacy string
+	src    nameSource
+	// params marks routes that read query parameters beyond the legacy
+	// dataset name; only those pay the r.URL.Query() parse (it
+	// allocates, and the hot cached path is allocation-disciplined).
+	params bool
+	fn     func(*Server, http.ResponseWriter, *http.Request, reqCtx)
+}
+
+func routeTable() []route {
+	return []route{
+		{http.MethodGet, "/v1/healthz", "/healthz", nameNone, false, (*Server).handleHealthz},
+		{http.MethodGet, "/v1/datasets", "/datasets", nameNone, false, (*Server).handleListDatasets},
+		{http.MethodPost, "/v1/datasets", "/datasets", nameNone, false, (*Server).handleAddDataset},
+		{http.MethodGet, "/v1/datasets/{name}", "", namePath, false, (*Server).handleGetDataset},
+		{http.MethodDelete, "/v1/datasets/{name}", "/datasets/{name}", namePath, false, (*Server).handleDeleteDataset},
+		{http.MethodPost, "/v1/datasets/{name}/edges", "/datasets/{name}/edges", namePath, false, (*Server).handleMutate},
+		{http.MethodDelete, "/v1/datasets/{name}/edges", "/datasets/{name}/edges", namePath, false, (*Server).handleDeleteEdges},
+		{http.MethodGet, "/v1/datasets/{name}/version", "/datasets/{name}/version", namePath, false, (*Server).handleVersion},
+		{http.MethodPost, "/v1/datasets/{name}/decompose", "/decompose", nameBody, false, (*Server).handleDecompose},
+		{http.MethodGet, "/v1/datasets/{name}/phi", "/phi", nameQuery, true, (*Server).handlePhi},
+		{http.MethodGet, "/v1/datasets/{name}/support", "/support", nameQuery, true, (*Server).handleSupport},
+		{http.MethodGet, "/v1/datasets/{name}/levels", "/levels", nameQuery, false, (*Server).handleLevels},
+		{http.MethodGet, "/v1/datasets/{name}/communities", "/communities", nameQuery, true, (*Server).handleCommunities},
+		{http.MethodGet, "/v1/datasets/{name}/community_of", "/community_of", nameQuery, true, (*Server).handleCommunityOf},
+		{http.MethodGet, "/v1/datasets/{name}/kbitruss", "/kbitruss", nameQuery, true, (*Server).handleKBitruss},
+		{http.MethodPost, "/v1/datasets/{name}/query", "", namePath, false, (*Server).handleBatchQuery},
+	}
+}
+
+// register wires one table row into the mux: the v1 pattern with
+// path-sourced name and v1 error style, and (when present) the legacy
+// alias resolving the name per its nameSource with the flat error
+// style.
+func (s *Server) register(rt route) {
+	fn := rt.fn
+	s.mux.HandleFunc(rt.method+" "+rt.v1, func(w http.ResponseWriter, r *http.Request) {
+		rc := reqCtx{name: r.PathValue("name"), v1: true}
+		if rt.params {
+			rc.q = r.URL.Query()
+		}
+		fn(s, w, r, rc)
+	})
+	if rt.legacy == "" {
+		return
+	}
+	s.mux.HandleFunc(rt.method+" "+rt.legacy, func(w http.ResponseWriter, r *http.Request) {
+		var rc reqCtx
+		switch rt.src {
+		case namePath:
+			rc.name = r.PathValue("name")
+		case nameQuery:
+			// The legacy alias carries the dataset as a query parameter,
+			// so these routes parse the query regardless of rt.params.
+			rc.q = r.URL.Query()
+			rc.name = rc.q.Get("dataset")
+			if rc.name == "" {
+				s.writeError(w, rc, badRequestf("dataset is required"))
+				return
+			}
+		default:
+			if rt.params {
+				rc.q = r.URL.Query()
+			}
+		}
+		fn(s, w, r, rc)
+	})
 }
 
 // New builds a Server over an existing engine (which may already hold
@@ -115,20 +237,9 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /datasets", s.handleListDatasets)
-	s.mux.HandleFunc("POST /datasets", s.handleAddDataset)
-	s.mux.HandleFunc("DELETE /datasets/{name}", s.handleDeleteDataset)
-	s.mux.HandleFunc("POST /datasets/{name}/edges", s.handleMutate)
-	s.mux.HandleFunc("DELETE /datasets/{name}/edges", s.handleDeleteEdges)
-	s.mux.HandleFunc("GET /datasets/{name}/version", s.handleVersion)
-	s.mux.HandleFunc("POST /decompose", s.handleDecompose)
-	s.mux.HandleFunc("GET /phi", s.handlePhi)
-	s.mux.HandleFunc("GET /support", s.handleSupport)
-	s.mux.HandleFunc("GET /levels", s.handleLevels)
-	s.mux.HandleFunc("GET /communities", s.handleCommunities)
-	s.mux.HandleFunc("GET /community_of", s.handleCommunityOf)
-	s.mux.HandleFunc("GET /kbitruss", s.handleKBitruss)
+	for _, rt := range routeTable() {
+		s.register(rt)
+	}
 	if s.useCache && s.prewarmLevels > 0 {
 		eng.SetPublishHook(s.warmSnapshot)
 	}
@@ -156,14 +267,109 @@ func (s *Server) Stats() Stats {
 // Handler returns the HTTP handler serving all endpoints.
 func (s *Server) Handler() http.Handler { return s }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Router-level failures (no such
+// route, wrong method) are intercepted and rewritten into the v1 error
+// envelope — the mux computes the 405 Allow set from the route table's
+// registered patterns, and the interceptor keeps that header while
+// replacing the plain-text body.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	s.mux.ServeHTTP(w, r)
+	iw := &muxErrorWriter{rw: w}
+	s.mux.ServeHTTP(iw, r)
+	iw.finish(r)
 }
 
-// decodeBody decodes a size-capped JSON request body.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+// muxErrorWriter passes handler responses through untouched (handlers
+// always set a JSON Content-Type before writing) and captures the
+// mux's own text/plain 404/405 replies so finish can re-render them as
+// error envelopes.
+type muxErrorWriter struct {
+	rw          http.ResponseWriter
+	status      int
+	wroteHeader bool
+	intercepted bool
+}
+
+func (iw *muxErrorWriter) Header() http.Header { return iw.rw.Header() }
+
+func (iw *muxErrorWriter) WriteHeader(code int) {
+	if iw.wroteHeader {
+		return
+	}
+	iw.wroteHeader = true
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(iw.rw.Header().Get("Content-Type"), "application/json") {
+		iw.status = code
+		iw.intercepted = true
+		return
+	}
+	iw.rw.WriteHeader(code)
+}
+
+func (iw *muxErrorWriter) Write(p []byte) (int, error) {
+	if !iw.wroteHeader {
+		iw.WriteHeader(http.StatusOK)
+	}
+	if iw.intercepted {
+		return len(p), nil // swallow http.Error's plain-text body
+	}
+	return iw.rw.Write(p)
+}
+
+func (iw *muxErrorWriter) finish(r *http.Request) {
+	if !iw.intercepted {
+		return
+	}
+	h := iw.rw.Header()
+	h.Del("X-Content-Type-Options")
+	switch iw.status {
+	case http.StatusMethodNotAllowed:
+		p := errorPayload{
+			Code:    CodeMethodNotAllowed,
+			Message: fmt.Sprintf("method %s is not allowed for %s", r.Method, r.URL.Path),
+		}
+		if allow := h.Get("Allow"); allow != "" {
+			p.Details = map[string]any{"allow": allow}
+		}
+		writeV1Error(iw.rw, http.StatusMethodNotAllowed, p)
+	default:
+		writeV1Error(iw.rw, http.StatusNotFound, errorPayload{
+			Code:    CodeRouteNotFound,
+			Message: fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path),
+		})
+	}
+}
+
+// requireJSONBody enforces the v1 body contract: a request that
+// declares a Content-Type other than JSON is rejected with 415 before
+// any bytes are decoded. An absent Content-Type is accepted (bare
+// curl). The check applies to /v1 routes only — pre-v1 clients POST
+// JSON with whatever Content-Type their tool defaults to (curl -d
+// sends x-www-form-urlencoded), and the legacy aliases must keep
+// accepting them.
+func requireJSONBody(r *http.Request) error {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return nil
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return &mediaTypeError{contentType: ct}
+	}
+	if mt == "application/json" || strings.HasSuffix(mt, "+json") {
+		return nil
+	}
+	return &mediaTypeError{contentType: ct}
+}
+
+// decodeBody decodes a size-capped JSON request body, enforcing the
+// JSON Content-Type contract on the v1 surface first.
+func decodeBody(w http.ResponseWriter, r *http.Request, rc reqCtx, v any) error {
+	if rc.v1 {
+		if err := requireJSONBody(r); err != nil {
+			return err
+		}
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		return badRequestf("decoding body: %v", err)
@@ -208,80 +414,28 @@ var keyPool = sync.Pool{New: func() any {
 	return &b
 }}
 
+// maxPooledKey keeps oversized batch keys from pinning pool memory.
+const maxPooledKey = 1 << 16
+
 // writeJSON encodes v through a pooled encoder. Encoding failures are
 // logged and turn into a clean 500 — never a truncated 200 body.
-func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, rc reqCtx, status int, v any) {
 	eb := getEnc()
 	defer putEnc(eb)
 	if err := eb.enc.Encode(v); err != nil {
 		s.errLog.Printf("%s %s: encoding response: %v", r.Method, r.URL.Path, err)
-		writeRawError(w, http.StatusInternalServerError, "internal: encoding response failed")
+		if rc.v1 {
+			writeV1Error(w, http.StatusInternalServerError, errorPayload{
+				Code: CodeInternal, Message: "internal: encoding response failed",
+			})
+		} else {
+			writeRawError(w, http.StatusInternalServerError, "internal: encoding response failed")
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_, _ = w.Write(eb.buf.Bytes())
-}
-
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-// writeRawError emits an error body through the pooled non-escaping
-// encoder — the same escaping rules as every success response, so error
-// strings keep their exact historical bytes (clients match them).
-// Encoding errorBody cannot fail (one plain string field), so this is
-// safe to call from writeJSON's own failure path.
-func writeRawError(w http.ResponseWriter, status int, msg string) {
-	eb := getEnc()
-	defer putEnc(eb)
-	_ = eb.enc.Encode(errorBody{Error: msg})
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_, _ = w.Write(eb.buf.Bytes())
-}
-
-// writeError maps engine errors onto HTTP status codes.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, engine.ErrNotFound), errors.Is(err, engine.ErrNoEdge), errors.Is(err, errNotFound):
-		status = http.StatusNotFound
-	case errors.Is(err, engine.ErrExists), errors.Is(err, engine.ErrBusy):
-		status = http.StatusConflict
-	case errors.Is(err, engine.ErrNotDecomposed):
-		status = http.StatusConflict
-	case errors.Is(err, engine.ErrClosed):
-		status = http.StatusServiceUnavailable
-	case errors.Is(err, errBadRequest):
-		status = http.StatusBadRequest
-	}
-	writeRawError(w, status, err.Error())
-}
-
-var (
-	errBadRequest = errors.New("bad request")
-	// errNotFound marks "queried object absent" outcomes (e.g. a vertex
-	// with no community at the level) that map to 404 and are never
-	// cached.
-	errNotFound = errors.New("not found")
-)
-
-func badRequestf(format string, args ...any) error {
-	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
-}
-
-// notFoundError maps to 404 while keeping the wire body exactly the
-// formatted message (no wrapping prefix — clients match these strings).
-type notFoundError struct{ msg string }
-
-func (e *notFoundError) Error() string { return e.msg }
-func (e *notFoundError) Is(target error) bool {
-	return target == errNotFound
-}
-
-func notFoundf(format string, args ...any) error {
-	return &notFoundError{msg: fmt.Sprintf(format, args...)}
 }
 
 // encodeToBytes runs fill and marshals its value through the pooled
@@ -306,19 +460,19 @@ func encodeToBytes(fill func() (any, error)) ([]byte, error) {
 // dataset+version), through the pooled uncached path otherwise. fill
 // returns the response value to encode; both paths produce identical
 // bytes.
-func (s *Server) respond(w http.ResponseWriter, r *http.Request, vw *engine.View, key []byte, fill func() (any, error)) {
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, rc reqCtx, vw *engine.View, key []byte, fill func() (any, error)) {
 	if !s.useCache {
 		v, err := fill()
 		if err != nil {
-			s.writeError(w, err)
+			s.writeError(w, rc, err)
 			return
 		}
-		s.writeJSON(w, r, http.StatusOK, v)
+		s.writeJSON(w, r, rc, http.StatusOK, v)
 		return
 	}
 	data, hit, err := vw.Cached(key, func() ([]byte, error) { return encodeToBytes(fill) })
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
 	if hit {
@@ -331,8 +485,8 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, vw *engine.View
 	_, _ = w.Write(data)
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request, rc reqCtx) {
+	s.writeJSON(w, r, rc, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // datasetJSON is the wire form of engine.DatasetInfo.
@@ -368,13 +522,22 @@ func toDatasetJSON(i engine.DatasetInfo) datasetJSON {
 	}
 }
 
-func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request, rc reqCtx) {
 	infos := s.eng.List()
 	out := make([]datasetJSON, len(infos))
 	for i, info := range infos {
 		out[i] = toDatasetJSON(info)
 	}
-	s.writeJSON(w, r, http.StatusOK, out)
+	s.writeJSON(w, r, rc, http.StatusOK, out)
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request, rc reqCtx) {
+	info, err := s.eng.Info(rc.name)
+	if err != nil {
+		s.writeError(w, rc, err)
+		return
+	}
+	s.writeJSON(w, r, rc, http.StatusOK, toDatasetJSON(info))
 }
 
 type addDatasetRequest struct {
@@ -384,14 +547,14 @@ type addDatasetRequest struct {
 	Edges    [][2]int `json:"edges,omitempty"`
 }
 
-func (s *Server) handleAddDataset(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAddDataset(w http.ResponseWriter, r *http.Request, rc reqCtx) {
 	var req addDatasetRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		s.writeError(w, err)
+	if err := decodeBody(w, r, rc, &req); err != nil {
+		s.writeError(w, rc, err)
 		return
 	}
 	if req.Name == "" {
-		s.writeError(w, badRequestf("name is required"))
+		s.writeError(w, rc, badRequestf("name is required"))
 		return
 	}
 	var err error
@@ -416,23 +579,23 @@ func (s *Server) handleAddDataset(w http.ResponseWriter, r *http.Request) {
 		err = badRequestf("either path or edges is required")
 	}
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
 	info, err := s.eng.Info(req.Name)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
-	s.writeJSON(w, r, http.StatusCreated, toDatasetJSON(info))
+	s.writeJSON(w, r, rc, http.StatusCreated, toDatasetJSON(info))
 }
 
-func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
-	if err := s.eng.Remove(r.PathValue("name")); err != nil {
-		s.writeError(w, err)
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request, rc reqCtx) {
+	if err := s.eng.Remove(rc.name); err != nil {
+		s.writeError(w, rc, err)
 		return
 	}
-	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "removed"})
+	s.writeJSON(w, r, rc, http.StatusOK, map[string]string{"status": "removed"})
 }
 
 // mutateRequest is the wire form of engine.MutateRequest.
@@ -459,23 +622,22 @@ type mutateJSON struct {
 	TimeMS     int64  `json:"apply_ms"`
 }
 
-func (s *Server) mutate(w http.ResponseWriter, r *http.Request, req engine.MutateRequest) {
-	name := r.PathValue("name")
+func (s *Server) mutate(w http.ResponseWriter, r *http.Request, rc reqCtx, req engine.MutateRequest) {
 	if len(req.Insert) == 0 && len(req.Delete) == 0 {
-		s.writeError(w, badRequestf("mutation needs insert or delete pairs"))
+		s.writeError(w, rc, badRequestf("mutation needs insert or delete pairs"))
 		return
 	}
-	res, err := s.eng.Mutate(r.Context(), name, req)
+	res, err := s.eng.Mutate(r.Context(), rc.name, req)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
 	status := http.StatusAccepted
 	if req.Wait {
 		status = http.StatusOK
 	}
-	s.writeJSON(w, r, status, mutateJSON{
-		Dataset:    name,
+	s.writeJSON(w, r, rc, status, mutateJSON{
+		Dataset:    rc.name,
 		Version:    res.Version,
 		Pending:    res.Pending,
 		Applied:    res.Applied,
@@ -489,42 +651,41 @@ func (s *Server) mutate(w http.ResponseWriter, r *http.Request, req engine.Mutat
 	})
 }
 
-func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, rc reqCtx) {
 	var req mutateRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		s.writeError(w, err)
+	if err := decodeBody(w, r, rc, &req); err != nil {
+		s.writeError(w, rc, err)
 		return
 	}
-	s.mutate(w, r, engine.MutateRequest{Insert: req.Insert, Delete: req.Delete, Wait: req.Wait})
+	s.mutate(w, r, rc, engine.MutateRequest{Insert: req.Insert, Delete: req.Delete, Wait: req.Wait})
 }
 
 // handleDeleteEdges is deletion-only sugar over the mutation path.
-func (s *Server) handleDeleteEdges(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDeleteEdges(w http.ResponseWriter, r *http.Request, rc reqCtx) {
 	var req struct {
 		Edges [][2]int `json:"edges"`
 		Wait  bool     `json:"wait,omitempty"`
 	}
-	if err := decodeBody(w, r, &req); err != nil {
-		s.writeError(w, err)
+	if err := decodeBody(w, r, rc, &req); err != nil {
+		s.writeError(w, rc, err)
 		return
 	}
-	s.mutate(w, r, engine.MutateRequest{Delete: req.Edges, Wait: req.Wait})
+	s.mutate(w, r, rc, engine.MutateRequest{Delete: req.Edges, Wait: req.Wait})
 }
 
-func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	info, err := s.eng.Info(name)
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request, rc reqCtx) {
+	info, err := s.eng.Info(rc.name)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
 	out := map[string]any{
-		"dataset": name,
+		"dataset": rc.name,
 		"version": info.Version,
 		"pending": info.Pending,
 		"status":  info.Status.String(),
 	}
-	if log, err := s.eng.MutationLog(name); err == nil && len(log) > 0 {
+	if log, err := s.eng.MutationLog(rc.name); err == nil && len(log) > 0 {
 		last := log[len(log)-1]
 		out["last_mutation"] = map[string]any{
 			"version":     last.Version,
@@ -538,11 +699,13 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 			"apply_ms":    last.Duration.Milliseconds(),
 		}
 	}
-	s.writeJSON(w, r, http.StatusOK, out)
+	s.writeJSON(w, r, rc, http.StatusOK, out)
 }
 
 type decomposeRequest struct {
-	Dataset   string  `json:"dataset"`
+	// Dataset names the target on the legacy /decompose route; on the
+	// v1 resource route it is optional and must match the path when set.
+	Dataset   string  `json:"dataset,omitempty"`
 	Algorithm string  `json:"algorithm,omitempty"`
 	Tau       float64 `json:"tau,omitempty"`
 	Workers   int     `json:"workers,omitempty"`
@@ -553,17 +716,30 @@ type decomposeRequest struct {
 	Wait bool `json:"wait,omitempty"`
 }
 
-func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request, rc reqCtx) {
 	var req decomposeRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		s.writeError(w, err)
+	if err := decodeBody(w, r, rc, &req); err != nil {
+		s.writeError(w, rc, err)
 		return
+	}
+	name := rc.name
+	if rc.v1 {
+		if req.Dataset != "" && req.Dataset != name {
+			s.writeError(w, rc, badRequestf("body dataset %q does not match path dataset %q", req.Dataset, name))
+			return
+		}
+	} else {
+		// Historical behaviour, preserved exactly: the legacy route
+		// takes the name from the body and lets an absent/empty one
+		// fall through to the engine's own not-found error (404 with
+		// the engine's message — old clients match it).
+		name = req.Dataset
 	}
 	algo := core.BiTBUPlusPlus
 	if req.Algorithm != "" {
 		var ok bool
 		if algo, ok = core.ParseAlgorithm(req.Algorithm); !ok {
-			s.writeError(w, badRequestf("unknown algorithm %q", req.Algorithm))
+			s.writeError(w, rc, badRequestf("unknown algorithm %q", req.Algorithm))
 			return
 		}
 	}
@@ -573,27 +749,27 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		// A waited run is request-scoped: closing the connection
 		// cancels the peeling loops. The work is done when we reply,
 		// so the status is 200, not 202.
-		if err := s.eng.Decompose(r.Context(), req.Dataset, opt); err != nil {
-			s.writeError(w, err)
+		if err := s.eng.Decompose(r.Context(), name, opt); err != nil {
+			s.writeError(w, rc, err)
 			return
 		}
 		status = http.StatusOK
-	} else if err := s.eng.StartDecompose(context.WithoutCancel(r.Context()), req.Dataset, opt); err != nil {
-		s.writeError(w, err)
+	} else if err := s.eng.StartDecompose(context.WithoutCancel(r.Context()), name, opt); err != nil {
+		s.writeError(w, rc, err)
 		return
 	}
-	info, err := s.eng.Info(req.Dataset)
+	info, err := s.eng.Info(name)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
-	s.writeJSON(w, r, status, toDatasetJSON(info))
+	s.writeJSON(w, r, rc, status, toDatasetJSON(info))
 }
 
 // queryInt parses a required integer query parameter. Handlers parse
-// r.URL.Query() exactly once and thread the values through — every
-// url.Values lookup via r.URL.Query() re-parses the raw query string
-// and allocates.
+// r.URL.Query() exactly once (at dispatch) and thread the values
+// through — every url.Values lookup via r.URL.Query() re-parses the
+// raw query string and allocates.
 func queryInt(q url.Values, name string) (int64, error) {
 	raw := q.Get(name)
 	if raw == "" {
@@ -604,14 +780,6 @@ func queryInt(q url.Values, name string) (int64, error) {
 		return 0, badRequestf("%s: %v", name, err)
 	}
 	return n, nil
-}
-
-func queryDataset(q url.Values) (string, error) {
-	name := q.Get("dataset")
-	if name == "" {
-		return "", badRequestf("dataset is required")
-	}
-	return name, nil
 }
 
 // Typed wire forms of the hot query endpoints: encoding a struct
@@ -638,6 +806,9 @@ type communitiesResponse struct {
 	K           int64              `json:"k"`
 	Total       int                `json:"total"`
 	Communities []engine.Community `json:"communities"`
+	// NextCursor is set on paginated listings when further pages exist;
+	// pass it back as ?cursor= to continue the walk.
+	NextCursor string `json:"next_cursor,omitempty"`
 }
 
 type communityOfResponse struct {
@@ -663,8 +834,14 @@ type kbitrussResponse struct {
 // Cache keys identify (endpoint, params); the snapshot the cache hangs
 // off already pins (dataset, version). Keys are built into pooled
 // buffers — getKey/putKey bracket every use.
-func getKey() *[]byte  { return keyPool.Get().(*[]byte) }
-func putKey(b *[]byte) { *b = (*b)[:0]; keyPool.Put(b) }
+func getKey() *[]byte { return keyPool.Get().(*[]byte) }
+func putKey(b *[]byte) {
+	if cap(*b) > maxPooledKey {
+		return
+	}
+	*b = (*b)[:0]
+	keyPool.Put(b)
+}
 
 func edgeQueryKey(b []byte, endpoint string, u, v int64) []byte {
 	b = append(b, endpoint...)
@@ -675,11 +852,21 @@ func edgeQueryKey(b []byte, endpoint string, u, v int64) []byte {
 	return b
 }
 
-func communitiesKey(b []byte, k int64, top int) []byte {
+// communitiesKey identifies one community listing shape: size < 0 is
+// the full (legacy, deprecated) listing, otherwise the rank window
+// [offset, offset+size). Paged (cursor-capable) and top-style requests
+// of the same window produce different bytes (next_cursor), so the
+// mode is part of the key.
+func communitiesKey(b []byte, k int64, size, offset int, paged bool) []byte {
 	b = append(b, "communities|"...)
 	b = strconv.AppendInt(b, k, 10)
 	b = append(b, '|')
-	b = strconv.AppendInt(b, int64(top), 10)
+	b = strconv.AppendInt(b, int64(size), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(offset), 10)
+	if paged {
+		b = append(b, "|c"...)
+	}
 	return b
 }
 
@@ -699,69 +886,57 @@ func kbitrussKey(b []byte, k int64) []byte {
 	return b
 }
 
-func (s *Server) handlePhi(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	name, err := queryDataset(q)
+func (s *Server) handlePhi(w http.ResponseWriter, r *http.Request, rc reqCtx) {
+	u, err := queryInt(rc.q, "u")
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
-	u, err := queryInt(q, "u")
+	v, err := queryInt(rc.q, "v")
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
-	v, err := queryInt(q, "v")
+	vw, err := s.eng.View(rc.name)
 	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	vw, err := s.eng.View(name)
-	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
 	kb := getKey()
 	defer putKey(kb)
-	s.respond(w, r, vw, edgeQueryKey(*kb, "phi", u, v), func() (any, error) {
+	s.respond(w, r, rc, vw, edgeQueryKey(*kb, "phi", u, v), func() (any, error) {
 		phi, err := vw.Phi(int(u), int(v))
 		if err != nil {
 			return nil, err
 		}
-		return edgeQueryResponse{Dataset: name, Version: vw.Version(), U: u, V: v, Phi: &phi}, nil
+		return edgeQueryResponse{Dataset: rc.name, Version: vw.Version(), U: u, V: v, Phi: &phi}, nil
 	})
 }
 
-func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	name, err := queryDataset(q)
+func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request, rc reqCtx) {
+	u, err := queryInt(rc.q, "u")
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
-	u, err := queryInt(q, "u")
+	v, err := queryInt(rc.q, "v")
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
-	v, err := queryInt(q, "v")
+	vw, err := s.eng.View(rc.name)
 	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	vw, err := s.eng.View(name)
-	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
 	kb := getKey()
 	defer putKey(kb)
-	s.respond(w, r, vw, edgeQueryKey(*kb, "support", u, v), func() (any, error) {
+	s.respond(w, r, rc, vw, edgeQueryKey(*kb, "support", u, v), func() (any, error) {
 		sup, err := vw.Support(int(u), int(v))
 		if err != nil {
 			return nil, err
 		}
-		return edgeQueryResponse{Dataset: name, Version: vw.Version(), U: u, V: v, Support: &sup}, nil
+		return edgeQueryResponse{Dataset: rc.name, Version: vw.Version(), U: u, V: v, Support: &sup}, nil
 	})
 }
 
@@ -777,100 +952,148 @@ func fillLevels(name string, vw *engine.View) func() (any, error) {
 	}
 }
 
-// fillCommunities builds the /communities response for (k, top).
-func fillCommunities(name string, vw *engine.View, k int64, top int) func() (any, error) {
+// fillCommunities builds the /communities response for one rank window
+// (size < 0 = the full listing); shared by the handler and the
+// pre-warmer. Only paged (limit/cursor-style) requests hand out a
+// next_cursor — a top=N request has no way to use one (the handler
+// rejects cursor+top), and the legacy shapes must keep their exact
+// historical bytes.
+func fillCommunities(name string, vw *engine.View, k int64, size, offset int, paged bool) func() (any, error) {
 	return func() (any, error) {
-		cs, total, err := vw.TopCommunities(k, top)
+		cs, total, err := vw.CommunitiesPage(k, offset, size)
 		if err != nil {
 			return nil, err
 		}
-		return communitiesResponse{Dataset: name, Version: vw.Version(), K: k, Total: total, Communities: cs}, nil
+		resp := communitiesResponse{Dataset: name, Version: vw.Version(), K: k, Total: total, Communities: cs}
+		if paged && size >= 0 && offset+len(cs) < total {
+			resp.NextCursor = encodeCursor(k, offset+len(cs))
+		}
+		return resp, nil
 	}
 }
 
-func (s *Server) handleLevels(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	name, err := queryDataset(q)
+// Community pagination cursors are opaque base64url tokens encoding
+// the level and the next rank offset. They carry no snapshot pin —
+// each page answers from the version current at request time (stamped
+// in the response); clients needing a cut-free walk check the version
+// field or use the batch endpoint.
+func encodeCursor(k int64, offset int) string {
+	return base64.RawURLEncoding.EncodeToString(fmt.Appendf(nil, "k=%d&o=%d", k, offset))
+}
+
+func decodeCursor(s string) (k int64, offset int, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return 0, 0, badRequestf("cursor: malformed token")
 	}
-	vw, err := s.eng.View(name)
+	var o int64
+	if n, err := fmt.Sscanf(string(raw), "k=%d&o=%d", &k, &o); err != nil || n != 2 || o < 0 {
+		return 0, 0, badRequestf("cursor: malformed token")
+	}
+	return k, int(o), nil
+}
+
+func (s *Server) handleLevels(w http.ResponseWriter, r *http.Request, rc reqCtx) {
+	vw, err := s.eng.View(rc.name)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
 	kb := getKey()
 	defer putKey(kb)
-	s.respond(w, r, vw, append(*kb, "levels"...), fillLevels(name, vw))
+	s.respond(w, r, rc, vw, append(*kb, "levels"...), fillLevels(rc.name, vw))
 }
 
-func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	name, err := queryDataset(q)
+func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request, rc reqCtx) {
+	k, err := queryInt(rc.q, "k")
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
-	k, err := queryInt(q, "k")
-	if err != nil {
-		s.writeError(w, err)
+	topRaw, limitRaw, cursorRaw := rc.q.Get("top"), rc.q.Get("limit"), rc.q.Get("cursor")
+	// size is the page length (< 0 = the unbounded legacy listing),
+	// offset the rank the page starts at; paged selects cursor-capable
+	// responses (next_cursor handed out when further pages exist).
+	size, offset, paged := -1, 0, false
+	switch {
+	case topRaw != "" && limitRaw != "":
+		s.writeError(w, rc, badRequestf("top and limit are mutually exclusive"))
 		return
-	}
-	top := -1
-	if raw := q.Get("top"); raw != "" {
-		n, err := strconv.Atoi(raw)
-		if err != nil || n < 0 {
-			s.writeError(w, badRequestf("top: must be a non-negative integer"))
+	case topRaw != "":
+		if cursorRaw != "" {
+			s.writeError(w, rc, badRequestf("cursor pagination uses limit, not top"))
 			return
 		}
-		top = n
+		n, err := strconv.Atoi(topRaw)
+		if err != nil || n < 0 {
+			s.writeError(w, rc, badRequestf("top: must be a non-negative integer"))
+			return
+		}
+		size = n
+	case limitRaw != "":
+		n, err := strconv.Atoi(limitRaw)
+		if err != nil || n <= 0 {
+			s.writeError(w, rc, badRequestf("limit: must be a positive integer"))
+			return
+		}
+		size, paged = n, true
+	case rc.v1 || cursorRaw != "":
+		// The v1 default is paginated; the legacy alias keeps the
+		// historical unbounded listing (deprecated) unless a cursor
+		// opted into paging.
+		size, paged = defaultCommunitiesLimit, true
 	}
-	vw, err := s.eng.View(name)
+	if cursorRaw != "" {
+		ck, off, err := decodeCursor(cursorRaw)
+		if err != nil {
+			s.writeError(w, rc, err)
+			return
+		}
+		if ck != k {
+			s.writeError(w, rc, badRequestf("cursor: token is for k=%d, request says k=%d", ck, k))
+			return
+		}
+		offset = off
+	}
+	vw, err := s.eng.View(rc.name)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
 	kb := getKey()
 	defer putKey(kb)
-	s.respond(w, r, vw, communitiesKey(*kb, k, top), fillCommunities(name, vw, k, top))
+	s.respond(w, r, rc, vw, communitiesKey(*kb, k, size, offset, paged), fillCommunities(rc.name, vw, k, size, offset, paged))
 }
 
-func (s *Server) handleCommunityOf(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	name, err := queryDataset(q)
+func (s *Server) handleCommunityOf(w http.ResponseWriter, r *http.Request, rc reqCtx) {
+	k, err := queryInt(rc.q, "k")
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
-	k, err := queryInt(q, "k")
+	vertex, err := queryInt(rc.q, "vertex")
 	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	vertex, err := queryInt(q, "vertex")
-	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
 	var layer engine.Layer
-	switch q.Get("layer") {
+	switch rc.q.Get("layer") {
 	case "upper", "":
 		layer = engine.UpperLayer
 	case "lower":
 		layer = engine.LowerLayer
 	default:
-		s.writeError(w, badRequestf("layer must be upper or lower"))
+		s.writeError(w, rc, badRequestf("layer must be upper or lower"))
 		return
 	}
-	vw, err := s.eng.View(name)
+	vw, err := s.eng.View(rc.name)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
 	kb := getKey()
 	defer putKey(kb)
-	s.respond(w, r, vw, communityOfKey(*kb, layer, vertex, k), func() (any, error) {
+	s.respond(w, r, rc, vw, communityOfKey(*kb, layer, vertex, k), func() (any, error) {
 		c, ok, err := vw.CommunityOf(layer, int(vertex), k)
 		if err != nil {
 			return nil, err
@@ -879,30 +1102,24 @@ func (s *Server) handleCommunityOf(w http.ResponseWriter, r *http.Request) {
 			// Absence is a 404, never cached (errors skip the cache).
 			return nil, notFoundf("vertex %d has no community at level %d", vertex, k)
 		}
-		return communityOfResponse{Dataset: name, Version: vw.Version(), K: k, Community: c}, nil
+		return communityOfResponse{Dataset: rc.name, Version: vw.Version(), K: k, Community: c}, nil
 	})
 }
 
-func (s *Server) handleKBitruss(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	name, err := queryDataset(q)
+func (s *Server) handleKBitruss(w http.ResponseWriter, r *http.Request, rc reqCtx) {
+	k, err := queryInt(rc.q, "k")
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
-	k, err := queryInt(q, "k")
+	vw, err := s.eng.View(rc.name)
 	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	vw, err := s.eng.View(name)
-	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, rc, err)
 		return
 	}
 	kb := getKey()
 	defer putKey(kb)
-	s.respond(w, r, vw, kbitrussKey(*kb, k), func() (any, error) {
+	s.respond(w, r, rc, vw, kbitrussKey(*kb, k), func() (any, error) {
 		edges, err := vw.KBitrussEdges(k)
 		if err != nil {
 			return nil, err
@@ -911,7 +1128,7 @@ func (s *Server) handleKBitruss(w http.ResponseWriter, r *http.Request) {
 		for i, e := range edges {
 			out[i] = kbitrussEdge{U: e[0], V: e[1], Phi: e[2]}
 		}
-		return kbitrussResponse{Dataset: name, Version: vw.Version(), K: k, Edges: out}, nil
+		return kbitrussResponse{Dataset: rc.name, Version: vw.Version(), K: k, Edges: out}, nil
 	})
 }
 
@@ -942,20 +1159,26 @@ func (s *Server) warmSnapshot(name string, vw *engine.View) {
 		n = s.prewarmLevels
 	}
 	for _, k := range levels[:n] {
-		// Both request shapes clients actually send: the explicit
-		// top=prewarmTop page, and the no-top default (keyed top=-1) —
-		// but the latter only when the level has at most prewarmTop
-		// components, where the full listing costs the same as the page.
-		// Encoding a huge unpaged listing per level on every publish
-		// would burn producer-goroutine CPU (and delay the snapshot
-		// install) for bytes the cache may not even retain.
+		// The request shapes clients actually send: the explicit
+		// top=prewarmTop page, the v1 default page (always — it is the
+		// documented default request of the new surface and bounded at
+		// defaultCommunitiesLimit communities), and — only when the
+		// level has at most prewarmTop components, where the full
+		// listing costs the same as the page — the no-top legacy
+		// default (keyed size=-1). Encoding a huge unpaged listing per
+		// level on every publish would burn producer-goroutine CPU (and
+		// delay the snapshot install) for bytes the cache may not even
+		// retain.
 		if cnt, err := vw.NumCommunities(k); err == nil && cnt <= s.prewarmTop {
 			kb2 := getKey()
-			warm(communitiesKey(*kb2, k, -1), fillCommunities(name, vw, k, -1))
+			warm(communitiesKey(*kb2, k, -1, 0, false), fillCommunities(name, vw, k, -1, 0, false))
 			putKey(kb2)
 		}
 		kb2 := getKey()
-		warm(communitiesKey(*kb2, k, s.prewarmTop), fillCommunities(name, vw, k, s.prewarmTop))
+		warm(communitiesKey(*kb2, k, defaultCommunitiesLimit, 0, true), fillCommunities(name, vw, k, defaultCommunitiesLimit, 0, true))
+		putKey(kb2)
+		kb2 = getKey()
+		warm(communitiesKey(*kb2, k, s.prewarmTop, 0, false), fillCommunities(name, vw, k, s.prewarmTop, 0, false))
 		putKey(kb2)
 	}
 }

@@ -2,8 +2,8 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -11,19 +11,25 @@ import (
 	"testing"
 	"time"
 
+	"repro/client"
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/testgraphs"
 )
 
-func newTestServer(t *testing.T) (*engine.Engine, *httptest.Server) {
+// newTestServer spins up an engine, its HTTP server and a typed v1
+// client bound to it — the integration tests drive the server through
+// the client, so the public client package is exercised by every flow.
+func newTestServer(t *testing.T) (*engine.Engine, *httptest.Server, *client.Client) {
 	t.Helper()
 	eng := engine.New()
 	ts := httptest.NewServer(New(eng).Handler())
 	t.Cleanup(ts.Close)
-	return eng, ts
+	return eng, ts, client.New(ts.URL, client.WithHTTPClient(ts.Client()))
 }
 
+// doJSON issues a raw request — kept for the wire-format tests that
+// pin exact legacy behaviour (the typed client only speaks v1).
 func doJSON(t *testing.T, method, url string, body any, out any) int {
 	t.Helper()
 	var rd io.Reader
@@ -55,137 +61,120 @@ func doJSON(t *testing.T, method, url string, body any, out any) int {
 	return resp.StatusCode
 }
 
-func registerFigure1(t *testing.T, ts *httptest.Server, name string) {
+func registerFigure1(t *testing.T, c *client.Client, name string) {
 	t.Helper()
-	var ds datasetJSON
-	code := doJSON(t, "POST", ts.URL+"/datasets", addDatasetRequest{
+	ds, err := c.CreateDataset(context.Background(), client.CreateDatasetRequest{
 		Name:  name,
 		Edges: testgraphs.Figure1Edges(),
-	}, &ds)
-	if code != http.StatusCreated {
-		t.Fatalf("POST /datasets = %d", code)
+	})
+	if err != nil {
+		t.Fatalf("create dataset: %v", err)
 	}
 	if ds.Status != "loaded" || ds.Edges != 11 {
 		t.Fatalf("registered dataset = %+v", ds)
 	}
 }
 
-func decomposeAndWait(t *testing.T, ts *httptest.Server, name string) {
+func decomposeAndWait(t *testing.T, c *client.Client, name string) {
 	t.Helper()
-	var ds datasetJSON
-	code := doJSON(t, "POST", ts.URL+"/decompose", decomposeRequest{
-		Dataset: name, Algorithm: "bu++", Wait: true,
-	}, &ds)
-	if code != http.StatusOK || ds.Status != "ready" {
-		t.Fatalf("POST /decompose = %d, dataset %+v", code, ds)
+	ds, err := c.Dataset(name).Decompose(context.Background(), client.DecomposeRequest{Algorithm: "bu++", Wait: true})
+	if err != nil || ds.Status != "ready" {
+		t.Fatalf("decompose: %v (dataset %+v)", err, ds)
 	}
 }
 
 func TestServerEndToEnd(t *testing.T) {
-	_, ts := newTestServer(t)
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
 
-	var health map[string]string
-	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, &health); code != http.StatusOK || health["status"] != "ok" {
-		t.Fatalf("healthz: %d %v", code, health)
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
 	}
 
-	registerFigure1(t, ts, "fig1")
-	decomposeAndWait(t, ts, "fig1")
+	registerFigure1(t, c, "fig1")
+	decomposeAndWait(t, c, "fig1")
+	h := c.Dataset("fig1")
 
 	// Every ground-truth φ of the Figure 1 network over /phi.
 	for pair, want := range testgraphs.Figure1Bitruss() {
-		var out struct {
-			Phi int64 `json:"phi"`
+		res, err := h.Phi(ctx, pair[0], pair[1])
+		if err != nil {
+			t.Fatalf("phi%v: %v", pair, err)
 		}
-		url := fmt.Sprintf("%s/phi?dataset=fig1&u=%d&v=%d", ts.URL, pair[0], pair[1])
-		if code := doJSON(t, "GET", url, nil, &out); code != http.StatusOK {
-			t.Fatalf("GET /phi%v = %d", pair, code)
-		}
-		if out.Phi != want {
-			t.Errorf("phi%v = %d, want %d", pair, out.Phi, want)
+		if res.Phi == nil || *res.Phi != want {
+			t.Errorf("phi%v = %v, want %d", pair, res.Phi, want)
 		}
 	}
 	// Absent edge -> 404.
-	if code := doJSON(t, "GET", ts.URL+"/phi?dataset=fig1&u=0&v=4", nil, nil); code != http.StatusNotFound {
-		t.Fatalf("absent edge = %d, want 404", code)
+	if _, err := h.Phi(ctx, 0, 4); !client.IsNotFound(err) {
+		t.Fatalf("absent edge = %v, want not found", err)
 	}
 
 	// /support matches Figure 6's BE-Index supports.
 	for pair, want := range testgraphs.Figure1Supports() {
-		var out struct {
-			Support int64 `json:"support"`
+		res, err := h.Support(ctx, pair[0], pair[1])
+		if err != nil {
+			t.Fatalf("support%v: %v", pair, err)
 		}
-		url := fmt.Sprintf("%s/support?dataset=fig1&u=%d&v=%d", ts.URL, pair[0], pair[1])
-		if code := doJSON(t, "GET", url, nil, &out); code != http.StatusOK {
-			t.Fatalf("GET /support%v = %d", pair, code)
-		}
-		if out.Support != want {
-			t.Errorf("support%v = %d, want %d", pair, out.Support, want)
+		if res.Support == nil || *res.Support != want {
+			t.Errorf("support%v = %v, want %d", pair, res.Support, want)
 		}
 	}
 
-	var levels struct {
-		Levels []int64 `json:"levels"`
+	lv, err := h.Levels(ctx)
+	if err != nil {
+		t.Fatalf("levels: %v", err)
 	}
-	if code := doJSON(t, "GET", ts.URL+"/levels?dataset=fig1", nil, &levels); code != http.StatusOK {
-		t.Fatalf("GET /levels = %d", code)
-	}
-	if len(levels.Levels) != 3 || levels.Levels[2] != 2 {
-		t.Fatalf("levels = %v", levels.Levels)
+	if len(lv.Levels) != 3 || lv.Levels[2] != 2 {
+		t.Fatalf("levels = %v", lv.Levels)
 	}
 
 	// /communities at level 2: H2 of Figure 4(c).
-	var comms struct {
-		Total       int                `json:"total"`
-		Communities []engine.Community `json:"communities"`
-	}
-	if code := doJSON(t, "GET", ts.URL+"/communities?dataset=fig1&k=2", nil, &comms); code != http.StatusOK {
-		t.Fatalf("GET /communities = %d", code)
+	comms, err := h.Communities(ctx, 2, client.CommunitiesOptions{})
+	if err != nil {
+		t.Fatalf("communities: %v", err)
 	}
 	if comms.Total != 1 || len(comms.Communities) != 1 || comms.Communities[0].Size != 6 {
 		t.Fatalf("communities = %+v", comms)
 	}
 
 	// /community_of for u1 at level 2 returns the same community.
-	var cof struct {
-		Community engine.Community `json:"community"`
-	}
-	if code := doJSON(t, "GET", ts.URL+"/community_of?dataset=fig1&layer=upper&vertex=1&k=2", nil, &cof); code != http.StatusOK {
-		t.Fatalf("GET /community_of = %d", code)
+	cof, err := h.CommunityOf(ctx, client.UpperLayer, 1, 2)
+	if err != nil {
+		t.Fatalf("community_of: %v", err)
 	}
 	if cof.Community.Size != 6 || cof.Community.K != 2 {
 		t.Fatalf("community_of = %+v", cof.Community)
 	}
 	// u3 is outside the 2-bitruss -> 404.
-	if code := doJSON(t, "GET", ts.URL+"/community_of?dataset=fig1&layer=upper&vertex=3&k=2", nil, nil); code != http.StatusNotFound {
-		t.Fatalf("community_of outside = %d, want 404", code)
+	if _, err := h.CommunityOf(ctx, client.UpperLayer, 3, 2); !client.IsNotFound(err) {
+		t.Fatalf("community_of outside = %v, want not found", err)
 	}
 
 	// /kbitruss at level 2 lists the six H2 edges.
-	var kb struct {
-		Edges []struct {
-			U, V, Phi int64
-		} `json:"edges"`
-	}
-	if code := doJSON(t, "GET", ts.URL+"/kbitruss?dataset=fig1&k=2", nil, &kb); code != http.StatusOK {
-		t.Fatalf("GET /kbitruss = %d", code)
+	kb, err := h.KBitruss(ctx, 2)
+	if err != nil {
+		t.Fatalf("kbitruss: %v", err)
 	}
 	if len(kb.Edges) != 6 {
 		t.Fatalf("kbitruss edges = %+v", kb.Edges)
 	}
 
 	// DELETE then 404.
-	if code := doJSON(t, "DELETE", ts.URL+"/datasets/fig1", nil, nil); code != http.StatusOK {
-		t.Fatalf("DELETE = %d", code)
+	if err := h.Delete(ctx); err != nil {
+		t.Fatalf("delete: %v", err)
 	}
-	if code := doJSON(t, "GET", ts.URL+"/phi?dataset=fig1&u=0&v=0", nil, nil); code != http.StatusNotFound {
-		t.Fatalf("after delete = %d, want 404", code)
+	if _, err := c.Dataset("fig1").Phi(ctx, 0, 0); !client.IsNotFound(err) {
+		t.Fatalf("after delete = %v, want not found", err)
 	}
 }
 
+// TestServerErrorPaths pins the legacy wire behaviour of the root
+// aliases (flat error bodies, historical status codes); the v1 error
+// surface is covered by TestErrorModelConformance.
 func TestServerErrorPaths(t *testing.T) {
-	_, ts := newTestServer(t)
-	registerFigure1(t, ts, "fig1")
+	_, ts, c := newTestServer(t)
+	registerFigure1(t, c, "fig1")
 
 	// Duplicate registration -> 409.
 	if code := doJSON(t, "POST", ts.URL+"/datasets", addDatasetRequest{
@@ -213,6 +202,16 @@ func TestServerErrorPaths(t *testing.T) {
 	if code := doJSON(t, "POST", ts.URL+"/decompose", decomposeRequest{Dataset: "nope"}, nil); code != http.StatusNotFound {
 		t.Fatalf("unknown dataset = %d, want 404", code)
 	}
+	// Historical behaviour: an absent dataset on the legacy route falls
+	// through to the engine's not-found (404 with the engine message),
+	// not a 400.
+	var eb errorBody
+	if code := doJSON(t, "POST", ts.URL+"/decompose", decomposeRequest{}, &eb); code != http.StatusNotFound {
+		t.Fatalf("empty-dataset legacy decompose = %d (%q), want 404", code, eb.Error)
+	}
+	if eb.Error != `engine: dataset not found: ""` {
+		t.Fatalf("empty-dataset legacy decompose message = %q", eb.Error)
+	}
 	// Hostile vertex ids (negative, or beyond the int32 id space) are a
 	// clean 400, not a panic or a giant allocation.
 	for _, edges := range [][][2]int{
@@ -233,29 +232,46 @@ func TestServerErrorPaths(t *testing.T) {
 	}, nil); code != http.StatusBadRequest {
 		t.Fatalf("missing path accepted")
 	}
+	// The legacy aliases stay lenient about Content-Type: pre-v1 clients
+	// (curl -d sends x-www-form-urlencoded) must keep working. Only the
+	// v1 surface enforces the 415.
+	req, err := http.NewRequest("POST", ts.URL+"/datasets",
+		bytes.NewReader([]byte(`{"name":"lenient","edges":[[0,0],[0,1],[1,0],[1,1]]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("legacy POST with form Content-Type = %d, want 201", resp.StatusCode)
+	}
 }
 
 // TestServerConcurrentQueriesDuringBackgroundDecompose is the serving
 // acceptance scenario: dataset A answers concurrent φ and community
 // queries while dataset B decomposes in the background, and B becomes
-// queryable once /datasets reports it ready.
+// queryable once the listing reports it ready — all through the typed
+// client.
 func TestServerConcurrentQueriesDuringBackgroundDecompose(t *testing.T) {
-	eng, ts := newTestServer(t)
+	eng, _, c := newTestServer(t)
+	ctx := context.Background()
 
-	registerFigure1(t, ts, "served")
-	decomposeAndWait(t, ts, "served")
+	registerFigure1(t, c, "served")
+	decomposeAndWait(t, c, "served")
 
 	// Register the background dataset directly on the engine (a
 	// generated graph, not a file).
 	if err := eng.Register("bg", gen.Zipf(600, 600, 20000, 1.3, 1.3, 5)); err != nil {
 		t.Fatal(err)
 	}
-	var ds datasetJSON
-	code := doJSON(t, "POST", ts.URL+"/decompose", decomposeRequest{
-		Dataset: "bg", Algorithm: "bu++p", Workers: 2,
-	}, &ds)
-	if code != http.StatusAccepted {
-		t.Fatalf("background decompose = %d", code)
+	bg := c.Dataset("bg")
+	ds, err := bg.Decompose(ctx, client.DecomposeRequest{Algorithm: "bu++p", Workers: 2})
+	if err != nil {
+		t.Fatalf("background decompose: %v", err)
 	}
 	if ds.Status != "decomposing" && ds.Status != "ready" {
 		t.Fatalf("background status = %q", ds.Status)
@@ -266,19 +282,18 @@ func TestServerConcurrentQueriesDuringBackgroundDecompose(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Handles are cheap; one per goroutine keeps version pinning
+			// goroutine-local.
+			h := c.Dataset("served")
 			for i := 0; i < 50; i++ {
-				var phi struct {
-					Phi int64 `json:"phi"`
-				}
-				if code := doJSON(t, "GET", ts.URL+"/phi?dataset=served&u=0&v=0", nil, &phi); code != http.StatusOK || phi.Phi != 2 {
-					t.Errorf("phi during background decompose: code=%d phi=%d", code, phi.Phi)
+				phi, err := h.Phi(ctx, 0, 0)
+				if err != nil || phi.Phi == nil || *phi.Phi != 2 {
+					t.Errorf("phi during background decompose: %v (%+v)", err, phi)
 					return
 				}
-				var comms struct {
-					Total int `json:"total"`
-				}
-				if code := doJSON(t, "GET", ts.URL+"/communities?dataset=served&k=1", nil, &comms); code != http.StatusOK || comms.Total != 1 {
-					t.Errorf("communities during background decompose: code=%d total=%d", code, comms.Total)
+				comms, err := h.Communities(ctx, 1, client.CommunitiesOptions{})
+				if err != nil || comms.Total != 1 {
+					t.Errorf("communities during background decompose: %v (total %d)", err, comms.Total)
 					return
 				}
 			}
@@ -287,36 +302,13 @@ func TestServerConcurrentQueriesDuringBackgroundDecompose(t *testing.T) {
 	wg.Wait()
 
 	// The background run finishes and becomes queryable.
-	deadline := time.Now().Add(time.Minute)
-	for {
-		var list []datasetJSON
-		if code := doJSON(t, "GET", ts.URL+"/datasets", nil, &list); code != http.StatusOK {
-			t.Fatalf("GET /datasets = %d", code)
-		}
-		var bg *datasetJSON
-		for i := range list {
-			if list[i].Name == "bg" {
-				bg = &list[i]
-			}
-		}
-		if bg == nil {
-			t.Fatal("bg dataset missing from /datasets")
-		}
-		if bg.Status == "ready" {
-			break
-		}
-		if bg.Status == "failed" {
-			t.Fatalf("background decomposition failed: %s", bg.Message)
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("background decomposition stuck in %q", bg.Status)
-		}
-		time.Sleep(10 * time.Millisecond)
+	waitCtx, cancel := context.WithTimeout(ctx, time.Minute)
+	defer cancel()
+	if _, err := bg.WaitReady(waitCtx); err != nil {
+		t.Fatalf("background decomposition: %v", err)
 	}
-	var levels struct {
-		Levels []int64 `json:"levels"`
-	}
-	if code := doJSON(t, "GET", ts.URL+"/levels?dataset=bg", nil, &levels); code != http.StatusOK || len(levels.Levels) == 0 {
-		t.Fatalf("bg levels after ready: code=%d levels=%v", code, levels.Levels)
+	lv, err := bg.Levels(ctx)
+	if err != nil || len(lv.Levels) == 0 {
+		t.Fatalf("bg levels after ready: %v (%v)", lv.Levels, err)
 	}
 }
