@@ -1,0 +1,74 @@
+// Command bitlint runs the project's static-analysis suite — the
+// analyzers under internal/lint/analyzers that mechanically enforce the
+// engine's concurrency and serving invariants. It is the multichecker
+// for this repo:
+//
+//	go run ./cmd/bitlint ./...          # whole repo (CI runs this)
+//	go run ./cmd/bitlint -list          # describe the analyzers
+//	go run ./cmd/bitlint ./internal/server/
+//
+// Exit status is 1 when any finding survives suppression. Suppress a
+// single finding with an auditable reason on (or above) its line:
+//
+//	//bitlint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analyzers"
+	"repro/internal/lint/driver"
+)
+
+func main() {
+	tests := flag.Bool("tests", true, "also analyze test files (the test-augmented package variants)")
+	list := flag.Bool("list", false, "list the analyzers and the invariants they enforce, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bitlint [flags] [packages]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers.All() {
+			summary, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-14s %s\n", a.Name, summary)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := driver.Load("", patterns, *tests)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bitlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := driver.Run(pkgs, analyzers.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bitlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		pos := f.Pos
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+		}
+		fmt.Printf("%s: [%s] %s\n", pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "bitlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -61,6 +61,12 @@ func newQueryCache(maxBytes int64) *queryCache {
 // key is accepted as a byte slice so hot callers can build it in a
 // pooled buffer: the hit path does not retain it (map lookups on
 // string(key) do not allocate), only a miss copies it into the entry.
+//
+// get owns cacheEntry construction: it fills e.data/e.err exactly once
+// before closing e.ready, after which joiners treat the entry as
+// immutable.
+//
+//bitlint:owner
 func (c *queryCache) get(key []byte, fill func() ([]byte, error)) ([]byte, bool, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[string(key)]; ok {

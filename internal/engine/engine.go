@@ -626,6 +626,11 @@ func (ds *dataset) applyLoop(e *Engine) {
 // the next snapshot (maintaining the decomposition incrementally when
 // one exists) and swaps it in. Queries keep hitting the old snapshot
 // until the swap.
+//
+// It writes snapshot fields, legally: next is freshly built here and
+// unpublished until the ds.snap swap under the write lock.
+//
+//bitlint:owner
 func (ds *dataset) applyBatch(e *Engine, batch []*mutOp) {
 	ds.workMu.Lock()
 	start := time.Now()

@@ -1,0 +1,78 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis API surface that bitlint's
+// analyzers are written against. The container this repo builds in has
+// no module proxy access, so the real x/tools module cannot be pulled;
+// the subset here — Analyzer, Pass, Diagnostic — is source-compatible
+// with the upstream types for everything the bitlint suite needs, so
+// the analyzers can be moved onto x/tools verbatim if the dependency
+// ever becomes available.
+//
+// Packages are loaded and type-checked by internal/lint/driver (the
+// multichecker side of the split); fixtures are exercised by
+// internal/lint/analysistest (the analysistest side).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one analysis pass: a name, a doc string and a Run
+// function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -ignore directives
+	// and the bitlint command line. By convention it is a single
+	// lower-case word.
+	Name string
+
+	// Doc is the help text: first line is a one-sentence summary, the
+	// rest explains the invariant the analyzer enforces.
+	Doc string
+
+	// Run applies the analyzer to one package. It may report
+	// diagnostics via pass.Report/Reportf. The result value is unused
+	// by bitlint (upstream uses it for inter-analyzer plumbing) but
+	// kept for API compatibility.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass provides one analyzed package to an Analyzer's Run: the syntax
+// trees, the type information and a diagnostic sink. A Pass is valid
+// only for the duration of the Run call.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// TestFiles marks the files of the pass that came from _test.go
+	// sources (the driver analyzes the test-augmented variant of each
+	// package, like go vet does). Analyzers that treat test code
+	// specially — errcode's conformance-coverage check — consult this.
+	TestFiles map[*ast.File]bool
+
+	// Report emits one diagnostic. The driver deduplicates, applies
+	// //bitlint:ignore suppressions and sorts by position.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name; filled by the driver when empty
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Position resolves a token.Pos against the pass's file set.
+func (p *Pass) Position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}

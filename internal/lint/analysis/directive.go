@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one //bitlint:<name> [args...] comment. Directives are
+// how source code talks back to the analyzers:
+//
+//	//bitlint:ignore <analyzer> <reason>   suppress a finding on this or the next line
+//	//bitlint:owner                        this function is a snapshot constructor/publisher
+//	//bitlint:pooled                       this function returns a pooled object (caller must release)
+//	//bitlint:pooledrelease                this function releases a pooled object
+//	//bitlint:snapshot                     this type is immutable-after-publish snapshot state
+type Directive struct {
+	Pos  token.Pos
+	Name string // "ignore", "owner", ...
+	Args string // the rest of the line, space-trimmed
+}
+
+// DirectivePrefix introduces a bitlint directive comment.
+const DirectivePrefix = "//bitlint:"
+
+// parseDirective extracts the directive from one comment, if any.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, DirectivePrefix) {
+		return Directive{}, false
+	}
+	rest := text[len(DirectivePrefix):]
+	name, args, _ := strings.Cut(rest, " ")
+	return Directive{Pos: c.Pos(), Name: strings.TrimSpace(name), Args: strings.TrimSpace(args)}, true
+}
+
+// FileDirectives returns every bitlint directive in the file, in
+// source order.
+func FileDirectives(f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d, ok := parseDirective(c); ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// HasDirective reports whether the comment group carries the named
+// bitlint directive (used on function and type doc comments).
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if d, ok := parseDirective(c); ok && d.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,163 @@
+// Package analysistest runs a bitlint analyzer over a fixture package
+// and checks its diagnostics against "// want" expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest: a comment
+//
+//	// want "regexp" "another regexp"
+//
+// at the end of a line expects diagnostics on that line whose messages
+// match the regexps. Unexpected diagnostics and unmatched expectations
+// both fail the test. Fixtures live under testdata/src/<name> relative
+// to the calling test and are loaded (with their test variants) by the
+// real driver, so fixtures exercise exactly the production pipeline.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/driver"
+)
+
+// expectation is one want-regexp on one file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// wantPatterns extracts the expectation list from one comment, if it
+// is a want comment: "// want ..." or "/* want ... */". The block form
+// exists so a line that ends in a //bitlint: directive under test can
+// still carry an expectation.
+func wantPatterns(c *ast.Comment) (string, bool) {
+	text := c.Text
+	if strings.HasPrefix(text, "//") {
+		text = strings.TrimSpace(text[2:])
+	} else {
+		text = strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/"))
+	}
+	return strings.CutPrefix(text, "want ")
+}
+
+// Run loads ./testdata/src/<fixture> for each fixture and applies the
+// analyzer, comparing diagnostics to // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	patterns := make([]string, len(fixtures))
+	for i, fx := range fixtures {
+		patterns[i] = "./testdata/src/" + fx
+	}
+	pkgs, err := driver.Load("", patterns, true)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", fixtures, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages loaded for fixtures %v", fixtures)
+	}
+
+	var expects []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			expects = append(expects, fileExpectations(t, pkg, f)...)
+		}
+	}
+
+	findings, err := driver.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, e := range expects {
+			if e.met || e.file != f.Pos.Filename || e.line != f.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(f.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// fileExpectations parses // want comments in one file.
+func fileExpectations(t *testing.T, pkg *driver.Package, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := wantPatterns(c)
+			if !ok {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			res, err := parseWantPatterns(rest)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+			}
+			for _, raw := range res {
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+			}
+		}
+	}
+	return out
+}
+
+// parseWantPatterns splits `"re1" "re2"` (double- or back-quoted) into
+// the raw regexp strings.
+func parseWantPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for len(s) > 0 {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			raw, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("unquoting %s: %v", s[:end+1], err)
+			}
+			out = append(out, raw)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("expected quoted regexp, found %q", s)
+		}
+	}
+	return out, nil
+}

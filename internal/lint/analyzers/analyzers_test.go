@@ -1,0 +1,73 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers"
+)
+
+// Each analyzer is exercised against a fixture package under
+// testdata/src/<name> containing both flagged and allowed cases, loaded
+// through the production driver (go list -export + go/types), so these
+// tests cover the whole pipeline. They shell out to the go tool; -short
+// skips them.
+
+func TestSnapshotImmut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture loading shells out to go list")
+	}
+	analysistest.Run(t, analyzers.SnapshotImmut, "snapshotimmut")
+}
+
+func TestPoolEscape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture loading shells out to go list")
+	}
+	analysistest.Run(t, analyzers.PoolEscape, "poolescape")
+}
+
+func TestErrCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture loading shells out to go list")
+	}
+	analysistest.Run(t, analyzers.ErrCode, "errcode")
+}
+
+func TestCtxFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture loading shells out to go list")
+	}
+	analysistest.Run(t, analyzers.CtxFlow, "ctxflow")
+}
+
+func TestLockSafe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture loading shells out to go list")
+	}
+	analysistest.Run(t, analyzers.LockSafe, "locksafe")
+}
+
+func TestIgnoreHygiene(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture loading shells out to go list")
+	}
+	analysistest.Run(t, analyzers.IgnoreHygiene, "ignorehygiene")
+}
+
+func TestAllRegistered(t *testing.T) {
+	all := analyzers.All()
+	if len(all) != 6 {
+		t.Fatalf("expected 6 analyzers, got %d", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q incomplete: needs Name, Doc and Run", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,198 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// CtxFlow enforces context plumbing: blocking constructs in
+// context-accepting functions must consult ctx.Done(), and request
+// handlers must derive from the request context instead of minting
+// context.Background().
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "enforce that accepted contexts actually govern blocking work\n\n" +
+		"A function that accepts a context.Context promises its caller\n" +
+		"cancellation. Two ways that promise silently breaks: (1) a blocking\n" +
+		"select with no <-ctx.Done() case, or an infinite loop around blocking\n" +
+		"work that never consults the context — the call outlives its caller's\n" +
+		"deadline; (2) an HTTP handler calling context.Background()/TODO(),\n" +
+		"detaching work from the request lifecycle (use r.Context(), or\n" +
+		"context.WithoutCancel(r.Context()) for intentional detachment, so\n" +
+		"request-scoped values still flow).",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) (interface{}, error) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasContextParam(info, fd) {
+				checkCtxUse(pass, fd)
+			}
+			if isRequestHandler(info, fd) {
+				checkNoBackground(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func hasContextParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if t := info.Types[field.Type].Type; isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// isRequestHandler reports whether the function takes an *http.Request
+// parameter (the shape of every route handler and middleware).
+func isRequestHandler(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if t := info.Types[field.Type].Type; isNamedType(t, "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxUse walks the body (including goroutine literals, which
+// inherit the obligation) looking for blocking selects without a Done
+// case and infinite loops that never consult any context.
+func checkCtxUse(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SelectStmt:
+			if selectHasDefault(s) {
+				return true // non-blocking poll
+			}
+			if !selectConsultsDone(info, s) {
+				pass.Reportf(s.Pos(), "blocking select without a <-ctx.Done() case in a context-accepting function; cancellation cannot interrupt it")
+			}
+		case *ast.ForStmt:
+			if s.Cond != nil {
+				return true // bounded loop
+			}
+			if !loopConsultsContext(info, s) && loopBlocks(info, s) {
+				pass.Reportf(s.Pos(), "infinite loop around blocking work never consults the context; cancellation cannot stop it")
+			}
+		}
+		return true
+	})
+}
+
+// selectConsultsDone reports whether any comm clause receives from a
+// context's Done channel.
+func selectConsultsDone(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if isCtxDoneReceive(info, comm.X) {
+				return true
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range comm.Rhs {
+				if isCtxDoneReceive(info, rhs) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// loopConsultsContext reports whether the loop body references any
+// context-typed value (ctx.Done(), ctx.Err(), passing ctx to a callee —
+// any mention counts as consulting).
+func loopConsultsContext(info *types.Info, loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// loopBlocks reports whether the loop body contains an operation that
+// can block indefinitely: a channel op, a blocking select, or a known
+// blocking call. Pure CPU loops are the algorithm kernels' business,
+// not ctxflow's.
+func loopBlocks(info *types.Info, loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // separate goroutine/closure: its own analysis
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(x) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if _, ok := blockingCall(info, x); ok {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.Types[x.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkNoBackground flags context.Background()/context.TODO() call
+// sites inside request handlers.
+func checkNoBackground(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range []string{"Background", "TODO"} {
+			if isCallTo(pass.TypesInfo, call, "context", name) {
+				pass.Reportf(call.Pos(),
+					"context.%s() inside a request handler detaches work from the request; derive from r.Context() (use context.WithoutCancel for intentional detachment)", name)
+			}
+		}
+		return true
+	})
+}

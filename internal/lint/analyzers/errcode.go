@@ -1,0 +1,149 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/lint/analysis"
+)
+
+// ErrCode enforces the v1 error-code registry: handlers must build
+// error envelopes from the Code* constants, and every registered code
+// must be pinned by a test.
+var ErrCode = &analysis.Analyzer{
+	Name: "errcode",
+	Doc: "enforce the v1 error-code registry and its test coverage\n\n" +
+		"The v1 API's machine-readable error codes are declared once, as the\n" +
+		"Code* string constants next to the errorPayload type. Two rules keep\n" +
+		"the registry authoritative: (1) an errorPayload literal must not set\n" +
+		"Code from a raw string — use the constant, so a typo cannot mint an\n" +
+		"undocumented code; (2) every registered code must be referenced from a\n" +
+		"_test.go file, so the conformance tests pin the wire contract and a\n" +
+		"dead or untested code is visible.",
+	Run: runErrCode,
+}
+
+// codeConstName matches registry constants: Code followed by an
+// upper-case letter or digit.
+var codeConstName = regexp.MustCompile(`^Code[A-Z0-9]`)
+
+func runErrCode(pass *analysis.Pass) (interface{}, error) {
+	// The registry: package-level `const CodeXxx = "..."` declarations.
+	type regEntry struct {
+		obj   *types.Const
+		value string
+		pos   token.Pos
+	}
+	var registry []regEntry
+	byValue := make(map[string]string) // code value -> constant name
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !codeConstName.MatchString(name) {
+			continue
+		}
+		if c.Val().Kind() != constant.String {
+			continue
+		}
+		v := constant.StringVal(c.Val())
+		registry = append(registry, regEntry{obj: c, value: v, pos: c.Pos()})
+		byValue[v] = name
+	}
+
+	// Rule 1: errorPayload composite literals with a literal Code.
+	isErrorPayload := func(t types.Type) bool {
+		n := derefNamed(t)
+		return n != nil && n.Obj() != nil && n.Obj().Name() == "errorPayload"
+	}
+	checkCodeValue := func(pos token.Pos, lit *ast.BasicLit) {
+		if lit.Kind != token.STRING {
+			return
+		}
+		v, err := stringLitValue(pass, lit)
+		if err {
+			return
+		}
+		if name, ok := byValue[v]; ok {
+			pass.Reportf(pos, "error code %q written as a string literal; use the registry constant %s", v, name)
+		} else {
+			pass.Reportf(pos, "error code %q is not declared in the Code* registry; add a constant or use an existing one", v)
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.Types[cl].Type
+			if t == nil || !isErrorPayload(t) {
+				return true
+			}
+			st, ok := derefNamed(t).Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			for i, elt := range cl.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || key.Name != "Code" {
+						continue
+					}
+					if bl, ok := ast.Unparen(kv.Value).(*ast.BasicLit); ok {
+						checkCodeValue(kv.Value.Pos(), bl)
+					}
+				} else if i < st.NumFields() && st.Field(i).Name() == "Code" {
+					if bl, ok := ast.Unparen(elt).(*ast.BasicLit); ok {
+						checkCodeValue(elt.Pos(), bl)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Rule 2: every registry constant is referenced (by name or by
+	// pinned string value) from a test file of this package.
+	if len(registry) == 0 || len(pass.TestFiles) == 0 {
+		return nil, nil
+	}
+	coveredObj := make(map[types.Object]bool)
+	coveredVal := make(map[string]bool)
+	for f := range pass.TestFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if obj := pass.TypesInfo.Uses[x]; obj != nil {
+					coveredObj[obj] = true
+				}
+			case *ast.BasicLit:
+				if x.Kind == token.STRING {
+					if v, err := stringLitValue(pass, x); !err {
+						coveredVal[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, e := range registry {
+		if coveredObj[e.obj] || coveredVal[e.value] {
+			continue
+		}
+		pass.Reportf(e.pos, "registry code %s (%q) has no test coverage; reference it from a conformance test so the wire contract is pinned", e.obj.Name(), e.value)
+	}
+	return nil, nil
+}
+
+// stringLitValue evaluates a string literal via the type checker's
+// constant info; err is true when the value is unavailable.
+func stringLitValue(pass *analysis.Pass, lit *ast.BasicLit) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", true
+	}
+	return constant.StringVal(tv.Value), false
+}

@@ -1,0 +1,121 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// knownDirectives maps each bitlint directive to where it may appear.
+type directiveSite int
+
+const (
+	siteAnywhere directiveSite = iota // ignore: any line
+	siteFuncDoc                       // owner/pooled/pooledrelease: function doc comment
+	siteTypeDecl                      // snapshot: type declaration
+)
+
+var knownDirectives = map[string]directiveSite{
+	"ignore":        siteAnywhere,
+	"owner":         siteFuncDoc,
+	"pooled":        siteFuncDoc,
+	"pooledrelease": siteFuncDoc,
+	"snapshot":      siteTypeDecl,
+}
+
+// IgnoreHygiene validates //bitlint: directive syntax so a typo cannot
+// silently disable an analyzer or annotate nothing.
+var IgnoreHygiene = &analysis.Analyzer{
+	Name: "ignorehygiene",
+	Doc: "validate //bitlint: directive syntax and placement\n\n" +
+		"Directives are load-bearing: a misspelled analyzer name in an ignore\n" +
+		"makes the suppression a no-op (the finding still fires), while a\n" +
+		"misspelled directive name makes an intended owner/pooled annotation\n" +
+		"invisible. Every //bitlint: comment must name a known directive;\n" +
+		"ignore needs a known analyzer and a non-empty reason; the annotation\n" +
+		"directives must sit on the declaration they describe.",
+	Run: runIgnoreHygiene,
+}
+
+func runIgnoreHygiene(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		// Positions of function-doc and type-decl comment groups, to
+		// validate placement of annotation directives.
+		funcDoc := make(map[*ast.CommentGroup]bool)
+		typeDecl := make(map[*ast.CommentGroup]bool)
+		for _, d := range f.Decls {
+			switch x := d.(type) {
+			case *ast.FuncDecl:
+				if x.Doc != nil {
+					funcDoc[x.Doc] = true
+				}
+			case *ast.GenDecl:
+				if x.Tok != token.TYPE {
+					continue
+				}
+				if x.Doc != nil {
+					typeDecl[x.Doc] = true
+				}
+				for _, spec := range x.Specs {
+					if ts, ok := spec.(*ast.TypeSpec); ok {
+						if ts.Doc != nil {
+							typeDecl[ts.Doc] = true
+						}
+						if ts.Comment != nil {
+							typeDecl[ts.Comment] = true
+						}
+					}
+				}
+			}
+		}
+		groupOf := make(map[token.Pos]*ast.CommentGroup)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				groupOf[c.Pos()] = cg
+			}
+		}
+
+		for _, d := range analysis.FileDirectives(f) {
+			site, known := knownDirectives[d.Name]
+			if !known {
+				pass.Reportf(d.Pos, "unknown bitlint directive %q (known: ignore, owner, pooled, pooledrelease, snapshot)", d.Name)
+				continue
+			}
+			switch site {
+			case siteAnywhere: // ignore
+				name, reason, _ := strings.Cut(d.Args, " ")
+				if name == "" {
+					pass.Reportf(d.Pos, "bitlint:ignore needs an analyzer name and a reason: //bitlint:ignore <analyzer> <reason>")
+					continue
+				}
+				if !isKnownAnalyzer(name) {
+					pass.Reportf(d.Pos, "bitlint:ignore names unknown analyzer %q (known: %s)", name, strings.Join(analyzerNames, ", "))
+					continue
+				}
+				if strings.TrimSpace(reason) == "" {
+					pass.Reportf(d.Pos, "bitlint:ignore %s needs a reason after the analyzer name; suppressions must be auditable", name)
+				}
+			case siteFuncDoc:
+				if !funcDoc[groupOf[d.Pos]] {
+					pass.Reportf(d.Pos, "bitlint:%s must be in a function declaration's doc comment; here it annotates nothing", d.Name)
+				}
+			case siteTypeDecl:
+				if !typeDecl[groupOf[d.Pos]] {
+					pass.Reportf(d.Pos, "bitlint:%s must be on a type declaration; here it annotates nothing", d.Name)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+func isKnownAnalyzer(name string) bool {
+	for _, n := range analyzerNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,283 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// LockSafe flags operations that can block indefinitely while a mutex
+// is held.
+var LockSafe = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc: "flag blocking operations while holding a mutex\n\n" +
+		"The engine's locks guard pointer swaps and map lookups — microsecond\n" +
+		"critical sections. A channel operation, select, WaitGroup.Wait,\n" +
+		"time.Sleep or network call inside such a section stalls every reader\n" +
+		"behind the lock (and invites deadlock when the unblocking goroutine\n" +
+		"needs the same lock, the exact shape of the cache-fill bug class this\n" +
+		"repo's queryCache is built to avoid: unlock first, then wait on the\n" +
+		"ready channel). The analyzer interprets each function body linearly,\n" +
+		"tracking Lock/Unlock pairs per receiver expression; deferred unlocks\n" +
+		"keep the lock held to the end of the body, which is the point.",
+	Run: runLockSafe,
+}
+
+// lockState maps a rendered receiver expression ("c.mu", "ds.pendMu")
+// to its held depth within the current interpretation path.
+type lockState map[string]int
+
+func (st lockState) clone() lockState {
+	c := make(lockState, len(st))
+	for k, v := range st {
+		c[k] = v
+	}
+	return c
+}
+
+func (st lockState) held() []string {
+	var names []string
+	for k, v := range st {
+		if v > 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func runLockSafe(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lw := &lockWalker{pass: pass}
+			lw.walkBlock(fd.Body.List, lockState{})
+			// Function literals get their own interpretation from a
+			// clean state (they run on other goroutines or later).
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					lw.walkBlock(lit.Body.List, lockState{})
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+type lockWalker struct {
+	pass *analysis.Pass
+}
+
+// lockOpOf classifies a statement as a mutex Lock/Unlock (or RLock/
+// RUnlock/TryLock) on a sync.Mutex or sync.RWMutex receiver, returning
+// the rendered receiver and the depth delta.
+func (lw *lockWalker) lockOpOf(stmt ast.Stmt) (string, int, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", 0, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", 0, false
+	}
+	for _, m := range []string{"Lock", "RLock", "Unlock", "RUnlock"} {
+		for _, typ := range []string{"Mutex", "RWMutex"} {
+			if recv, ok := methodOn(lw.pass.TypesInfo, call, "sync", typ, m); ok {
+				delta := 1
+				if strings.HasSuffix(m, "Unlock") {
+					delta = -1
+				}
+				return types.ExprString(recv), delta, true
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// walkBlock interprets a statement list linearly, returning the lock
+// state at its end. Branches are explored with cloned states and
+// merged conservatively (minimum depth — a lock is "held" after the
+// branch only if every surviving path holds it).
+func (lw *lockWalker) walkBlock(stmts []ast.Stmt, st lockState) lockState {
+	for _, stmt := range stmts {
+		st = lw.walkStmt(stmt, st)
+	}
+	return st
+}
+
+func (lw *lockWalker) walkStmt(stmt ast.Stmt, st lockState) lockState {
+	if key, delta, ok := lw.lockOpOf(stmt); ok {
+		st[key] += delta
+		if st[key] < 0 {
+			st[key] = 0 // unlock of a lock taken by a caller/helper
+		}
+		return st
+	}
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		return lw.walkBlock(s.List, st)
+	case *ast.DeferStmt:
+		// A deferred unlock releases at return, not here: the lock
+		// stays held for the rest of the body. A deferred closure runs
+		// later; skip its body in this path.
+		return st
+	case *ast.GoStmt:
+		return st // new goroutine: does not hold our locks
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = lw.walkStmt(s.Init, st)
+		}
+		lw.scanExpr(s.Cond, st)
+		stBody := lw.walkBlock(s.Body.List, st.clone())
+		stElse := st.clone()
+		if s.Else != nil {
+			stElse = lw.walkStmt(s.Else, stElse)
+		}
+		switch {
+		case terminates(s.Body):
+			return stElse
+		case s.Else != nil && elseTerminates(s.Else):
+			return stBody
+		default:
+			return mergeMin(stBody, stElse)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = lw.walkStmt(s.Init, st)
+		}
+		lw.scanExpr(s.Cond, st)
+		lw.walkBlock(s.Body.List, st.clone())
+		return st // assume the body is lock-balanced per iteration
+	case *ast.RangeStmt:
+		if t := lw.pass.TypesInfo.Types[s.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				lw.report(s.Pos(), "range over channel", st)
+			}
+		}
+		lw.walkBlock(s.Body.List, st.clone())
+		return st
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = lw.walkStmt(s.Init, st)
+		}
+		lw.scanExpr(s.Tag, st)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lw.walkBlock(cc.Body, st.clone())
+			}
+		}
+		return st
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lw.walkBlock(cc.Body, st.clone())
+			}
+		}
+		return st
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			lw.report(s.Pos(), "blocking select", st)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				lw.walkBlock(cc.Body, st.clone())
+			}
+		}
+		return st
+	case *ast.SendStmt:
+		lw.report(s.Pos(), "channel send", st)
+		return st
+	case *ast.LabeledStmt:
+		return lw.walkStmt(s.Stmt, st)
+	default:
+		// Assignments, returns, expression statements: scan contained
+		// expressions for receives and blocking calls.
+		lw.scanExpr(stmt, st)
+		return st
+	}
+}
+
+// scanExpr reports blocking operations syntactically inside n (not
+// descending into function literals) when any lock is held.
+func (lw *lockWalker) scanExpr(n ast.Node, st lockState) {
+	if n == nil || len(st.held()) == 0 {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch x := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				lw.report(x.Pos(), "channel receive", st)
+			}
+		case *ast.CallExpr:
+			if desc, ok := blockingCall(lw.pass.TypesInfo, x); ok {
+				lw.report(x.Pos(), desc, st)
+			}
+		}
+		return true
+	})
+}
+
+func (lw *lockWalker) report(pos token.Pos, what string, st lockState) {
+	held := st.held()
+	if len(held) == 0 {
+		return
+	}
+	lw.pass.Reportf(pos, "%s while holding %s; unlock before blocking (stalls every goroutine behind the lock and risks deadlock)",
+		what, strings.Join(held, ", "))
+}
+
+// terminates reports whether a block always transfers control out
+// (return, break/continue/goto, or panic) at its end.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func elseTerminates(s ast.Stmt) bool {
+	switch e := s.(type) {
+	case *ast.BlockStmt:
+		return terminates(e)
+	case *ast.IfStmt:
+		return terminates(e.Body) && e.Else != nil && elseTerminates(e.Else)
+	}
+	return false
+}
+
+// mergeMin keeps a lock held after a branch only when both paths hold
+// it.
+func mergeMin(a, b lockState) lockState {
+	out := make(lockState, len(a))
+	for k, va := range a {
+		vb := b[k]
+		if vb < va {
+			out[k] = vb
+		} else {
+			out[k] = va
+		}
+	}
+	return out
+}

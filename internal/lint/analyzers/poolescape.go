@@ -1,0 +1,393 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// PoolEscape flags pooled objects that escape their acquiring function
+// or are not released on every return path.
+var PoolEscape = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc: "flag sync.Pool objects that escape or miss their release\n\n" +
+		"The serving fast path stays zero-allocation because pooled encoders,\n" +
+		"key buffers and mark maps follow a strict discipline: whoever acquires\n" +
+		"from a pool (sync.Pool.Get or a //bitlint:pooled helper) must release\n" +
+		"to it (sync.Pool.Put or a //bitlint:pooledrelease helper) before\n" +
+		"returning, and the object must not outlive the call — no storing it in\n" +
+		"longer-lived structures, returning it (except from //bitlint:pooled\n" +
+		"helpers, which transfer ownership to their caller), sending it on a\n" +
+		"channel, or capturing it in a goroutine.",
+	Run: runPoolEscape,
+}
+
+// funcScope is one function body analyzed independently: a FuncDecl or
+// a FuncLit. Nested FuncLits form their own scopes for acquisitions but
+// are searched from the enclosing scope for releases and escapes.
+type funcScope struct {
+	body   *ast.BlockStmt
+	pooled bool   // //bitlint:pooled: may return the acquired object
+	name   string // for messages
+}
+
+// poolRelease is one Put / release-helper call that references the
+// tracked object.
+type poolRelease struct {
+	pos      token.Pos
+	deferred bool
+}
+
+func runPoolEscape(pass *analysis.Pass) (interface{}, error) {
+	decls := funcDeclsByObj(pass)
+	pooledFns := make(map[*types.Func]bool)
+	releaseFns := make(map[*types.Func]bool)
+	for fn, fd := range decls {
+		if analysis.HasDirective(fd.Doc, "pooled") {
+			pooledFns[fn] = true
+		}
+		if analysis.HasDirective(fd.Doc, "pooledrelease") {
+			releaseFns[fn] = true
+		}
+	}
+
+	isAcquire := func(call *ast.CallExpr) bool {
+		if _, ok := methodOn(pass.TypesInfo, call, "sync", "Pool", "Get"); ok {
+			return true
+		}
+		fn := calleeOf(pass.TypesInfo, call)
+		return fn != nil && pooledFns[fn]
+	}
+	isRelease := func(call *ast.CallExpr) bool {
+		if _, ok := methodOn(pass.TypesInfo, call, "sync", "Pool", "Put"); ok {
+			return true
+		}
+		fn := calleeOf(pass.TypesInfo, call)
+		return fn != nil && releaseFns[fn]
+	}
+
+	var scopes []funcScope
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			pooled := analysis.HasDirective(fd.Doc, "pooled")
+			scopes = append(scopes, funcScope{body: fd.Body, pooled: pooled, name: fd.Name.Name})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					// Function literals inherit the pooled privilege of
+					// their declaring function (a pooled helper may build
+					// its result inside a closure).
+					scopes = append(scopes, funcScope{body: lit.Body, pooled: pooled, name: fd.Name.Name + " (func literal)"})
+				}
+				return true
+			})
+		}
+	}
+
+	for _, sc := range scopes {
+		checkScope(pass, sc, isAcquire, isRelease)
+	}
+	return nil, nil
+}
+
+// inOwnFuncLit reports whether pos sits inside a FuncLit nested in
+// body (such nodes belong to a different funcScope).
+func nestedFuncLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == body {
+			return true
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+			return false
+		}
+		return true
+	})
+	return lits
+}
+
+func within(pos token.Pos, n ast.Node) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+func checkScope(pass *analysis.Pass, sc funcScope, isAcquire, isRelease func(*ast.CallExpr) bool) {
+	lits := nestedFuncLits(sc.body)
+	ownStmt := func(pos token.Pos) bool {
+		for _, lit := range lits {
+			if within(pos, lit) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Collect acquisitions lexically in this scope (not in nested lits).
+	type acquisition struct {
+		call *ast.CallExpr
+		obj  types.Object // nil when the result is not bound to an ident
+		ctx  ast.Node     // enclosing stmt kind, for classification
+	}
+	var acquires []acquisition
+
+	// Walk with parent tracking to classify each acquire's context.
+	var stack []ast.Node
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAcquire(call) || !ownStmt(call.Pos()) {
+			return true
+		}
+		// Find the nearest enclosing statement and the binding, if any.
+		var obj types.Object
+		var ctx ast.Node
+		for i := len(stack) - 2; i >= 0; i-- {
+			switch p := stack[i].(type) {
+			case *ast.ParenExpr, *ast.TypeAssertExpr:
+				continue // transparent wrappers around the call
+			case *ast.AssignStmt:
+				// x := pool.Get().(T) — single-value forms only.
+				if len(p.Rhs) == 1 && len(p.Lhs) >= 1 {
+					if id := identOf(p.Lhs[0]); id != nil {
+						if o := pass.TypesInfo.Defs[id]; o != nil {
+							obj = o
+						} else if o := pass.TypesInfo.Uses[id]; o != nil {
+							obj = o
+						}
+					}
+				}
+				ctx = p
+			case *ast.ReturnStmt:
+				ctx = p
+			case *ast.ExprStmt:
+				ctx = p
+			case *ast.CallExpr:
+				ctx = p // argument to another call: callee owns it
+			default:
+				ctx = p
+			}
+			break
+		}
+		acquires = append(acquires, acquisition{call: call, obj: obj, ctx: ctx})
+		return true
+	})
+
+	for _, acq := range acquires {
+		switch c := acq.ctx.(type) {
+		case *ast.ReturnStmt:
+			if !sc.pooled {
+				pass.Reportf(acq.call.Pos(),
+					"pooled object returned from %s, which is not marked //bitlint:pooled; the caller has no way to know it must release it", sc.name)
+			}
+			continue // ownership transferred (or already reported)
+		case *ast.ExprStmt:
+			pass.Reportf(acq.call.Pos(),
+				"result of pool Get is discarded in %s; the object can never be released", sc.name)
+			continue
+		case *ast.CallExpr:
+			continue // passed straight to a callee; assume it manages the object
+		case *ast.AssignStmt:
+			if acq.obj == nil {
+				continue // bound to a field/index; too dynamic to track
+			}
+			_ = c
+		default:
+			continue
+		}
+		checkTracked(pass, sc, acq.call, acq.obj, isRelease)
+	}
+}
+
+// checkTracked enforces release-on-every-path and no-escape for one
+// object acquired and bound to a local in scope sc.
+func checkTracked(pass *analysis.Pass, sc funcScope, acq *ast.CallExpr, obj types.Object, isRelease func(*ast.CallExpr) bool) {
+	info := pass.TypesInfo
+	refersToObj := func(e ast.Expr) bool {
+		id := identOf(e)
+		return id != nil && (info.Uses[id] == obj || info.Defs[id] == obj)
+	}
+
+	// Gather releases (Put / release-helper calls taking the object),
+	// noting which are deferred.
+	var releases []poolRelease
+	var deferStack []ast.Node
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		if n == nil {
+			deferStack = deferStack[:len(deferStack)-1]
+			return true
+		}
+		deferStack = append(deferStack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isRelease(call) {
+			return true
+		}
+		match := false
+		for _, arg := range call.Args {
+			if refersToObj(arg) {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return true
+		}
+		deferred := false
+		for i := len(deferStack) - 2; i >= 0; i-- {
+			if _, ok := deferStack[i].(*ast.DeferStmt); ok {
+				deferred = true
+				break
+			}
+		}
+		releases = append(releases, poolRelease{pos: call.Pos(), deferred: deferred})
+		return true
+	})
+
+	// Escape analysis.
+	returned := false
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if refersToObj(r) {
+					returned = true
+					if !sc.pooled {
+						pass.Reportf(r.Pos(),
+							"pooled object escapes %s via return; mark the function //bitlint:pooled or release before returning", sc.name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if !refersToObj(rhs) || i >= len(s.Lhs) {
+					continue
+				}
+				switch lhs := s.Lhs[i].(type) {
+				case *ast.Ident:
+					if v, ok := info.Uses[lhs].(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+						pass.Reportf(rhs.Pos(),
+							"pooled object stored in package-level variable %s; it outlives the acquiring call", lhs.Name)
+					}
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					// Writing the object into some structure: an escape
+					// unless the structure is the object itself.
+					root := identOf(baseExpr(s.Lhs[i]))
+					if root == nil || (info.Uses[root] != obj && info.Defs[root] != obj) {
+						pass.Reportf(rhs.Pos(),
+							"pooled object stored into %s; it may outlive the acquiring call and be released twice or never", types.ExprString(s.Lhs[i]))
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if refersToObj(s.Value) {
+				pass.Reportf(s.Value.Pos(), "pooled object sent on a channel; the receiver cannot know it is pool-owned")
+			}
+		case *ast.GoStmt:
+			if usesObject(info, s.Call, obj) {
+				pass.Reportf(s.Pos(), "pooled object captured by goroutine; it may be released while the goroutine still uses it")
+			}
+		case *ast.CompositeLit:
+			for _, elt := range s.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if refersToObj(v) {
+					pass.Reportf(v.Pos(), "pooled object stored in composite literal; it may outlive the acquiring call")
+				}
+			}
+		}
+		return true
+	})
+
+	if returned {
+		// Ownership left the function: by contract for //bitlint:pooled
+		// helpers, otherwise the escape diagnostic above already fired —
+		// either way a missing Put is not a second, separate problem.
+		return
+	}
+
+	if len(releases) == 0 {
+		pass.Reportf(acq.Pos(), "pooled object acquired in %s is never released (no matching Put or //bitlint:pooledrelease call)", sc.name)
+		return
+	}
+	anyDeferred := false
+	anyAfter := false
+	for _, r := range releases {
+		if r.deferred {
+			anyDeferred = true
+		}
+		if r.pos > acq.Pos() {
+			anyAfter = true
+		}
+	}
+	if anyDeferred {
+		return // deferred release covers every return path
+	}
+	if !anyAfter {
+		pass.Reportf(acq.Pos(), "pooled object acquired in %s has no release after this acquisition", sc.name)
+		return
+	}
+	// No deferred release: every lexically later return must be
+	// preceded by a release between the acquisition and the return.
+	lits := nestedFuncLits(sc.body)
+	ownStmt := func(pos token.Pos) bool {
+		for _, lit := range lits {
+			if within(pos, lit) {
+				return false
+			}
+		}
+		return true
+	}
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() < acq.Pos() || !ownStmt(ret.Pos()) {
+			return true
+		}
+		covered := false
+		for _, r := range releases {
+			if r.pos > acq.Pos() && r.pos < ret.Pos() {
+				covered = true
+				break
+			}
+		}
+		// A return that hands the object back (pooled helpers) is
+		// covered by the ownership transfer above.
+		for _, res := range ret.Results {
+			if id := identOf(res); id != nil && (info.Uses[id] == obj || info.Defs[id] == obj) {
+				covered = true
+			}
+		}
+		if !covered {
+			pass.Reportf(ret.Pos(), "return without releasing pooled object acquired at %s", pass.Position(acq.Pos()))
+		}
+		return true
+	})
+}
+
+// baseExpr walks selector/index chains down to their base expression:
+// a.b[i].c → a.
+func baseExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// defaultSnapshotTypes are the engine types whose instances are
+// published behind an atomic pointer/RLock and must never be mutated
+// after publish. Packages outside the engine can opt their own types in
+// with a //bitlint:snapshot directive on the type declaration.
+var defaultSnapshotTypes = map[string]bool{
+	"repro/internal/engine.snapshot":   true,
+	"repro/internal/engine.View":       true,
+	"repro/internal/engine.cacheEntry": true,
+}
+
+// SnapshotImmut flags writes to snapshot-typed state outside owner
+// functions.
+var SnapshotImmut = &analysis.Analyzer{
+	Name: "snapshotimmut",
+	Doc: "flag mutation of published snapshot state outside owner functions\n\n" +
+		"The engine serves queries from immutable versioned snapshots: once a\n" +
+		"*snapshot is published (stored in dataset.snap under the write lock),\n" +
+		"every goroutine may read it without synchronization. Any assignment to\n" +
+		"a field, slice element or map entry reachable from a snapshot-typed\n" +
+		"value is therefore a data race unless it happens on the construction\n" +
+		"path. Constructor/publish functions are annotated //bitlint:owner;\n" +
+		"types outside the built-in engine set opt in with //bitlint:snapshot\n" +
+		"on their declaration.",
+	Run: runSnapshotImmut,
+}
+
+func runSnapshotImmut(pass *analysis.Pass) (interface{}, error) {
+	snapTypes := make(map[string]bool, len(defaultSnapshotTypes)+2)
+	for k := range defaultSnapshotTypes {
+		snapTypes[k] = true
+	}
+	// Locally annotated snapshot types.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if analysis.HasDirective(gd.Doc, "snapshot") ||
+					analysis.HasDirective(ts.Doc, "snapshot") ||
+					analysis.HasDirective(ts.Comment, "snapshot") {
+					snapTypes[pass.Pkg.Path()+"."+ts.Name.Name] = true
+				}
+			}
+		}
+	}
+
+	isSnap := func(t types.Type) bool {
+		name := qualifiedTypeName(t)
+		return name != "" && snapTypes[name]
+	}
+	// touchesSnapshot reports whether the write target is a field,
+	// element or dereference reachable from a snapshot-typed value, and
+	// returns that value's type name for the message.
+	var touches func(e ast.Expr) (string, bool)
+	touches = func(e ast.Expr) (string, bool) {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if t := pass.TypesInfo.Types[x.X].Type; isSnap(t) {
+				return qualifiedTypeName(t), true
+			}
+			return touches(x.X)
+		case *ast.IndexExpr:
+			if t := pass.TypesInfo.Types[x.X].Type; isSnap(t) {
+				return qualifiedTypeName(t), true
+			}
+			return touches(x.X)
+		case *ast.StarExpr:
+			if t := pass.TypesInfo.Types[x.X].Type; isSnap(t) {
+				return qualifiedTypeName(t), true
+			}
+			return touches(x.X)
+		case *ast.ParenExpr:
+			return touches(x.X)
+		case *ast.SliceExpr:
+			return touches(x.X)
+		}
+		return "", false
+	}
+
+	checkWrite := func(target ast.Expr) {
+		if name, ok := touches(target); ok {
+			pass.Reportf(target.Pos(),
+				"write to state reachable from snapshot type %s outside an owner function (annotate the constructor/publish path with //bitlint:owner)",
+				name)
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if analysis.HasDirective(fd.Doc, "owner") {
+				continue // construction/publish path: writes allowed
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range s.Lhs {
+						checkWrite(lhs)
+					}
+				case *ast.IncDecStmt:
+					checkWrite(s.X)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}

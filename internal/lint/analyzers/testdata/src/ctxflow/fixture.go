@@ -1,0 +1,81 @@
+package fixture
+
+import (
+	"context"
+	"net/http"
+)
+
+func okSelect(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+func badSelect(ctx context.Context, ch chan int) int {
+	select { // want "blocking select without"
+	case v := <-ch:
+		return v
+	}
+}
+
+func okPoll(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return -1
+	}
+}
+
+func badLoop(ctx context.Context, ch chan int) {
+	for { // want "infinite loop"
+		<-ch
+	}
+}
+
+func okLoop(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func okBoundedLoop(ctx context.Context, ch chan int) {
+	for i := 0; i < 3; i++ {
+		<-ch
+	}
+}
+
+func okCPULoop(ctx context.Context) int {
+	n := 0
+	for {
+		n++
+		if n > 1000 {
+			return n
+		}
+	}
+}
+
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "context.Background"
+	_ = ctx
+}
+
+func okHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.WithoutCancel(r.Context())
+	_ = ctx
+}
+
+func suppressed(ctx context.Context, ch chan int) int {
+	//bitlint:ignore ctxflow fixture exercises the suppression path
+	select {
+	case v := <-ch:
+		return v
+	}
+}

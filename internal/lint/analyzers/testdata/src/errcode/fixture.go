@@ -1,0 +1,34 @@
+package fixture
+
+// The registry: every wire-visible error code, declared once.
+const (
+	CodeBadRequest = "bad_request"
+	CodeNotFound   = "not_found"
+	CodeStale      = "stale_version" // want "no test coverage"
+)
+
+type errorPayload struct {
+	Code    string
+	Message string
+}
+
+func good() errorPayload {
+	return errorPayload{Code: CodeBadRequest, Message: "bind address required"}
+}
+
+func literalRegistered() errorPayload {
+	return errorPayload{Code: "bad_request"} // want "use the registry constant CodeBadRequest"
+}
+
+func literalUnknown() errorPayload {
+	return errorPayload{Code: "mystery_code"} // want "not declared in the Code"
+}
+
+func positional() errorPayload {
+	return errorPayload{"not_found", "gone"} // want "use the registry constant CodeNotFound"
+}
+
+func suppressed() errorPayload {
+	//bitlint:ignore errcode fixture exercises the suppression path
+	return errorPayload{Code: "off_registry"}
+}

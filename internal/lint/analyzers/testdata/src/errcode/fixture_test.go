@@ -1,0 +1,15 @@
+package fixture
+
+import "testing"
+
+// TestCodes is the fixture's "conformance test": it references two of
+// the three registry codes, leaving CodeStale uncovered.
+func TestCodes(t *testing.T) {
+	if CodeBadRequest != "bad_request" {
+		t.Fatal("code drifted")
+	}
+	if good().Code != CodeBadRequest {
+		t.Fatal("wrong code")
+	}
+	_ = CodeNotFound
+}

@@ -1,0 +1,36 @@
+package fixture
+
+/* want "unknown bitlint directive" */ //bitlint:nonsense directive
+
+func okSuppression() {
+	_ = 1 //bitlint:ignore locksafe justified because this is a fixture
+}
+
+func missingReason() {
+	_ = 1 /* want "needs a reason" */ //bitlint:ignore locksafe
+}
+
+func missingAnalyzer() {
+	_ = 1 /* want "needs an analyzer name" */ //bitlint:ignore
+}
+
+func unknownAnalyzer() {
+	_ = 1 /* want "unknown analyzer" */ //bitlint:ignore notananalyzer some reason
+}
+
+// owner on a function doc comment is well-placed.
+//
+//bitlint:owner
+func okOwner() {}
+
+func misplacedOwner() {
+	/* want "annotates nothing" */ //bitlint:owner
+	_ = 1
+}
+
+// snapshot on a type declaration is well-placed.
+//
+//bitlint:snapshot
+type snapType struct{}
+
+var notAType = 1 /* want "must be on a type declaration" */ //bitlint:snapshot

@@ -1,0 +1,88 @@
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (g *guarded) badReceive() {
+	g.mu.Lock()
+	<-g.ch // want "channel receive while holding g.mu"
+	g.mu.Unlock()
+}
+
+func (g *guarded) badSend(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- v // want "channel send while holding g.mu"
+}
+
+func (g *guarded) badWait() {
+	g.mu.Lock()
+	g.wg.Wait() // want `sync\.WaitGroup\.Wait while holding g.mu`
+	g.mu.Unlock()
+}
+
+func (g *guarded) badSelect() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want "blocking select while holding g.mu"
+	case <-g.ch:
+	}
+}
+
+func (g *guarded) ok() int {
+	g.mu.Lock()
+	v := len(g.ch)
+	g.mu.Unlock()
+	return v + <-g.ch
+}
+
+func (g *guarded) okBranchUnlock(fast bool) int {
+	g.mu.Lock()
+	if fast {
+		g.mu.Unlock()
+		return <-g.ch
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+func (g *guarded) okGoroutine() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		<-g.ch // new goroutine does not hold our lock
+	}()
+}
+
+type rwGuarded struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func (g *rwGuarded) badRead() int {
+	g.mu.RLock()
+	v := <-g.ch // want "channel receive while holding g.mu"
+	g.mu.RUnlock()
+	return v
+}
+
+// okFillPattern is the queryCache shape: unlock before waiting on the
+// ready channel.
+func (g *rwGuarded) okFillPattern() int {
+	g.mu.Lock()
+	ready := g.ch
+	g.mu.Unlock()
+	return <-ready
+}
+
+func (g *guarded) suppressed() {
+	g.mu.Lock()
+	//bitlint:ignore locksafe fixture exercises the suppression path
+	<-g.ch
+	g.mu.Unlock()
+}

@@ -1,0 +1,106 @@
+package fixture
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() interface{} { b := make([]byte, 0, 64); return &b }}
+
+type sink struct{ buf *[]byte }
+
+var global *[]byte
+
+// getBuf hands out a pooled buffer; callers release via putBuf.
+//
+//bitlint:pooled
+func getBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// putBuf returns a buffer to the pool.
+//
+//bitlint:pooledrelease
+func putBuf(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+func use(b *[]byte) {}
+
+func okDeferred() {
+	b := bufPool.Get().(*[]byte)
+	defer bufPool.Put(b)
+	use(b)
+}
+
+func okDeferredClosure() {
+	b := getBuf()
+	defer func() { putBuf(b) }()
+	use(b)
+}
+
+func okLinear() {
+	b := getBuf()
+	use(b)
+	putBuf(b)
+}
+
+func okConditionalRelease(n int) {
+	// The butterfly pools' shape: release only small objects, drop big
+	// ones for GC. No return path skips past the decision.
+	b := getBuf()
+	use(b)
+	if n < 64 {
+		putBuf(b)
+	}
+}
+
+func missingPut() {
+	b := bufPool.Get().(*[]byte) // want "never released"
+	use(b)
+}
+
+func escapesReturn() *[]byte {
+	b := getBuf()
+	return b // want "escapes .* via return"
+}
+
+func escapesGlobal() {
+	b := getBuf()
+	global = b // want "package-level variable"
+	putBuf(b)
+}
+
+func escapesStore(s *sink) {
+	b := getBuf()
+	s.buf = b // want "stored into"
+	putBuf(b)
+}
+
+func escapesGoroutine() {
+	b := getBuf()
+	go use(b) // want "captured by goroutine"
+	putBuf(b)
+}
+
+func escapesSend(ch chan *[]byte) {
+	b := getBuf()
+	ch <- b // want "sent on a channel"
+	putBuf(b)
+}
+
+func earlyReturn(cond bool) {
+	b := getBuf()
+	if cond {
+		return // want "return without releasing"
+	}
+	putBuf(b)
+}
+
+func discarded() {
+	bufPool.Get() // want "discarded"
+}
+
+func suppressed() {
+	//bitlint:ignore poolescape fixture exercises the suppression path
+	b := bufPool.Get().(*[]byte)
+	use(b)
+}

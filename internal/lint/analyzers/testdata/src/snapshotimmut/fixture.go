@@ -1,0 +1,59 @@
+package fixture
+
+// result models published snapshot state, like the engine's snapshot
+// struct: readable by every goroutine once a holder points at it.
+//
+//bitlint:snapshot
+type result struct {
+	counts []int
+	index  map[string]int
+	peak   int
+}
+
+type holder struct {
+	res *result
+}
+
+// publish is the construction/publish path: writes are allowed.
+//
+//bitlint:owner
+func publish(h *holder) {
+	r := &result{counts: make([]int, 4), index: make(map[string]int)}
+	r.peak = 7
+	r.counts[0] = 1
+	r.index["x"] = 1
+	h.res = r
+}
+
+func mutateField(h *holder) {
+	h.res.peak = 9 // want "write to state reachable from snapshot type"
+}
+
+func mutateSlice(h *holder) {
+	h.res.counts[0] = 2 // want "write to state reachable from snapshot type"
+}
+
+func mutateMap(h *holder) {
+	h.res.index["y"] = 3 // want "write to state reachable from snapshot type"
+}
+
+func increment(h *holder) {
+	h.res.peak++ // want "write to state reachable from snapshot type"
+}
+
+func replaceWhole(h *holder) {
+	*h.res = result{} // want "write to state reachable from snapshot type"
+}
+
+func read(h *holder) int {
+	return h.res.peak + h.res.counts[0] // reads are always fine
+}
+
+func swapPointer(h *holder, r *result) {
+	h.res = r // fine: replacing the pointer is publish, not mutation
+}
+
+func suppressed(h *holder) {
+	//bitlint:ignore snapshotimmut fixture exercises the suppression path
+	h.res.peak = 11
+}

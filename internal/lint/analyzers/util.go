@@ -1,0 +1,241 @@
+// Package analyzers holds the bitlint analysis suite: project-specific
+// passes that turn the engine's concurrency and serving conventions —
+// immutable published snapshots, paired pool Get/Put, the v1 error-code
+// registry, context plumbing, no blocking under locks — into build
+// failures instead of code-review folklore. Each analyzer documents the
+// invariant it enforces in its Doc string; suppressions require an
+// inline "//bitlint:ignore <analyzer> <reason>".
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// analyzerNames lists every analyzer in the suite; ignorehygiene
+// validates //bitlint:ignore directives against it. (A literal list
+// rather than a walk over All() to avoid an init cycle.)
+var analyzerNames = []string{
+	"snapshotimmut",
+	"poolescape",
+	"errcode",
+	"ctxflow",
+	"locksafe",
+	"ignorehygiene",
+}
+
+// All returns the bitlint suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		SnapshotImmut,
+		PoolEscape,
+		ErrCode,
+		CtxFlow,
+		LockSafe,
+		IgnoreHygiene,
+	}
+}
+
+// deref unwraps pointers and aliases down to the core named type, or
+// nil if t is not (a pointer to) a named type.
+func derefNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// qualifiedTypeName renders (a pointer to) a named type as
+// "pkgpath.Name", or "" for everything else.
+func qualifiedTypeName(t types.Type) string {
+	n := derefNamed(t)
+	if n == nil || n.Obj() == nil {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name() // universe types (error)
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// isNamedType reports whether t is (a pointer to) the named type
+// pkgpath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	return qualifiedTypeName(t) == pkgPath+"."+name
+}
+
+// methodOn resolves a call of the form x.m(...) and reports whether it
+// is method `method` on (a pointer to / an embedded) pkgpath.typeName.
+// Returns the receiver expression when it matches.
+func methodOn(info *types.Info, call *ast.CallExpr, pkgPath, typeName, method string) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil, false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return nil, false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Name() != method {
+		return nil, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !isNamedType(recv.Type(), pkgPath, typeName) {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// calleeOf resolves a call's target function object (direct calls and
+// package-qualified calls only; method values and interface calls
+// return nil).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isCallTo reports whether the call targets the package-level function
+// pkgpath.name.
+func isCallTo(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeOf(info, call)
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// funcDeclsByObj maps every function object declared in the pass to
+// its declaration, so directive annotations on same-package callees can
+// be consulted.
+func funcDeclsByObj(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					m[fn] = fd
+				}
+			}
+		}
+	}
+	return m
+}
+
+// identOf unwraps parens, unary &/*, and type assertions down to a
+// plain identifier, or nil.
+func identOf(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// usesObject reports whether the subtree references obj.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && types.TypeString(types.Unalias(t), nil) == "context.Context"
+}
+
+// isCtxDoneReceive reports whether the expression receives from a
+// Done() channel of a context value: <-ctx.Done() for any
+// context.Context-typed ctx.
+func isCtxDoneReceive(info *types.Info, e ast.Expr) bool {
+	un, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(un.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return isContextType(info.Types[sel.X].Type)
+}
+
+// blockingCall classifies calls that can block indefinitely: the set
+// locksafe forbids under a held mutex. It deliberately excludes mutex
+// Lock itself (nested locking is an ordering question, not a blocking
+// one) and CPU-bound work.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if _, ok := methodOn(info, call, "sync", "WaitGroup", "Wait"); ok {
+		return "sync.WaitGroup.Wait", true
+	}
+	if _, ok := methodOn(info, call, "sync", "Cond", "Wait"); ok {
+		return "sync.Cond.Wait", true
+	}
+	if isCallTo(info, call, "time", "Sleep") {
+		return "time.Sleep", true
+	}
+	if _, ok := methodOn(info, call, "net/http", "Client", "Do"); ok {
+		return "http.Client.Do", true
+	}
+	for _, name := range []string{"Get", "Post", "PostForm", "Head"} {
+		if isCallTo(info, call, "net/http", name) {
+			return "http." + name, true
+		}
+	}
+	for _, name := range []string{"Dial", "DialTimeout"} {
+		if isCallTo(info, call, "net", name) {
+			return "net." + name, true
+		}
+	}
+	for _, name := range []string{"Run", "Wait", "Output", "CombinedOutput"} {
+		if _, ok := methodOn(info, call, "os/exec", "Cmd", name); ok {
+			return "exec.Cmd." + name, true
+		}
+	}
+	return "", false
+}
+
+// selectHasDefault reports whether the select statement has a default
+// clause (making it non-blocking).
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

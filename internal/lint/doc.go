@@ -1,0 +1,11 @@
+// Package lint is the root of the project's static-analysis suite:
+//
+//   - analysis: the go/analysis-compatible core types (Analyzer, Pass)
+//   - driver: package loading and type-checking via go list -export
+//   - analyzers: the six bitlint analyzers and their fixtures
+//   - analysistest: the fixture harness ("// want" expectations)
+//
+// Run the suite with `go run ./cmd/bitlint ./...`; the test in this
+// package runs exactly that, so `go test ./...` fails when an
+// invariant is violated anywhere in the repo.
+package lint

@@ -1,0 +1,355 @@
+// Package driver loads and type-checks Go packages for the bitlint
+// analyzers, standing in for golang.org/x/tools/go/packages (which the
+// build environment cannot fetch). It shells out to `go list -export`
+// for package metadata and compiled export data, parses the target
+// packages' sources with go/parser, and type-checks them with go/types
+// using the toolchain's export data for every import — the same
+// strategy go vet's unitchecker uses, so loading cost is one build-
+// cache-warm `go list` plus parsing only the packages under analysis.
+//
+// Like go vet, the driver analyzes the test-augmented variant of each
+// matched package (its _test.go files included) plus any external
+// _test package, so invariants are enforced on test code too.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the driver
+// consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	ForTest    string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	TestFiles  map[*ast.File]bool
+}
+
+// Loader owns the shared file set, export-data index and importer
+// cache for one Load call.
+type Loader struct {
+	Dir  string // working directory for go list (module root or below)
+	fset *token.FileSet
+
+	exports map[string]string // import path -> export data file
+	gc      types.Importer    // shared gc-export-data importer
+}
+
+// goList runs `go list` with the given arguments in l.Dir and decodes
+// the JSON package stream.
+func (l *Loader) goList(args ...string) ([]*listPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// jsonFields keeps go list output small: only what listPackage reads.
+const jsonFields = "-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Export,ForTest,Standard,Incomplete,Error"
+
+// Load lists patterns (with their full dependency graph and, when
+// includeTests is set, their test variants), then parses and
+// type-checks every matched package. dir is the directory go list runs
+// in ("" = current).
+func Load(dir string, patterns []string, includeTests bool) ([]*Package, error) {
+	l := &Loader{Dir: dir, fset: token.NewFileSet()}
+
+	// Pass 1: the matched set (metadata only, no build).
+	matched, err := l.goList(append([]string{"list", jsonFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[string]bool, len(matched))
+	for _, p := range matched {
+		want[p.ImportPath] = true
+	}
+
+	// Pass 2: everything reachable, with export data compiled.
+	args := []string{"list", "-export", jsonFields, "-deps"}
+	if includeTests {
+		args = append(args, "-test")
+	}
+	all, err := l.goList(append(args, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+
+	l.exports = make(map[string]string, len(all))
+	byPath := make(map[string]*listPackage, len(all))
+	for _, p := range all {
+		byPath[p.ImportPath] = p
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	// Select analysis targets: for each matched package prefer its
+	// test-augmented variant ("p [p.test]", whose GoFiles include the
+	// in-package _test.go files); external test packages ("p_test
+	// [p.test]") are analyzed additionally. Synthesized ".test" mains
+	// are skipped.
+	var targets []*listPackage
+	for _, p := range all {
+		if p.Standard || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		switch {
+		case p.ForTest != "" && want[p.ForTest]:
+			targets = append(targets, p)
+		case p.ForTest == "" && want[p.ImportPath]:
+			// Use the plain package only when no test variant exists in
+			// the listing (no test files, or tests excluded).
+			variant := p.ImportPath + " [" + p.ImportPath + ".test]"
+			if _, ok := byPath[variant]; !ok {
+				targets = append(targets, p)
+			}
+		}
+	}
+
+	var out []*Package
+	for _, p := range targets {
+		pkg, err := l.check(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// pkgImporter resolves one package's imports: through its ImportMap
+// (test-variant and vendor redirections), then the shared export-data
+// importer.
+type pkgImporter struct {
+	l         *Loader
+	importMap map[string]string
+}
+
+func (pi *pkgImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if r, ok := pi.importMap[path]; ok {
+		path = r
+	}
+	return pi.l.gc.Import(path)
+}
+
+// check parses and type-checks one target package from source.
+func (l *Loader) check(p *listPackage) (*Package, error) {
+	if p.Error != nil {
+		return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+	}
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	testFiles := make(map[*ast.File]bool, 4)
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		files = append(files, f)
+		if strings.HasSuffix(name, "_test.go") {
+			testFiles[f] = true
+		}
+	}
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer: &pkgImporter{l: l, importMap: p.ImportMap},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	// Test variants list as "p [p.test]"; type-check under the base
+	// path so analyzers see the real package path in type names.
+	checkPath := p.ImportPath
+	if i := strings.Index(checkPath, " ["); i >= 0 {
+		checkPath = checkPath[:i]
+	}
+	tpkg, err := conf.Check(checkPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for i, e := range typeErrs {
+			if i == 8 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(typeErrs)-i))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("type-checking %s:\n  %s", p.ImportPath, strings.Join(msgs, "\n  "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: p.ImportPath,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TestFiles:  testFiles,
+	}, nil
+}
+
+// Finding is one post-suppression diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// findings, sorted by position. //bitlint:ignore directives on the
+// finding's line or the line above suppress it.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	suppress := make(map[string]map[int][]string) // file -> line -> analyzer names
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range analysis.FileDirectives(f) {
+				if d.Name != "ignore" {
+					continue
+				}
+				name, _, _ := strings.Cut(d.Args, " ")
+				if name == "" {
+					continue // ignorehygiene reports the malformed directive
+				}
+				pos := pkg.Fset.Position(d.Pos)
+				m := suppress[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					suppress[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], name)
+			}
+		}
+	}
+	suppressed := func(name string, pos token.Position) bool {
+		m := suppress[pos.Filename]
+		if m == nil {
+			return false
+		}
+		for _, l := range [2]int{pos.Line, pos.Line - 1} {
+			for _, n := range m[l] {
+				if n == name {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				TestFiles: pkg.TestFiles,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if suppressed(a.Name, pos) {
+					return
+				}
+				key := fmt.Sprintf("%s|%s|%s", a.Name, pos, d.Message)
+				if seen[key] {
+					return
+				}
+				seen[key] = true
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,54 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analyzers"
+	"repro/internal/lint/driver"
+)
+
+// repoRoot walks up from the test's working directory to the module
+// root (the directory holding go.mod).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoClean runs the full bitlint suite over the whole repository,
+// test variants included — the same invocation CI runs. Any finding is
+// a failed invariant: fix the code or suppress it with an auditable
+// //bitlint:ignore <analyzer> <reason>.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repo via go list")
+	}
+	pkgs, err := driver.Load(repoRoot(t), []string{"./..."}, true)
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded (%d); driver regression?", len(pkgs))
+	}
+	findings, err := driver.Run(pkgs, analyzers.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -173,8 +173,13 @@ func (sc *itemScanner) skipWS() {
 	}
 }
 
-// token reads a quoted string without escapes; escapes bail to the
-// slow path.
+// token reads a quoted plain-ASCII string. Everything else bails to
+// the slow path: escapes, raw control characters (invalid JSON, which
+// encoding/json must get to reject) and non-ASCII bytes (encoding/json
+// replaces invalid UTF-8 with U+FFFD; copying the raw bytes here would
+// make the two paths echo different strings — found by
+// FuzzParseBatchItem). Every token the scanner matches is ASCII, so
+// this costs the fast path nothing.
 func (sc *itemScanner) token() ([]byte, error) {
 	if sc.i >= len(sc.b) || sc.b[sc.i] != '"' {
 		return nil, errBail
@@ -182,10 +187,10 @@ func (sc *itemScanner) token() ([]byte, error) {
 	sc.i++
 	start := sc.i
 	for sc.i < len(sc.b) {
-		switch sc.b[sc.i] {
-		case '\\':
+		switch c := sc.b[sc.i]; {
+		case c == '\\' || c < 0x20 || c >= 0x80:
 			return nil, errBail
-		case '"':
+		case c == '"':
 			tok := sc.b[start:sc.i]
 			sc.i++
 			return tok, nil

@@ -141,7 +141,7 @@ func writeV1Error(w http.ResponseWriter, status int, p errorPayload) {
 	eb := getEnc()
 	defer putEnc(eb)
 	_ = eb.enc.Encode(v1ErrorBody{Error: p})
-	w.Header().Set("Content-Type", "application/json")
+	setJSONContentType(w)
 	w.WriteHeader(status)
 	_, _ = w.Write(eb.buf.Bytes())
 }
@@ -156,7 +156,7 @@ func writeRawError(w http.ResponseWriter, status int, msg string) {
 	eb := getEnc()
 	defer putEnc(eb)
 	_ = eb.enc.Encode(errorBody{Error: msg})
-	w.Header().Set("Content-Type", "application/json")
+	setJSONContentType(w)
 	w.WriteHeader(status)
 	_, _ = w.Write(eb.buf.Bytes())
 }

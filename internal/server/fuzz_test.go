@@ -1,0 +1,84 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseBatchItem differentially tests the hand-rolled batch item
+// scanner against its encoding/json fallback: for every input the two
+// must agree on success/failure, and on success must produce identical
+// parsedBatchOp values. The fast path bails to the slow path on
+// anything it does not recognise, so any disagreement means the
+// scanner accepted and mis-read something encoding/json handles
+// differently — exactly the bug class a hand-rolled parser invites.
+func FuzzParseBatchItem(f *testing.F) {
+	seeds := []string{
+		`{"op":"phi","u":1,"v":2}`,
+		`{"op":"support","u":-3,"v":0}`,
+		`{"op":"community_of","layer":"upper","vertex":7,"k":4}`,
+		`{"op":"community_of","layer":"lower","vertex":0,"k":9223372036854775807}`,
+		`{}`,
+		`  { "op" : "phi" , "u" : 10 , "v" : 20 }  `,
+		`{"op":"phi","u":1,"v":2,"extra":{"nested":[1,2,3]}}`,
+		`{"op":"ph\u0069","u":1,"v":2}`,
+		`{"u":01}`,
+		`{"u":1.5}`,
+		`{"u":1e3}`,
+		`{"u":-}`,
+		`{"u":-0}`,
+		`{"u":9223372036854775808}`,
+		`{"op":"phi","u":1,"v":2}trailing`,
+		`{"op":"phi"`,
+		`null`,
+		`[1,2]`,
+		`"phi"`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var fast, slow parsedBatchOp
+		fastErr := parseBatchItem(raw, &fast)
+		slowErr := slowParseBatchItem(raw, &slow)
+		if (fastErr == nil) != (slowErr == nil) {
+			t.Fatalf("parse disagreement on %q: fast err = %v, slow err = %v", raw, fastErr, slowErr)
+		}
+		if fastErr != nil {
+			return
+		}
+		if fast != slow {
+			t.Fatalf("value disagreement on %q:\n  fast: %+v\n  slow: %+v", raw, fast, slow)
+		}
+		// Interning must hold on both paths: known tokens share the
+		// package constants, so echoes alias instead of allocating.
+		if fast.op != intern(fast.op) || fast.layer != intern(fast.layer) {
+			t.Fatalf("non-interned token on %q: op=%q layer=%q", raw, fast.op, fast.layer)
+		}
+	})
+}
+
+// TestParseBatchItemMatchesJSONSemantics pins one subtle agreement the
+// fuzz seeds encode: inputs encoding/json rejects (leading zeros,
+// floats into int fields, trailing garbage) must fail on the fast path
+// too, not silently parse.
+func TestParseBatchItemMatchesJSONSemantics(t *testing.T) {
+	for _, bad := range []string{
+		`{"u":01}`,
+		`{"u":1.5}`,
+		`{"u":1e3}`,
+		`{"u":-}`,
+		`{"op":"phi","u":1,"v":2}x`,
+		`{"op":"phi"`,
+	} {
+		var p parsedBatchOp
+		if err := parseBatchItem([]byte(bad), &p); err == nil {
+			t.Errorf("parseBatchItem(%q) = nil error, want failure", bad)
+		}
+		var it batchItemJSON
+		if err := json.Unmarshal([]byte(bad), &it); err == nil {
+			t.Errorf("fixture is wrong: encoding/json accepts %q", bad)
+		}
+	}
+}

@@ -395,12 +395,18 @@ var encPool = sync.Pool{New: func() any {
 // from pinning pool memory forever.
 const maxPooledBuf = 1 << 20
 
+// getEnc hands out a pooled encoder; callers release via putEnc.
+//
+//bitlint:pooled
 func getEnc() *encBuf {
 	eb := encPool.Get().(*encBuf)
 	eb.buf.Reset()
 	return eb
 }
 
+// putEnc returns an encoder to the pool (oversized ones go to GC).
+//
+//bitlint:pooledrelease
 func putEnc(eb *encBuf) {
 	if eb.buf.Cap() <= maxPooledBuf {
 		encPool.Put(eb)
@@ -419,6 +425,18 @@ const maxPooledKey = 1 << 16
 
 // writeJSON encodes v through a pooled encoder. Encoding failures are
 // logged and turn into a clean 500 — never a truncated 200 body.
+// contentTypeJSON is the shared Content-Type header value: assigning
+// it directly (instead of Header().Set, which builds a fresh one-
+// element slice per response) keeps the cached serving path free of
+// per-request allocations. Nothing may append to or mutate it.
+var contentTypeJSON = []string{"application/json"}
+
+// setJSONContentType stamps the response Content-Type without
+// allocating.
+func setJSONContentType(w http.ResponseWriter) {
+	w.Header()["Content-Type"] = contentTypeJSON
+}
+
 func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, rc reqCtx, status int, v any) {
 	eb := getEnc()
 	defer putEnc(eb)
@@ -433,7 +451,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, rc reqCtx, st
 		}
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	setJSONContentType(w)
 	w.WriteHeader(status)
 	_, _ = w.Write(eb.buf.Bytes())
 }
@@ -480,7 +498,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, rc reqCtx, vw *
 	} else {
 		s.cacheMisses.Add(1)
 	}
-	w.Header().Set("Content-Type", "application/json")
+	setJSONContentType(w)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(data)
 }
@@ -834,7 +852,13 @@ type kbitrussResponse struct {
 // Cache keys identify (endpoint, params); the snapshot the cache hangs
 // off already pins (dataset, version). Keys are built into pooled
 // buffers — getKey/putKey bracket every use.
+//
+//bitlint:pooled
 func getKey() *[]byte { return keyPool.Get().(*[]byte) }
+
+// putKey returns a key buffer to the pool (oversized ones go to GC).
+//
+//bitlint:pooledrelease
 func putKey(b *[]byte) {
 	if cap(*b) > maxPooledKey {
 		return

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -152,6 +153,45 @@ func TestErrorModelConformance(t *testing.T) {
 	}
 	if status, _, _ := doRaw(t, "GET", ts.URL+"/v1/datasets/ready/levels", "", ""); status != http.StatusOK {
 		t.Fatalf("reads must keep working after shutdown, got %d", status)
+	}
+}
+
+// TestErrorClassificationConformance pins the classification and wire
+// shape of the codes the table test above cannot reach
+// deterministically over HTTP: CodeDecomposeBusy needs a decompose
+// in flight at the exact moment of a second request, and CodeInternal
+// needs an unclassified engine failure. Both still go through the real
+// writeError path via a recorder, so the envelope bytes are the ones
+// clients would see.
+func TestErrorClassificationConformance(t *testing.T) {
+	cases := []struct {
+		name   string
+		err    error
+		code   string
+		status int
+	}{
+		{"decompose busy", fmt.Errorf("%w: %q", engine.ErrBusy, "ready"), CodeDecomposeBusy, http.StatusConflict},
+		{"unclassified is internal", errors.New("disk melted"), CodeInternal, http.StatusInternalServerError},
+	}
+	s := New(engine.New())
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if code, status := classify(tc.err); code != tc.code || status != tc.status {
+				t.Fatalf("classify = (%q, %d), want (%q, %d)", code, status, tc.code, tc.status)
+			}
+			rec := httptest.NewRecorder()
+			s.writeError(rec, reqCtx{v1: true}, tc.err)
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d", rec.Code, tc.status)
+			}
+			p := decodeEnvelope(t, rec.Body.Bytes())
+			if p.Code != tc.code {
+				t.Fatalf("code = %q, want %q", p.Code, tc.code)
+			}
+			if p.Message != tc.err.Error() {
+				t.Fatalf("message = %q, want %q", p.Message, tc.err.Error())
+			}
+		})
 	}
 }
 

@@ -1,0 +1,14 @@
+//go:build tools
+
+// Package repro's tools pseudo-file records the analysis tooling this
+// repository is checked with. The module is dependency-free, so the
+// pins live here (and in .github/workflows/ci.yml's env block) rather
+// than in go.mod: CI invokes each tool with `go run tool@version`, and
+// this file is the single place to bump when upgrading.
+//
+//	staticcheck  honnef.co/go/tools/cmd/staticcheck@2025.1
+//	govulncheck  golang.org/x/vuln/cmd/govulncheck@v1.1.4
+//
+// bitlint (cmd/bitlint) needs no pin: it is built from this repository
+// at the commit under test.
+package bitruss
