@@ -74,8 +74,11 @@ type VersionInfo struct {
 	LastMutation *MutationRecord `json:"last_mutation,omitempty"`
 }
 
-// MutationRecord describes the last applied mutation batch.
+// MutationRecord describes the last applied mutation batch (one
+// applier epoch), including the per-phase wall times of the epoch
+// pipeline.
 type MutationRecord struct {
+	Epoch      int64 `json:"epoch"`
 	Version    int64 `json:"version"`
 	Requests   int   `json:"requests"`
 	Inserted   int   `json:"inserted"`
@@ -84,6 +87,12 @@ type MutationRecord struct {
 	FellBack   bool  `json:"fell_back"`
 	Candidates int   `json:"candidates"`
 	ChangedPhi int   `json:"changed_phi"`
+	Workers    int   `json:"workers"`
+	StageMS    int64 `json:"stage_ms"`
+	DeltaMS    int64 `json:"delta_ms"`
+	PeelMS     int64 `json:"peel_ms"`
+	IndexMS    int64 `json:"index_ms"`
+	PublishMS  int64 `json:"publish_ms"`
 	ApplyMS    int64 `json:"apply_ms"`
 }
 

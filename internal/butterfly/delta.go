@@ -47,51 +47,7 @@ func DeltaSupports(g *bigraph.Graph, batch []int32) (map[int32]int64, int64) {
 
 	var total int64
 	for _, e := range batch {
-		ed := g.Edge(e)
-		u, v := ed.U, ed.V
-		if g.Degree(u) > g.Degree(v) {
-			// Enumeration cost is Σ_{w∈N(v)} d(w): pivot on the sparser
-			// endpoint's wedges (the count is symmetric).
-			u, v = v, u
-		}
-		nbrsU, eidsU := g.Neighbors(u)
-		for i, x := range nbrsU {
-			if x != v {
-				mark[x] = eidsU[i]
-			}
-		}
-		nbrsV, eidsV := g.Neighbors(v)
-		for j, w := range nbrsV {
-			if w == u {
-				continue
-			}
-			ewv := eidsV[j]
-			nbrsW, eidsW := g.Neighbors(w)
-			for l, x := range nbrsW {
-				if x == v {
-					continue
-				}
-				eux := mark[x]
-				if eux < 0 {
-					continue
-				}
-				ewx := eidsW[l]
-				// Butterfly {e, eux, ewv, ewx}: count it only from its
-				// smallest batch edge so multi-batch-edge butterflies
-				// are not double-counted.
-				if (inBatch[eux] && eux < e) || (inBatch[ewv] && ewv < e) || (inBatch[ewx] && ewx < e) {
-					continue
-				}
-				total++
-				delta[e]++
-				delta[eux]++
-				delta[ewv]++
-				delta[ewx]++
-			}
-		}
-		for _, x := range nbrsU {
-			mark[x] = -1
-		}
+		total += deltaSupportsOfEdge(g, e, inBatch, mark, delta)
 	}
 	return delta, total
 }
@@ -182,6 +138,12 @@ func PhiUpperBound(g *bigraph.Graph, e int32, sup []int64) int64 {
 		mins = append(mins, m)
 		return true
 	})
+	return hIndexOf(mins)
+}
+
+// hIndexOf computes the h-index of the weakest-member supports via
+// bucket counting: the largest k with at least k entries >= k.
+func hIndexOf(mins []int64) int64 {
 	n := int64(len(mins))
 	if n == 0 {
 		return 0
@@ -202,4 +164,55 @@ func PhiUpperBound(g *bigraph.Graph, e int32, sup []int64) int64 {
 		}
 	}
 	return 0
+}
+
+// PhiUpperBoundMarked computes exactly PhiUpperBound using a
+// caller-provided vertex-mark array instead of the pooled map
+// (the h-index is order-independent, so the enumeration order does not
+// matter). mark must have length g.NumVertices(), be all -1 on entry,
+// and is restored on return — maintenance shares one array per worker
+// across a whole insertion batch, amortising the O(|V|) setup the map
+// path avoids per call.
+func PhiUpperBoundMarked(g *bigraph.Graph, e int32, sup []int64, mark []int32) int64 {
+	ed := g.Edge(e)
+	u, v := ed.U, ed.V
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	nbrsU, eidsU := g.Neighbors(u)
+	for i, x := range nbrsU {
+		if x != v {
+			mark[x] = eidsU[i]
+		}
+	}
+	var mins []int64
+	nbrsV, eidsV := g.Neighbors(v)
+	for j, w := range nbrsV {
+		if w == u {
+			continue
+		}
+		ewv := eidsV[j]
+		nbrsW, eidsW := g.Neighbors(w)
+		for l, x := range nbrsW {
+			if x == v {
+				continue
+			}
+			eux := mark[x]
+			if eux < 0 {
+				continue
+			}
+			m := sup[eux]
+			if sup[ewv] < m {
+				m = sup[ewv]
+			}
+			if ewx := eidsW[l]; sup[ewx] < m {
+				m = sup[ewx]
+			}
+			mins = append(mins, m)
+		}
+	}
+	for _, x := range nbrsU {
+		mark[x] = -1
+	}
+	return hIndexOf(mins)
 }

@@ -1,0 +1,282 @@
+package butterfly
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bigraph"
+)
+
+// parallelDeltaMinBatch is the batch size below which DeltaSupportsParallel
+// runs serially: sharding a handful of edges across goroutines costs more
+// than the enumeration itself.
+const parallelDeltaMinBatch = 16
+
+// DeltaSupportsParallel computes exactly what DeltaSupports computes —
+// per-edge counts of butterflies containing at least one batch edge,
+// each butterfly attributed once via its smallest batch edge id — with
+// the batch edges sharded across workers. Every worker enumerates its
+// shard's butterflies into a private sparse delta map over a private
+// wedge-mark array; the per-worker maps are then merged by summation.
+//
+// The min-batch-edge dedup rule makes the shard partition irrelevant: a
+// butterfly is counted by exactly one batch edge regardless of which
+// worker owns it, and summation commutes, so the merged map is
+// identical to the serial result for every shard assignment. workers
+// <= 0 selects GOMAXPROCS; 1 (or a tiny batch) falls through to the
+// serial DeltaSupports.
+func DeltaSupportsParallel(g *bigraph.Graph, batch []int32, workers int) (map[int32]int64, int64) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Shard counts beyond the core count only add merge work (any shard
+	// assignment yields the identical merged map, so clamping is free).
+	if mx := runtime.GOMAXPROCS(0); workers > mx {
+		workers = mx
+	}
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	if workers <= 1 || len(batch) < parallelDeltaMinBatch {
+		return DeltaSupports(g, batch)
+	}
+
+	inBatch := make([]bool, g.NumEdges())
+	for _, e := range batch {
+		inBatch[e] = true
+	}
+
+	type shard struct {
+		delta map[int32]int64
+		total int64
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			delta := make(map[int32]int64, 4*len(batch)/workers)
+			mark := make([]int32, g.NumVertices())
+			for i := range mark {
+				mark[i] = -1
+			}
+			var total int64
+			for j := w; j < len(batch); j += workers {
+				total += deltaSupportsOfEdge(g, batch[j], inBatch, mark, delta)
+			}
+			shards[w] = shard{delta: delta, total: total}
+		}(w)
+	}
+	wg.Wait()
+
+	merged := shards[0].delta
+	total := shards[0].total
+	for _, s := range shards[1:] {
+		for e, c := range s.delta {
+			merged[e] += c
+		}
+		total += s.total
+	}
+	return merged, total
+}
+
+// DeltaSupportsDense computes exactly what DeltaSupports computes, but
+// accumulates into a dense per-edge array instead of a sparse map:
+// delta[e] is the butterfly count (0 for untouched edges), touched
+// lists the edges with delta[e] > 0 in unspecified order, and total is
+// the number of butterflies containing a batch edge. The dense layout
+// trades O(|E|) memory for O(1) increments and lookups — incremental
+// maintenance reads the result once per surviving edge, so the map's
+// hashing dominates the whole delta phase on large batches.
+//
+// With workers > 1 the batch is sharded as in DeltaSupportsParallel,
+// but the workers share delta and claim first-touch via the atomic
+// increment's return value (counts only ever grow, so the 0→1
+// transition is seen by exactly one worker); per-worker touched shards
+// are concatenated. Summation commutes, so the result is identical to
+// the serial accumulation for every interleaving.
+func DeltaSupportsDense(g *bigraph.Graph, batch []int32, workers int) (delta []int64, touched []int32, total int64) {
+	m := g.NumEdges()
+	delta = make([]int64, m)
+	if len(batch) == 0 {
+		return delta, nil, 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if mx := runtime.GOMAXPROCS(0); workers > mx {
+		workers = mx
+	}
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	inBatch := make([]bool, m)
+	for _, e := range batch {
+		inBatch[e] = true
+	}
+	if workers <= 1 || len(batch) < parallelDeltaMinBatch {
+		mark := make([]int32, g.NumVertices())
+		for i := range mark {
+			mark[i] = -1
+		}
+		for _, e := range batch {
+			total += deltaDenseOfEdge(g, e, inBatch, mark, delta, &touched)
+		}
+		return delta, touched, total
+	}
+
+	shards := make([][]int32, workers)
+	totals := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mark := make([]int32, g.NumVertices())
+			for i := range mark {
+				mark[i] = -1
+			}
+			var sub int64
+			for j := w; j < len(batch); j += workers {
+				sub += deltaDenseOfEdgeAtomic(g, batch[j], inBatch, mark, delta, &shards[w])
+			}
+			totals[w] = sub
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		touched = append(touched, shards[w]...)
+		total += totals[w]
+	}
+	return delta, touched, total
+}
+
+// deltaDenseOfEdge is deltaSupportsOfEdge with dense accumulation
+// (single-writer: plain increments).
+func deltaDenseOfEdge(g *bigraph.Graph, e int32, inBatch []bool, mark []int32, delta []int64, touched *[]int32) int64 {
+	bump := func(f int32) {
+		if delta[f] == 0 {
+			*touched = append(*touched, f)
+		}
+		delta[f]++
+	}
+	return deltaScanOfEdge(g, e, inBatch, mark, bump)
+}
+
+// deltaDenseOfEdgeAtomic is the shared-array variant: the atomic
+// increment's return value elects exactly one first-toucher per edge.
+func deltaDenseOfEdgeAtomic(g *bigraph.Graph, e int32, inBatch []bool, mark []int32, delta []int64, touched *[]int32) int64 {
+	bump := func(f int32) {
+		if atomic.AddInt64(&delta[f], 1) == 1 {
+			*touched = append(*touched, f)
+		}
+	}
+	return deltaScanOfEdge(g, e, inBatch, mark, bump)
+}
+
+// deltaScanOfEdge is the wedge-scan skeleton shared by the dense
+// accumulators: it enumerates the butterflies attributed to batch edge
+// e (min-batch-edge dedup) and calls bump for each of the four member
+// edges of every such butterfly, returning the butterfly count.
+func deltaScanOfEdge(g *bigraph.Graph, e int32, inBatch []bool, mark []int32, bump func(int32)) int64 {
+	ed := g.Edge(e)
+	u, v := ed.U, ed.V
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	nbrsU, eidsU := g.Neighbors(u)
+	for i, x := range nbrsU {
+		if x != v {
+			mark[x] = eidsU[i]
+		}
+	}
+	var total int64
+	nbrsV, eidsV := g.Neighbors(v)
+	for j, w := range nbrsV {
+		if w == u {
+			continue
+		}
+		ewv := eidsV[j]
+		nbrsW, eidsW := g.Neighbors(w)
+		for l, x := range nbrsW {
+			if x == v {
+				continue
+			}
+			eux := mark[x]
+			if eux < 0 {
+				continue
+			}
+			ewx := eidsW[l]
+			if (inBatch[eux] && eux < e) || (inBatch[ewv] && ewv < e) || (inBatch[ewx] && ewx < e) {
+				continue
+			}
+			total++
+			bump(e)
+			bump(eux)
+			bump(ewv)
+			bump(ewx)
+		}
+	}
+	for _, x := range nbrsU {
+		mark[x] = -1
+	}
+	return total
+}
+
+// deltaSupportsOfEdge enumerates the butterflies through one batch edge
+// e that e is responsible for (smallest batch edge id wins), adding
+// their support contributions to delta and returning how many
+// butterflies were attributed to e. mark must be all -1 on entry and is
+// restored on return. This is the per-edge body of DeltaSupports,
+// shared by the serial and sharded drivers.
+func deltaSupportsOfEdge(g *bigraph.Graph, e int32, inBatch []bool, mark []int32, delta map[int32]int64) int64 {
+	ed := g.Edge(e)
+	u, v := ed.U, ed.V
+	if g.Degree(u) > g.Degree(v) {
+		// Enumeration cost is Σ_{w∈N(v)} d(w): pivot on the sparser
+		// endpoint's wedges (the count is symmetric).
+		u, v = v, u
+	}
+	nbrsU, eidsU := g.Neighbors(u)
+	for i, x := range nbrsU {
+		if x != v {
+			mark[x] = eidsU[i]
+		}
+	}
+	var total int64
+	nbrsV, eidsV := g.Neighbors(v)
+	for j, w := range nbrsV {
+		if w == u {
+			continue
+		}
+		ewv := eidsV[j]
+		nbrsW, eidsW := g.Neighbors(w)
+		for l, x := range nbrsW {
+			if x == v {
+				continue
+			}
+			eux := mark[x]
+			if eux < 0 {
+				continue
+			}
+			ewx := eidsW[l]
+			// Butterfly {e, eux, ewv, ewx}: count it only from its
+			// smallest batch edge so multi-batch-edge butterflies
+			// are not double-counted.
+			if (inBatch[eux] && eux < e) || (inBatch[ewv] && ewv < e) || (inBatch[ewx] && ewx < e) {
+				continue
+			}
+			total++
+			delta[e]++
+			delta[eux]++
+			delta[ewv]++
+			delta[ewx]++
+		}
+	}
+	for _, x := range nbrsU {
+		mark[x] = -1
+	}
+	return total
+}

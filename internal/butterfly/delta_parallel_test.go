@@ -1,0 +1,130 @@
+package butterfly
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/gen"
+)
+
+// parallelTestGraphs mirrors the maintenance cross-validation matrix:
+// the eight structurally diverse generated models.
+func parallelTestGraphs() []*bigraph.Graph {
+	return []*bigraph.Graph{
+		gen.Uniform(15, 15, 90, 1),
+		gen.Uniform(30, 30, 120, 2),
+		gen.Zipf(20, 20, 140, 1.4, 1.2, 3),
+		gen.Blocks(24, 24, []gen.BlockConfig{{Upper: 6, Lower: 6, Density: 0.8}, {Upper: 5, Lower: 5, Density: 0.9}}, 40, 4),
+		gen.BloomChain(4, 5),
+		gen.ZipfPlusUniform(18, 18, 80, 1.6, 1.6, 40, 5),
+		gen.Uniform(10, 40, 130, 6),
+		gen.HubAndSpokes(7),
+	}
+}
+
+// TestDeltaSupportsParallelIdentical requires the sharded counter to
+// return the exact serial map — same keys, same counts, same total —
+// at 1, 2 and 8 workers for random batches over the eight test graph
+// models. Run under -race in CI, it also validates the shard
+// isolation (private mark arrays and delta maps).
+func TestDeltaSupportsParallelIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for gi, g := range parallelTestGraphs() {
+		m := g.NumEdges()
+		for trial := 0; trial < 6; trial++ {
+			// Batches from 1 edge up to half the graph, sampled without
+			// replacement so the dedup rule has work to do.
+			size := 1 + rng.Intn(m/2+1)
+			perm := rng.Perm(m)
+			batch := make([]int32, size)
+			for i := 0; i < size; i++ {
+				batch[i] = int32(perm[i])
+			}
+			wantDelta, wantTotal := DeltaSupports(g, batch)
+			for _, workers := range []int{1, 2, 8} {
+				gotDelta, gotTotal := DeltaSupportsParallel(g, batch, workers)
+				if gotTotal != wantTotal {
+					t.Fatalf("graph %d trial %d workers %d: total %d, want %d", gi, trial, workers, gotTotal, wantTotal)
+				}
+				if !reflect.DeepEqual(gotDelta, wantDelta) {
+					t.Fatalf("graph %d trial %d workers %d: delta maps differ (%d vs %d entries)",
+						gi, trial, workers, len(gotDelta), len(wantDelta))
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaSupportsDenseIdentical requires the dense accumulator —
+// serial and sharded — to agree exactly with the sparse map: same
+// per-edge counts, same touched set (order-free), same total. The
+// sharded runs are forced onto real goroutine interleavings by raising
+// GOMAXPROCS, so -race exercises the shared-array atomic claims.
+func TestDeltaSupportsDenseIdentical(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	rng := rand.New(rand.NewSource(78))
+	for gi, g := range parallelTestGraphs() {
+		m := g.NumEdges()
+		for trial := 0; trial < 4; trial++ {
+			size := 1 + rng.Intn(m/2+1)
+			perm := rng.Perm(m)
+			batch := make([]int32, size)
+			for i := 0; i < size; i++ {
+				batch[i] = int32(perm[i])
+			}
+			wantDelta, wantTotal := DeltaSupports(g, batch)
+			for _, workers := range []int{1, 2, 8} {
+				delta, touched, total := DeltaSupportsDense(g, batch, workers)
+				if total != wantTotal {
+					t.Fatalf("graph %d trial %d workers %d: total %d, want %d", gi, trial, workers, total, wantTotal)
+				}
+				if len(delta) != m {
+					t.Fatalf("graph %d trial %d workers %d: delta length %d, want %d", gi, trial, workers, len(delta), m)
+				}
+				for e, c := range delta {
+					if c != wantDelta[int32(e)] {
+						t.Fatalf("graph %d trial %d workers %d: delta[%d] = %d, want %d",
+							gi, trial, workers, e, c, wantDelta[int32(e)])
+					}
+				}
+				if len(touched) != len(wantDelta) {
+					t.Fatalf("graph %d trial %d workers %d: %d touched edges, want %d",
+						gi, trial, workers, len(touched), len(wantDelta))
+				}
+				seen := make(map[int32]bool, len(touched))
+				for _, e := range touched {
+					if seen[e] {
+						t.Fatalf("graph %d trial %d workers %d: edge %d touched twice", gi, trial, workers, e)
+					}
+					seen[e] = true
+					if delta[e] == 0 {
+						t.Fatalf("graph %d trial %d workers %d: touched edge %d has zero delta", gi, trial, workers, e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaSupportsParallelEmpty covers the trivial shapes: empty
+// batches and worker counts exceeding the batch.
+func TestDeltaSupportsParallelEmpty(t *testing.T) {
+	g := gen.Uniform(10, 10, 40, 3)
+	d, total := DeltaSupportsParallel(g, nil, 8)
+	if len(d) != 0 || total != 0 {
+		t.Fatalf("empty batch returned %v (%d)", d, total)
+	}
+	d, total = DeltaSupportsParallel(g, []int32{0}, 64)
+	want, wantTotal := DeltaSupports(g, []int32{0})
+	if total != wantTotal || !reflect.DeepEqual(d, want) {
+		t.Fatalf("single-edge batch differs: %v vs %v", d, want)
+	}
+	arr, touched, total := DeltaSupportsDense(g, nil, 8)
+	if len(arr) != g.NumEdges() || len(touched) != 0 || total != 0 {
+		t.Fatalf("empty dense batch returned %d touched (%d)", len(touched), total)
+	}
+}

@@ -1,0 +1,210 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bigraph"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+// TestWriteBenchPR7 emits the BENCH_pr7.json parallel-maintenance
+// summary when BENCH_PR7 names an output path (e.g.
+// BENCH_PR7=BENCH_pr7.json go test -run WriteBenchPR7 ./internal/cli/).
+// Two measurements on the 60k-edge reference graph:
+//
+//   - core.Maintain wall time at workers 1/2/4/8 over large mixed
+//     batches, every worker count cross-checked byte-identical to the
+//     serial result. On a single-core host the gain comes from the
+//     parallel path's layout (dense delta arrays, pruned K*, deferred
+//     closure scans, compressed batch peel), not concurrency — num_cpu
+//     is recorded so readers can tell.
+//   - A mixed read/write bitload run against an in-process bitserved
+//     with the maintenance fan-out enabled: the write mix drives the
+//     whole epoch pipeline (stage -> delta -> re-peel -> index ->
+//     publish) while readers hammer the served snapshot, and the run
+//     must finish with zero hard errors and zero envelope violations.
+//
+// Skipped without the env var so regular runs stay fast.
+func TestWriteBenchPR7(t *testing.T) {
+	out := os.Getenv("BENCH_PR7")
+	if out == "" {
+		t.Skip("set BENCH_PR7=<path> to emit the benchmark summary")
+	}
+	const (
+		benchUpper = 5000
+		benchLower = 5000
+		benchDraws = 61500
+		benchSeed  = 42
+	)
+	g := gen.Uniform(benchUpper, benchLower, benchDraws, benchSeed)
+	res, err := core.Decompose(g, core.Options{Algorithm: core.BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const reps = 3
+	measure := func(fn func()) float64 {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			fn()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return float64(best.Nanoseconds()) / 1e6
+	}
+
+	// Maintain scaling: half deletes of existing edges, half inserts of
+	// fresh pairs (the same recipe as the core benchmarks).
+	mkDelta := func(size int, seed int64) (*bigraph.Graph, *bigraph.Remap) {
+		rng := rand.New(rand.NewSource(seed))
+		d := bigraph.NewDelta(g)
+		nl := g.NumLower()
+		for d.Deletes() < (size+1)/2 {
+			ed := g.Edge(int32(rng.Intn(g.NumEdges())))
+			d.Delete(int(ed.U)-nl, int(ed.V))
+		}
+		for d.Inserts() < size/2 {
+			d.Insert(rng.Intn(g.NumUpper()), rng.Intn(g.NumLower()))
+		}
+		g2, rm, err := d.Apply()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g2, rm
+	}
+	workerGrid := []int{1, 2, 4, 8}
+	type row struct {
+		Batch      int                `json:"batch_edges"`
+		MaintainMS map[string]float64 `json:"maintain_ms_by_workers"`
+		Speedup8   float64            `json:"speedup_8_vs_1"`
+		Candidates int                `json:"candidates"`
+		Identical  bool               `json:"identical"`
+	}
+	var rows []row
+	for _, size := range []int{4000, 8000} {
+		g2, rm := mkDelta(size, int64(size))
+		r := row{Batch: size, MaintainMS: map[string]float64{}, Identical: true}
+		var serial *core.Result
+		for _, workers := range workerGrid {
+			var got *core.Result
+			var st *core.MaintainStats
+			ms := measure(func() {
+				var merr error
+				got, st, merr = core.Maintain(g, res, g2, rm, core.MaintainOptions{Workers: workers})
+				if merr != nil {
+					t.Fatal(merr)
+				}
+			})
+			r.MaintainMS[fmt.Sprintf("%d", workers)] = ms
+			r.Candidates = st.Candidates
+			if workers == 1 {
+				serial = got
+				continue
+			}
+			for e := range serial.Phi {
+				if got.Phi[e] != serial.Phi[e] || got.Sup[e] != serial.Sup[e] {
+					r.Identical = false
+					t.Errorf("batch %d workers %d: edge %d diverged from serial", size, workers, e)
+					break
+				}
+			}
+		}
+		r.Speedup8 = r.MaintainMS["1"] / r.MaintainMS["8"]
+		rows = append(rows, r)
+	}
+
+	// Mixed read/write load against the full serving stack, with the
+	// maintenance fan-out the emitter just measured.
+	eng := engine.New()
+	if err := eng.Register("bench", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Decompose(context.Background(), "bench", engine.Options{Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(eng).Handler())
+	defer ts.Close()
+	mix := DefaultLoadMix()
+	mix["insert"] = 2
+	mix["delete"] = 1
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL:  ts.URL,
+		Dataset:  "bench",
+		Workers:  8,
+		Duration: 2 * time.Second,
+		Mix:      mix,
+		K:        -1,
+		Seed:     1,
+		Client:   ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last epoch's phase split shows where write time goes.
+	mlog, err := eng.MutationLog("bench")
+	if err != nil || len(mlog) == 0 {
+		t.Fatalf("no mutation log after write mix: %v", err)
+	}
+	lastEpoch := mlog[len(mlog)-1]
+
+	summary := map[string]any{
+		"pr":      7,
+		"graph":   fmt.Sprintf("gen.Uniform(%d, %d, %d, seed=%d)", benchUpper, benchLower, benchDraws, benchSeed),
+		"edges":   g.NumEdges(),
+		"num_cpu": runtime.NumCPU(),
+		"maintain_parallel": map[string]any{
+			"workers": workerGrid,
+			"batches": rows,
+		},
+		"mixed_load": map[string]any{
+			"mix":        mix,
+			"workers":    8,
+			"duration_s": 2,
+			"report":     rep,
+			"last_epoch_phase_ms": map[string]int64{
+				"stage":   lastEpoch.StageTime.Milliseconds(),
+				"delta":   lastEpoch.DeltaTime.Milliseconds(),
+				"peel":    lastEpoch.PeelTime.Milliseconds(),
+				"index":   lastEpoch.IndexTime.Milliseconds(),
+				"publish": lastEpoch.PublishTime.Milliseconds(),
+				"total":   lastEpoch.Duration.Milliseconds(),
+			},
+		},
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", out, data)
+
+	// Acceptance bars: the workers-8 maintenance at least 2.5x the
+	// serial path on the largest batch with byte-identical output, and
+	// the mixed read/write run clean end to end.
+	big := rows[len(rows)-1]
+	if big.Speedup8 < 2.5 {
+		t.Errorf("maintain speedup %.2fx < 2.5x at batch %d (serial %.1fms, workers-8 %.1fms)",
+			big.Speedup8, big.Batch, big.MaintainMS["1"], big.MaintainMS["8"])
+	}
+	if rep.Errors != 0 || rep.Violations != 0 {
+		t.Errorf("mixed load: %d errors, %d envelope violations", rep.Errors, rep.Violations)
+	}
+	if rep.Writes == 0 || rep.AppliedBatches == 0 {
+		t.Errorf("mixed load exercised no writes: %+v", rep)
+	}
+}

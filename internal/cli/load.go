@@ -31,13 +31,28 @@ import (
 // not decode into the typed result or the structured error model is
 // counted as an envelope violation.
 
-// LoadEndpoints lists the query endpoints bitload can exercise.
-// "batch" issues one POST /v1/datasets/{name}/query carrying
-// batchSize mixed φ/support/community-of lookups.
-var LoadEndpoints = []string{"levels", "communities", "community_of", "kbitruss", "phi", "support", "batch"}
+// LoadEndpoints lists the endpoints bitload can exercise. "batch"
+// issues one POST /v1/datasets/{name}/query carrying batchSize mixed
+// φ/support/community-of lookups. "insert" and "delete" are write ops
+// against POST/DELETE /v1/datasets/{name}/edges: every worker owns a
+// fresh upper-layer vertex and a ledger of the lower vertices it has
+// attached to it, so inserts add real new edges (forming butterflies
+// with the existing structure), deletes remove only edges the run
+// itself created, and the dataset converges back towards its original
+// shape as ledgers drain. Writes wait for application, so concurrent
+// writers coalesce into applier batches and the measured write
+// latency covers the full maintenance epoch.
+var LoadEndpoints = []string{"levels", "communities", "community_of", "kbitruss", "phi", "support", "batch", "insert", "delete"}
 
 // batchSize is the number of lookups per "batch" request.
 const batchSize = 16
+
+// writePairs is the number of edge pairs per write request, and
+// maxLedger bounds a worker's outstanding inserted edges.
+const (
+	writePairs = 4
+	maxLedger  = 512
+)
 
 // LoadOptions configures one load run.
 type LoadOptions struct {
@@ -96,6 +111,22 @@ type LoadReport struct {
 	P90Micros  int64         `json:"p90_us"`
 	P99Micros  int64         `json:"p99_us"`
 	MaxMicros  int64         `json:"max_us"`
+
+	// Write-mix stats, populated only when the mix includes insert or
+	// delete. Writes are counted in Requests/QPS above but keep their
+	// own latency quantiles: a waited write spans a whole maintenance
+	// epoch and would otherwise dominate the read tail.
+	Writes         int64         `json:"writes,omitempty"`
+	PairsInserted  int64         `json:"pairs_inserted,omitempty"`
+	PairsDeleted   int64         `json:"pairs_deleted,omitempty"`
+	FellBack       int64         `json:"fell_back,omitempty"` // write requests whose batch abandoned locality
+	AppliedBatches int64         `json:"applied_batches,omitempty"`
+	WP50           time.Duration `json:"-"`
+	WP99           time.Duration `json:"-"`
+	WMax           time.Duration `json:"-"`
+	WP50Micros     int64         `json:"write_p50_us,omitempty"`
+	WP99Micros     int64         `json:"write_p99_us,omitempty"`
+	WMaxMicros     int64         `json:"write_max_us,omitempty"`
 }
 
 // RunLoad bootstraps against the target (resolving the query level and
@@ -165,18 +196,116 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadReport, error) {
 		return LoadReport{}, fmt.Errorf("%w: mix selects no endpoints", ErrUsage)
 	}
 
+	// Write-mix bootstrap: each worker owns the fresh upper vertex
+	// upperBase+wkr, and attaches lower vertices drawn from the
+	// k-bitruss sample — new edges that close butterflies with the
+	// existing structure, so maintenance does real work. The applied
+	// epoch count is measured as the mutation-log epoch delta across
+	// the run.
+	hasWrites := opt.Mix["insert"] > 0 || opt.Mix["delete"] > 0
+	var (
+		lowers     []int
+		upperBase  int
+		epochStart int64
+	)
+	if hasWrites {
+		info, err := ds.Get(ctx)
+		if err != nil {
+			return LoadReport{}, fmt.Errorf("bootstrap dataset: %w", err)
+		}
+		upperBase = info.Upper
+		seen := make(map[int]bool, len(edges))
+		for _, e := range edges {
+			if v := int(e.V); !seen[v] {
+				seen[v] = true
+				lowers = append(lowers, v)
+			}
+		}
+		if vi, err := ds.Version(ctx); err == nil && vi.LastMutation != nil {
+			epochStart = vi.LastMutation.Epoch
+		}
+	}
+
 	runCtx, cancel := context.WithTimeout(ctx, opt.Duration)
 	defer cancel()
 
 	type workerState struct {
 		lats       []time.Duration
+		wlats      []time.Duration
 		requests   int64
 		notFound   int64
 		errors     int64
 		violations int64
+		writes     int64
+		pairsIns   int64
+		pairsDel   int64
+		fellBack   int64
+		upper      int          // worker-owned fresh upper vertex
+		ledger     []int        // lowers currently attached to upper
+		inLedger   map[int]bool // membership index over ledger
+	}
+	// write issues one waited mutation. Inserts attach unledgered
+	// sampled lowers to the worker's upper vertex; deletes detach
+	// ledgered ones, so the run only ever removes edges it created.
+	// When the requested direction has nothing to do (empty or full
+	// ledger) the op flips, keeping any insert/delete weight ratio
+	// productive. Ledger updates are optimistic: a failed insert may
+	// leave phantom entries, but deleting an absent edge is a no-op
+	// server-side, so the run stays self-consistent.
+	var write func(st *workerState, rng *rand.Rand, del bool) error
+	write = func(st *workerState, rng *rand.Rand, del bool) error {
+		if del && len(st.ledger) == 0 {
+			del = false
+		} else if !del && len(st.ledger) >= maxLedger {
+			del = true
+		}
+		pairs := make([][2]int, 0, writePairs)
+		if del {
+			for i := 0; i < writePairs && len(st.ledger) > 0; i++ {
+				j := rng.Intn(len(st.ledger))
+				v := st.ledger[j]
+				st.ledger[j] = st.ledger[len(st.ledger)-1]
+				st.ledger = st.ledger[:len(st.ledger)-1]
+				delete(st.inLedger, v)
+				pairs = append(pairs, [2]int{st.upper, v})
+			}
+			res, err := ds.DeleteEdges(runCtx, pairs, true)
+			if err != nil {
+				return err
+			}
+			st.writes++
+			st.pairsDel += int64(res.Deleted)
+			if res.FellBack {
+				st.fellBack++
+			}
+			return nil
+		}
+		for tries := 0; len(pairs) < writePairs && tries < 8*writePairs; tries++ {
+			v := lowers[rng.Intn(len(lowers))]
+			if st.inLedger[v] {
+				continue
+			}
+			st.inLedger[v] = true
+			st.ledger = append(st.ledger, v)
+			pairs = append(pairs, [2]int{st.upper, v})
+		}
+		if len(pairs) == 0 {
+			// The ledger saturated the sampled lowers; drain instead.
+			return write(st, rng, true)
+		}
+		res, err := ds.Mutate(runCtx, client.MutateRequest{Insert: pairs, Wait: true})
+		if err != nil {
+			return err
+		}
+		st.writes++
+		st.pairsIns += int64(res.Inserted)
+		if res.FellBack {
+			st.fellBack++
+		}
+		return nil
 	}
 	// issue performs one closed-loop request through the typed client.
-	issue := func(rng *rand.Rand, ep string) error {
+	issue := func(st *workerState, rng *rand.Rand, ep string) error {
 		switch ep {
 		case "levels":
 			_, err := ds.Levels(runCtx)
@@ -214,6 +343,10 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadReport, error) {
 			}
 			_, err := ds.Batch(runCtx, qs)
 			return err
+		case "insert":
+			return write(st, rng, false)
+		case "delete":
+			return write(st, rng, true)
 		default:
 			return c.Health(runCtx)
 		}
@@ -228,11 +361,16 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadReport, error) {
 			defer wg.Done()
 			st := &states[wkr]
 			st.lats = make([]time.Duration, 0, 4096)
+			if hasWrites {
+				st.upper = upperBase + wkr
+				st.inLedger = make(map[int]bool, maxLedger)
+			}
 			rng := rand.New(rand.NewSource(opt.Seed + int64(wkr)*7919))
 			for runCtx.Err() == nil {
 				ep := table[rng.Intn(len(table))]
+				isWrite := ep == "insert" || ep == "delete"
 				t0 := time.Now()
-				err := issue(rng, ep)
+				err := issue(st, rng, ep)
 				lat := time.Since(t0)
 				if runCtx.Err() != nil {
 					return // the deadline cut this request short; don't count it
@@ -254,7 +392,11 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadReport, error) {
 					continue
 				}
 				st.requests++
-				st.lats = append(st.lats, lat)
+				if isWrite {
+					st.wlats = append(st.wlats, lat)
+				} else {
+					st.lats = append(st.lats, lat)
+				}
 				switch {
 				case err == nil:
 				case malformed:
@@ -278,28 +420,60 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadReport, error) {
 	elapsed := time.Since(start)
 
 	rep := LoadReport{Duration: elapsed, DurationS: elapsed.Seconds(), K: k}
-	var all []time.Duration
+	var all, wall []time.Duration
 	for i := range states {
 		rep.Requests += states[i].requests
 		rep.NotFound += states[i].notFound
 		rep.Errors += states[i].errors
 		rep.Violations += states[i].violations
+		rep.Writes += states[i].writes
+		rep.PairsInserted += states[i].pairsIns
+		rep.PairsDeleted += states[i].pairsDel
+		rep.FellBack += states[i].fellBack
 		all = append(all, states[i].lats...)
+		wall = append(wall, states[i].wlats...)
 	}
 	if elapsed > 0 {
 		rep.QPS = float64(rep.Requests) / elapsed.Seconds()
 	}
+	quantiles := func(samples []time.Duration) (p50, p90, p99, max time.Duration) {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		q := func(p float64) time.Duration { return samples[int(p*float64(len(samples)-1))] }
+		return q(0.50), q(0.90), q(0.99), samples[len(samples)-1]
+	}
 	if len(all) > 0 {
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		q := func(p float64) time.Duration {
-			i := int(p * float64(len(all)-1))
-			return all[i]
-		}
-		rep.P50, rep.P90, rep.P99, rep.Max = q(0.50), q(0.90), q(0.99), all[len(all)-1]
+		rep.P50, rep.P90, rep.P99, rep.Max = quantiles(all)
 		rep.P50Micros = rep.P50.Microseconds()
 		rep.P90Micros = rep.P90.Microseconds()
 		rep.P99Micros = rep.P99.Microseconds()
 		rep.MaxMicros = rep.Max.Microseconds()
+	}
+	if len(wall) > 0 {
+		rep.WP50, _, rep.WP99, rep.WMax = quantiles(wall)
+		rep.WP50Micros = rep.WP50.Microseconds()
+		rep.WP99Micros = rep.WP99.Microseconds()
+		rep.WMaxMicros = rep.WMax.Microseconds()
+	}
+	if hasWrites && rep.Writes > 0 {
+		// Applied batches = applier-epoch delta across the run. Waited
+		// writes ack only after their epoch publishes, so by the time
+		// the workers drain the log's last record covers every write;
+		// one short poll rides out a final coalesced batch racing the
+		// deadline.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			vi, err := ds.Version(ctx)
+			if err == nil && vi.LastMutation != nil {
+				rep.AppliedBatches = vi.LastMutation.Epoch - epochStart
+				if vi.Pending == 0 {
+					break
+				}
+			}
+			if time.Now().After(deadline) || ctx.Err() != nil {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
 	}
 	return rep, ctx.Err()
 }
@@ -340,7 +514,7 @@ func Load(args []string, stdout, stderr io.Writer) error {
 	dataset := fs.String("dataset", "", "dataset to query (required)")
 	workers := fs.Int("workers", 8, "closed-loop concurrency")
 	duration := fs.Duration("duration", 10*time.Second, "measured run length")
-	mixSpec := fs.String("mix", "", "endpoint mix as name=weight,... (default levels=2,communities=5,kbitruss=3,phi=2; also: support, community_of, batch)")
+	mixSpec := fs.String("mix", "", "endpoint mix as name=weight,... (default levels=2,communities=5,kbitruss=3,phi=2; also: support, community_of, batch, and the write ops insert, delete)")
 	k := fs.Int64("k", -1, "community level to query (-1 = median populated level)")
 	top := fs.Int("top", 10, "top parameter of /communities requests")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
@@ -380,6 +554,11 @@ func Load(args []string, stdout, stderr io.Writer) error {
 		rep.Requests, rep.Duration.Seconds(), *workers, rep.K)
 	fmt.Fprintf(stdout, "  qps       %.0f\n", rep.QPS)
 	fmt.Fprintf(stdout, "  latency   p50 %v   p90 %v   p99 %v   max %v\n", rep.P50, rep.P90, rep.P99, rep.Max)
+	if rep.Writes > 0 {
+		fmt.Fprintf(stdout, "  writes    %d (+%d/-%d pairs, %d applied batches, %d fell back)\n",
+			rep.Writes, rep.PairsInserted, rep.PairsDeleted, rep.AppliedBatches, rep.FellBack)
+		fmt.Fprintf(stdout, "  write lat p50 %v   p99 %v   max %v\n", rep.WP50, rep.WP99, rep.WMax)
+	}
 	if rep.NotFound > 0 {
 		fmt.Fprintf(stdout, "  not found %d\n", rep.NotFound)
 	}

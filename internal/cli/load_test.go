@@ -50,6 +50,8 @@ func TestLoadSmoke(t *testing.T) {
 	mix["kbitruss"] = 1
 	mix["support"] = 1
 	mix["batch"] = 2
+	mix["insert"] = 1
+	mix["delete"] = 1
 	rep, err := RunLoad(context.Background(), LoadOptions{
 		BaseURL:  ts.URL,
 		Dataset:  "bench",
@@ -77,8 +79,19 @@ func TestLoadSmoke(t *testing.T) {
 	if rep.P99 <= 0 || rep.P50 > rep.P99 {
 		t.Fatalf("implausible report: qps=%.1f p50=%v p99=%v", rep.QPS, rep.P50, rep.P99)
 	}
+	if rep.Writes == 0 || rep.PairsInserted == 0 {
+		t.Fatalf("write mix issued no mutations: %+v", rep)
+	}
+	if rep.AppliedBatches <= 0 {
+		t.Fatalf("write mix reported %d applied batches for %d writes", rep.AppliedBatches, rep.Writes)
+	}
+	if rep.WP99 <= 0 || rep.WP50 > rep.WP99 {
+		t.Fatalf("implausible write latencies: p50=%v p99=%v", rep.WP50, rep.WP99)
+	}
 	t.Logf("smoke: %d requests, %.0f qps, p50=%v p99=%v (%d not-found probes)",
 		rep.Requests, rep.QPS, rep.P50, rep.P99, rep.NotFound)
+	t.Logf("smoke writes: %d (+%d/-%d pairs) across %d applied batches, write p50=%v p99=%v",
+		rep.Writes, rep.PairsInserted, rep.PairsDeleted, rep.AppliedBatches, rep.WP50, rep.WP99)
 }
 
 // TestLoadCLI exercises the flag surface end to end.

@@ -46,8 +46,9 @@ func Serve(args []string, stdout, stderr io.Writer) error {
 	decompose := fs.Bool("decompose", true, "start decomposing preloaded datasets at startup")
 	algo := fs.String("algo", "bu++", "startup decomposition algorithm: bs, bu, bu+, bu++, bu++p, pc")
 	tau := fs.Float64("tau", 0, "BiT-PC threshold decrement fraction (0 = default)")
-	workers := fs.Int("workers", 0, "parallel workers for the startup decompositions")
+	workers := fs.Int("workers", 0, "parallel workers for the startup decompositions and later incremental maintenance")
 	ranges := fs.Int("ranges", 0, "coarse support ranges of the bu++p peeler (0 = derived from -workers)")
+	mutlog := fs.Int("mutlog", 0, "applied mutation-batch records retained per dataset (0 = default 128)")
 	cacheOn := fs.Bool("cache", true, "serve hot queries from the per-snapshot response cache")
 	cacheBytes := fs.Int64("cache-bytes", 32<<20, "response-cache bound per snapshot, in payload bytes (0 disables)")
 	prewarmLevels := fs.Int("prewarm-levels", 16, "bitruss levels whose top communities are pre-warmed on snapshot publish (0 disables)")
@@ -69,6 +70,9 @@ func Serve(args []string, stdout, stderr io.Writer) error {
 
 	eng := engine.New()
 	eng.SetCacheMaxBytes(*cacheBytes)
+	if *mutlog > 0 {
+		eng.SetMutationLogCap(*mutlog)
+	}
 	// Build the server before kicking off the startup decompositions:
 	// server.New registers the engine's publish hook, and a small
 	// dataset could finish decomposing (and publish its snapshot) before

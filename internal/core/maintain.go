@@ -133,11 +133,29 @@ func Maintain(oldG *bigraph.Graph, old *Result, newG *bigraph.Graph, rm *bigraph
 		_, oldSup = butterfly.CountAndSupports(oldG)
 	}
 
+	// Workers > 1 swaps every stage below for its parallel equivalent
+	// (see maintain_parallel.go); the output is identical either way.
+	workers := maintainWorkers(opt)
+
 	// Delta support counting (butterflies destroyed on the old graph,
-	// created on the new one — the two sets cannot overlap).
+	// created on the new one — the two sets cannot overlap). The
+	// parallel path uses the dense accumulator: maintenance reads the
+	// counts once per surviving edge, so the sparse map's hashing costs
+	// more than the O(|E|) arrays it saves.
 	t0 := time.Now()
-	cntDel, destroyed := butterfly.DeltaSupports(oldG, rm.Deleted)
-	cntIns, created := butterfly.DeltaSupports(newG, rm.Inserted)
+	var (
+		cntDel, cntIns         map[int32]int64
+		delArr, insArr         []int64
+		delTouched, insTouched []int32
+		destroyed, created     int64
+	)
+	if workers > 1 {
+		delArr, delTouched, destroyed = butterfly.DeltaSupportsDense(oldG, rm.Deleted, workers)
+		insArr, insTouched, created = butterfly.DeltaSupportsDense(newG, rm.Inserted, workers)
+	} else {
+		cntDel, destroyed = butterfly.DeltaSupports(oldG, rm.Deleted)
+		cntIns, created = butterfly.DeltaSupports(newG, rm.Inserted)
+	}
 	st.DeltaTime = time.Since(t0)
 
 	inserted := make([]bool, m2)
@@ -146,15 +164,28 @@ func Maintain(oldG *bigraph.Graph, old *Result, newG *bigraph.Graph, rm *bigraph
 	}
 	phiCarried := make([]int64, m2)
 	sup2 := make([]int64, m2)
-	for e1, e2 := range rm.OldToNew {
-		if e2 < 0 {
-			continue
+	if workers > 1 {
+		for e1, e2 := range rm.OldToNew {
+			if e2 < 0 {
+				continue
+			}
+			sup2[e2] = oldSup[e1] - delArr[e1]
+			phiCarried[e2] = old.Phi[e1]
 		}
-		sup2[e2] = oldSup[e1] - cntDel[int32(e1)]
-		phiCarried[e2] = old.Phi[e1]
-	}
-	for e2, c := range cntIns {
-		sup2[e2] += c
+		for _, e2 := range insTouched {
+			sup2[e2] += insArr[e2]
+		}
+	} else {
+		for e1, e2 := range rm.OldToNew {
+			if e2 < 0 {
+				continue
+			}
+			sup2[e2] = oldSup[e1] - cntDel[int32(e1)]
+			phiCarried[e2] = old.Phi[e1]
+		}
+		for e2, c := range cntIns {
+			sup2[e2] += c
+		}
 	}
 	for e2, s := range sup2 {
 		if s < 0 {
@@ -169,9 +200,13 @@ func Maintain(oldG *bigraph.Graph, old *Result, newG *bigraph.Graph, rm *bigraph
 			kstar = old.Phi[d]
 		}
 	}
-	for _, i2 := range rm.Inserted {
-		if b := butterfly.PhiUpperBound(newG, i2, sup2); b > kstar {
-			kstar = b
+	if workers > 1 && len(rm.Inserted) > 0 {
+		kstar = maintainKStarParallel(newG, rm.Inserted, sup2, workers, kstar)
+	} else {
+		for _, i2 := range rm.Inserted {
+			if b := butterfly.PhiUpperBound(newG, i2, sup2); b > kstar {
+				kstar = b
+			}
 		}
 	}
 	st.KStar = kstar
@@ -205,31 +240,54 @@ func Maintain(oldG *bigraph.Graph, old *Result, newG *bigraph.Graph, rm *bigraph
 	for _, i2 := range rm.Inserted {
 		add(i2)
 	}
-	for e1 := range cntDel {
-		if e2 := rm.OldToNew[e1]; e2 >= 0 {
+	if workers > 1 {
+		for _, e1 := range delTouched {
+			if e2 := rm.OldToNew[e1]; e2 >= 0 {
+				add(e2)
+			}
+		}
+		for _, e2 := range insTouched {
 			add(e2)
 		}
-	}
-	for e2 := range cntIns {
-		add(e2)
+	} else {
+		for e1 := range cntDel {
+			if e2 := rm.OldToNew[e1]; e2 >= 0 {
+				add(e2)
+			}
+		}
+		for e2 := range cntIns {
+			add(e2)
+		}
 	}
 	st.Seeds = len(cand)
 
+	// border holds the frozen edges appearing in candidate butterflies;
+	// only the parallel peel needs it (its subgraph must keep the frozen
+	// boundary alive — the serial peel walks the full graph instead).
+	var border []int32
 	overflow := len(cand) > maxCand
-	for i := 0; i < len(cand) && !overflow; i++ {
-		if cancel.hit() {
-			return nil, nil, ErrCancelled
+	if workers > 1 {
+		var cerr error
+		cand, border, overflow, cerr = maintainClosureParallel(newG, frozen, sup2, cand, maxCand, workers, cancel)
+		if cerr != nil {
+			return nil, nil, cerr
 		}
-		butterfly.ForEachButterflyOfEdge(newG, cand[i], nil, func(e2, e3, e4 int32) bool {
-			add(e2)
-			add(e3)
-			add(e4)
-			if len(cand) > maxCand {
-				overflow = true
-				return false
+	} else {
+		for i := 0; i < len(cand) && !overflow; i++ {
+			if cancel.hit() {
+				return nil, nil, ErrCancelled
 			}
-			return true
-		})
+			butterfly.ForEachButterflyOfEdge(newG, cand[i], nil, func(e2, e3, e4 int32) bool {
+				add(e2)
+				add(e3)
+				add(e4)
+				if len(cand) > maxCand {
+					overflow = true
+					return false
+				}
+				return true
+			})
+		}
 	}
 	st.ClosureTime = time.Since(t1)
 	st.Candidates = len(cand)
@@ -241,82 +299,91 @@ func Maintain(oldG *bigraph.Graph, old *Result, newG *bigraph.Graph, rm *bigraph
 	// Re-peel the closure: frozen and non-candidate edges are
 	// permanently alive (non-candidates never share a butterfly with a
 	// candidate, so treating them as alive is vacuous; frozen edges
-	// genuinely outlive every candidate level).
+	// genuinely outlive every candidate level). Workers > 1 runs the
+	// coarse/fine range peeler over the closure subgraph instead.
 	t2 := time.Now()
 	phi2 := make([]int64, m2)
 	copy(phi2, phiCarried)
-	local := make([]int32, m2)
-	for i := range local {
-		local[i] = -1
-	}
-	vals := make([]int64, len(cand))
-	for li, e := range cand {
-		local[e] = int32(li)
-		vals[li] = sup2[e]
-	}
-	cur := append([]int64(nil), vals...)
-	q := bucket.New(vals)
-	removed := make([]bool, len(cand))
-	aliveEdge := func(f int32) bool {
-		lf := local[f]
-		return lf < 0 || !removed[lf]
-	}
-	mark := make([]int32, newG.NumVertices())
-	for i := range mark {
-		mark[i] = -1
-	}
 	var updates int64
-	for q.Len() > 0 {
-		if cancel.hit() {
-			return nil, nil, ErrCancelled
+	if workers > 1 {
+		var perr error
+		updates, perr = maintainPeelParallel(newG, cand, border, frozen, phi2, opt, workers)
+		if perr != nil {
+			return nil, nil, perr
 		}
-		le, s := q.PopMin()
-		e := cand[le]
-		phi2[e] = s
-		removed[le] = true
-		ed := newG.Edge(e)
-		u, v := ed.U, ed.V
-
-		nbrsU, eidsU := newG.Neighbors(u)
-		for i, x := range nbrsU {
-			if x != v && aliveEdge(eidsU[i]) {
-				mark[x] = eidsU[i]
-			}
+	} else {
+		local := make([]int32, m2)
+		for i := range local {
+			local[i] = -1
 		}
-		nbrsV, eidsV := newG.Neighbors(v)
-		for j, w := range nbrsV {
-			ewv := eidsV[j]
-			if w == u || !aliveEdge(ewv) {
-				continue
-			}
+		vals := make([]int64, len(cand))
+		for li, e := range cand {
+			local[e] = int32(li)
+			vals[li] = sup2[e]
+		}
+		cur := append([]int64(nil), vals...)
+		q := bucket.New(vals)
+		removed := make([]bool, len(cand))
+		aliveEdge := func(f int32) bool {
+			lf := local[f]
+			return lf < 0 || !removed[lf]
+		}
+		mark := make([]int32, newG.NumVertices())
+		for i := range mark {
+			mark[i] = -1
+		}
+		for q.Len() > 0 {
 			if cancel.hit() {
 				return nil, nil, ErrCancelled
 			}
-			nbrsW, eidsW := newG.Neighbors(w)
-			for l, x := range nbrsW {
-				ewx := eidsW[l]
-				if x == v || !aliveEdge(ewx) {
+			le, s := q.PopMin()
+			e := cand[le]
+			phi2[e] = s
+			removed[le] = true
+			ed := newG.Edge(e)
+			u, v := ed.U, ed.V
+
+			nbrsU, eidsU := newG.Neighbors(u)
+			for i, x := range nbrsU {
+				if x != v && aliveEdge(eidsU[i]) {
+					mark[x] = eidsU[i]
+				}
+			}
+			nbrsV, eidsV := newG.Neighbors(v)
+			for j, w := range nbrsV {
+				ewv := eidsV[j]
+				if w == u || !aliveEdge(ewv) {
 					continue
 				}
-				eux := mark[x]
-				if eux < 0 {
-					continue
+				if cancel.hit() {
+					return nil, nil, ErrCancelled
 				}
-				// Butterfly [u, v, w, x]: the three other edges lose the
-				// butterfly destroyed by removing e, clamped at the
-				// current level as in Algorithm 1.
-				for _, f := range [3]int32{eux, ewv, ewx} {
-					lf := local[f]
-					if lf >= 0 && !removed[lf] && cur[lf] > s {
-						cur[lf]--
-						q.Update(lf, cur[lf])
-						updates++
+				nbrsW, eidsW := newG.Neighbors(w)
+				for l, x := range nbrsW {
+					ewx := eidsW[l]
+					if x == v || !aliveEdge(ewx) {
+						continue
+					}
+					eux := mark[x]
+					if eux < 0 {
+						continue
+					}
+					// Butterfly [u, v, w, x]: the three other edges lose the
+					// butterfly destroyed by removing e, clamped at the
+					// current level as in Algorithm 1.
+					for _, f := range [3]int32{eux, ewv, ewx} {
+						lf := local[f]
+						if lf >= 0 && !removed[lf] && cur[lf] > s {
+							cur[lf]--
+							q.Update(lf, cur[lf])
+							updates++
+						}
 					}
 				}
 			}
-		}
-		for _, x := range nbrsU {
-			mark[x] = -1
+			for _, x := range nbrsU {
+				mark[x] = -1
+			}
 		}
 	}
 	st.PeelTime = time.Since(t2)

@@ -73,7 +73,7 @@ func runBUParallel(g *bigraph.Graph, opt Options) (*Result, error) {
 	res.Metrics.Iterations = len(bounds)
 
 	t1 := time.Now()
-	rangeOf, cdAcct, err := coarseDecompose(ix, bounds, workers, opt, orig)
+	rangeOf, cdAcct, err := coarseDecompose(ix, bounds, workers, opt, orig, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +150,13 @@ type cdWorker struct {
 // coarseDecompose assigns every edge its coarse range index by threshold
 // peeling over the read-only BE-Index. It mutates the index supports (via
 // the atomic accessors) and returns rangeOf[e] = i ⇔ φ(e) ∈ [t_{i-1}, t_i).
-func coarseDecompose(ix *bloom.Index, bounds []int64, workers int, opt Options, orig []int64) ([]int32, *accounting, error) {
+//
+// assigned, when non-nil, marks edges excluded from the peel (ix must
+// then be the matching compressed index): assigned edges never enter
+// the queue, never die, and keep rangeOf 0 — the caller gives them a
+// sentinel range. Incremental maintenance uses this to threshold-peel
+// an affected closure with its frozen boundary permanently alive.
+func coarseDecompose(ix *bloom.Index, bounds []int64, workers int, opt Options, orig []int64, assigned []bool) ([]int32, *accounting, error) {
 	m := len(orig)
 	died := make([]int32, m) // round the edge died in, or -1 while alive
 	for e := range died {
@@ -162,7 +168,12 @@ func coarseDecompose(ix *bloom.Index, bounds []int64, workers int, opt Options, 
 	// sweep seed oracle: PopBelow(t_i) yields the alive edges that start
 	// below the threshold; edges dragged below it by earlier deletions
 	// are caught by the crossing detection in cdDecrement instead.
-	q := bucket.New(orig)
+	var q *bucket.Queue
+	if assigned == nil {
+		q = bucket.New(orig)
+	} else {
+		q = newIndexedBucket(ix, assigned)
+	}
 	pending := make([][]int32, len(bounds))
 	ws := make([]cdWorker, workers)
 	for w := range ws {
@@ -289,11 +300,21 @@ func coarseDecompose(ix *bloom.Index, bounds []int64, workers int, opt Options, 
 // when both die this round), and a surviving twin loses all live−1
 // butterflies it had inside the bloom — every butterfly of the bloom
 // pairs the twin's wedge with another wedge intact at round start
-// (Lemma 2).
+// (Lemma 2). On a compressed index the twin may be assigned (incidence
+// twin -1): the wedge still dies and is counted by e alone — an
+// assigned twin never dies and its support is not tracked, so there is
+// nothing to decrement (mirroring RemoveBatch's j < 0 path).
 func cdDetachEdge(ix *bloom.Index, e int32, died []int32, round int32, bounds []int64, sweep int, bloomLive, pairCnt []int32, cw *cdWorker) {
 	for _, inc := range ix.IncidenceIDsOfEdge(e) {
 		b := ix.IncidenceBloom(inc)
-		te := ix.IncidenceEdge(ix.IncidenceTwin(inc))
+		tw := ix.IncidenceTwin(inc)
+		if tw < 0 {
+			if atomic.AddInt32(&pairCnt[b], 1) == 1 {
+				cw.touched = append(cw.touched, b)
+			}
+			continue
+		}
+		te := ix.IncidenceEdge(tw)
 		dte := died[te]
 		if dte >= 0 && dte < round {
 			continue // the wedge died with te in an earlier round
@@ -312,9 +333,19 @@ func cdDetachEdge(ix *bloom.Index, e int32, died []int32, round int32, bounds []
 
 // cdSweepBloom charges every wedge of bloom b that survives this round
 // the c butterflies it lost — one per wedge of b that died this round.
+// Compressed-index wedges whose twin is assigned surface as a single
+// incidence with twin -1: the wedge survives iff its indexed member is
+// alive (the assigned member never dies), and only that member's
+// support is tracked.
 func cdSweepBloom(ix *bloom.Index, b int32, died []int32, bounds []int64, sweep int, c int32, cw *cdWorker) {
 	for _, k := range ix.IncidenceIDsOfBloom(b) {
 		kj := ix.IncidenceTwin(k)
+		if kj < 0 {
+			if f := ix.IncidenceEdge(k); died[f] < 0 {
+				cdDecrement(ix, f, int64(c), bounds, sweep, cw)
+			}
+			continue
+		}
 		if k >= kj {
 			continue // visit each wedge through its smaller incidence
 		}

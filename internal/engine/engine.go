@@ -160,8 +160,10 @@ type MutateResult struct {
 	Duration   time.Duration
 }
 
-// MutationRecord is one applied batch in a dataset's mutation log.
+// MutationRecord is one applied batch — one epoch of the applier
+// pipeline — in a dataset's mutation log.
 type MutationRecord struct {
+	Epoch      int64 // 1-based applied-batch sequence number of the dataset
 	Version    int64 // version the batch produced
 	Requests   int   // mutation requests coalesced into the batch
 	Inserted   int
@@ -170,11 +172,59 @@ type MutationRecord struct {
 	FellBack   bool
 	Candidates int
 	ChangedPhi int
-	Duration   time.Duration
+	Workers    int // fan-out the maintenance and index phases ran with
+
+	// Per-phase wall times of the epoch (see the epoch type): staging
+	// the coalesced graph delta, parallel butterfly delta counting,
+	// closure + re-peel (or the fallback decomposition), community
+	// index update, and cache pre-warm + atomic snapshot swap.
+	StageTime   time.Duration
+	DeltaTime   time.Duration
+	PeelTime    time.Duration
+	IndexTime   time.Duration
+	PublishTime time.Duration
+	Duration    time.Duration // end-to-end epoch time
 }
 
-// mutationLogCap bounds the retained mutation history per dataset.
-const mutationLogCap = 128
+// DefaultMutationLogCap is the per-dataset mutation-history retention
+// unless overridden with SetMutationLogCap.
+const DefaultMutationLogCap = 128
+
+// mutLog is a fixed-capacity ring buffer of applied-batch records:
+// once full, each append overwrites the oldest entry in place, so a
+// dataset under sustained writes retains its most recent epochs at
+// O(cap) memory with no reallocation or copying churn.
+type mutLog struct {
+	buf  []MutationRecord
+	head int // index of the oldest record
+	n    int // live records
+}
+
+func newMutLog(capacity int) *mutLog {
+	if capacity <= 0 {
+		capacity = DefaultMutationLogCap
+	}
+	return &mutLog{buf: make([]MutationRecord, capacity)}
+}
+
+func (l *mutLog) add(rec MutationRecord) {
+	if l.n < len(l.buf) {
+		l.buf[(l.head+l.n)%len(l.buf)] = rec
+		l.n++
+		return
+	}
+	l.buf[l.head] = rec
+	l.head = (l.head + 1) % len(l.buf)
+}
+
+// records returns the retained history oldest-first.
+func (l *mutLog) records() []MutationRecord {
+	out := make([]MutationRecord, l.n)
+	for i := range out {
+		out[i] = l.buf[(l.head+i)%len(l.buf)]
+	}
+	return out
+}
 
 // mutOp is one staged mutation request.
 type mutOp struct {
@@ -191,15 +241,19 @@ type mutOutcome struct {
 type dataset struct {
 	name string
 
-	mu         sync.RWMutex // guards snap, status, err, cancel, done, log, idxWorkers
-	snap       *snapshot
-	status     Status
-	runAlgo    core.Algorithm // algorithm of the in-flight run
-	err        error
-	cancel     context.CancelFunc
-	done       chan struct{} // closed when the in-flight decomposition ends
-	log        []MutationRecord
-	idxWorkers int // Workers of the cached decomposition: index rebuild fan-out
+	mu      sync.RWMutex // guards snap, status, err, cancel, done, log, epochs, workers, ranges
+	snap    *snapshot
+	status  Status
+	runAlgo core.Algorithm // algorithm of the in-flight run
+	err     error
+	cancel  context.CancelFunc
+	done    chan struct{} // closed when the in-flight decomposition ends
+	log     *mutLog
+	epochs  int64 // applied-batch count; stamps MutationRecord.Epoch
+	// workers/ranges of the cached decomposition: fan-out for the
+	// maintenance and index phases of subsequent epochs.
+	workers int
+	ranges  int
 
 	// workMu serialises snapshot-producing work (decompositions and
 	// mutation applications); queries never take it.
@@ -219,6 +273,7 @@ type Engine struct {
 	datasets map[string]*dataset
 
 	cacheMaxBytes atomic.Int64 // per-snapshot response cache bound; <= 0 disables
+	mutLogCap     atomic.Int64 // mutation-log ring capacity for new datasets
 	onPublish     atomic.Value // func(dataset string, v *View), may hold nil
 
 	closeOnce sync.Once
@@ -229,8 +284,15 @@ type Engine struct {
 func New() *Engine {
 	e := &Engine{datasets: make(map[string]*dataset), closed: make(chan struct{})}
 	e.cacheMaxBytes.Store(defaultCacheMaxBytes)
+	e.mutLogCap.Store(DefaultMutationLogCap)
 	return e
 }
+
+// SetMutationLogCap sets the per-dataset mutation-log ring capacity
+// (number of retained applied-batch records); n <= 0 restores
+// DefaultMutationLogCap. The setting applies to datasets registered
+// afterwards — typically call it once at startup.
+func (e *Engine) SetMutationLogCap(n int) { e.mutLogCap.Store(int64(n)) }
 
 // SetCacheMaxBytes bounds the per-snapshot query-response cache (in
 // payload bytes); n <= 0 disables caching entirely. The setting applies
@@ -302,6 +364,7 @@ func (e *Engine) Register(name string, g *bigraph.Graph) error {
 		name:   name,
 		snap:   &snapshot{version: g.Version(), g: g, cache: e.newCache()},
 		status: StatusLoaded,
+		log:    newMutLog(int(e.mutLogCap.Load())),
 	}
 	return nil
 }
@@ -406,7 +469,12 @@ func (ds *dataset) info() DatasetInfo {
 }
 
 // MutationLog returns the dataset's applied-batch history, oldest
-// first (capped at the most recent entries).
+// first. Retention is a fixed-capacity ring (SetMutationLogCap,
+// default DefaultMutationLogCap): once full, every applied batch
+// evicts the oldest record, so the result holds the most recent
+// min(cap, applied) epochs and the first record's Epoch exceeds 1 once
+// eviction has started. Epoch numbers are contiguous and 1-based over
+// the dataset's lifetime; no-op batches produce no record.
 func (e *Engine) MutationLog(name string) ([]MutationRecord, error) {
 	ds, err := e.dataset(name)
 	if err != nil {
@@ -414,7 +482,7 @@ func (e *Engine) MutationLog(name string) ([]MutationRecord, error) {
 	}
 	ds.mu.RLock()
 	defer ds.mu.RUnlock()
-	return append([]MutationRecord(nil), ds.log...), nil
+	return ds.log.records(), nil
 }
 
 // StartDecompose launches the decomposition of a dataset in the
@@ -495,7 +563,8 @@ func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) e
 		} else {
 			ds.status = StatusReady
 			ds.snap = newSnap
-			ds.idxWorkers = opt.Workers
+			ds.workers = opt.Workers
+			ds.ranges = opt.Ranges
 			ds.err = nil
 		}
 		ds.cancel = nil
@@ -605,8 +674,12 @@ func (e *Engine) Mutate(ctx context.Context, name string, req MutateRequest) (Mu
 	}
 }
 
-// applyLoop drains the pending mutation queue in batches until it is
-// empty, then exits (a later Mutate restarts it).
+// applyLoop drains the pending mutation queue one epoch at a time
+// until the queue is empty, then exits (a later Mutate restarts it).
+// Epochs pipeline naturally: Mutate stages requests for epoch N+1
+// under pendMu the whole time epoch N computes (staging never touches
+// workMu), and queries read the previous snapshot lock-free until the
+// publish phase swaps its successor in.
 func (ds *dataset) applyLoop(e *Engine) {
 	for {
 		ds.pendMu.Lock()
@@ -622,32 +695,59 @@ func (ds *dataset) applyLoop(e *Engine) {
 	}
 }
 
-// applyBatch coalesces the staged requests into one delta, produces
-// the next snapshot (maintaining the decomposition incrementally when
-// one exists) and swaps it in. Queries keep hitting the old snapshot
-// until the swap.
+// epoch is one pass of the applier pipeline: a coalesced batch of
+// staged mutation requests carried through explicit phases on the
+// dataset's single applier goroutine —
 //
-// It writes snapshot fields, legally: next is freshly built here and
-// unpublished until the ds.snap swap under the write lock.
+//	stage    coalesce the requests into one graph delta and apply it
+//	maintain parallel butterfly delta counting + parallel re-peel of
+//	         the affected closure (core.Maintain at the dataset's
+//	         worker fan-out)
+//	index    parallel community-index update
+//	publish  cache pre-warm, then the atomic snapshot swap
+//
+// Only publish takes the dataset write lock, and only for the swap:
+// for the whole computing span of an epoch, reads serve the previous
+// snapshot untouched, and new requests stage the next epoch's batch.
+type epoch struct {
+	eng   *Engine
+	ds    *dataset
+	batch []*mutOp
+	start time.Time
+
+	base    *snapshot // snapshot the epoch builds on
+	next    *snapshot // successor; published only by publish()
+	rm      *bigraph.Remap
+	stats   *core.MaintainStats
+	workers int
+	ranges  int
+
+	rec  MutationRecord
+	info MutateResult
+}
+
+func newEpoch(e *Engine, ds *dataset, batch []*mutOp) *epoch {
+	ep := &epoch{eng: e, ds: ds, batch: batch, start: time.Now()}
+	ds.mu.RLock()
+	ep.base = ds.snap
+	ep.workers = ds.workers
+	ep.ranges = ds.ranges
+	ds.mu.RUnlock()
+	return ep
+}
+
+// stage coalesces the batch into one graph delta and applies it,
+// producing the next snapshot shell (graph only). It returns false —
+// with the no-op result filled in — when the coalesced delta is empty.
+//
+// It writes fields of ep.next, legally: the snapshot is freshly built
+// here and unpublished until publish()'s swap.
 //
 //bitlint:owner
-func (ds *dataset) applyBatch(e *Engine, batch []*mutOp) {
-	ds.workMu.Lock()
-	start := time.Now()
-	ds.mu.RLock()
-	snap := ds.snap
-	idxWorkers := ds.idxWorkers
-	ds.mu.RUnlock()
-
-	finish := func(info MutateResult, err error) {
-		ds.workMu.Unlock()
-		for _, op := range batch {
-			op.done <- mutOutcome{info: info, err: err}
-		}
-	}
-
-	delta := bigraph.NewDelta(snap.g)
-	for _, op := range batch {
+func (ep *epoch) stage() (bool, error) {
+	t0 := time.Now()
+	delta := bigraph.NewDelta(ep.base.g)
+	for _, op := range ep.batch {
 		for _, p := range op.req.Insert {
 			delta.Insert(p[0], p[1])
 		}
@@ -656,65 +756,126 @@ func (ds *dataset) applyBatch(e *Engine, batch []*mutOp) {
 		}
 	}
 	if delta.Empty() {
-		finish(MutateResult{Version: snap.version, Applied: false, Duration: time.Since(start)}, nil)
-		return
+		ep.info = MutateResult{Version: ep.base.version, Applied: false, Duration: time.Since(ep.start)}
+		return false, nil
 	}
 	g2, rm, err := delta.Apply()
 	if err != nil {
-		finish(MutateResult{}, err)
-		return
+		return false, err
 	}
-
-	next := &snapshot{version: g2.Version(), g: g2, algo: snap.algo, cache: e.newCache()}
-	info := MutateResult{
+	ep.rm = rm
+	ep.next = &snapshot{version: g2.Version(), g: g2, algo: ep.base.algo, cache: ep.eng.newCache()}
+	ep.rec.StageTime = time.Since(t0)
+	ep.info = MutateResult{
 		Version:  g2.Version(),
 		Applied:  true,
 		Inserted: len(rm.Inserted),
 		Deleted:  len(rm.Deleted),
 	}
-	if snap.res != nil {
-		res2, stats, merr := core.Maintain(snap.g, snap.res, g2, rm, core.MaintainOptions{
-			Algorithm: snap.algo,
-			Cancel:    e.closed,
-		})
-		if merr != nil {
-			// Keep serving the old snapshot; the mutation is dropped.
-			finish(MutateResult{}, merr)
-			return
-		}
-		next.res = res2
-		next.idx = community.UpdateIndexParallel(snap.idx, g2, res2.Phi, rm, stats.MaxChangedLevel, idxWorkers)
-		info.Maintained = true
-		info.FellBack = stats.FellBack
-		info.Candidates = stats.Candidates
-		info.ChangedPhi = stats.ChangedPhi
-	}
-	info.Duration = time.Since(start)
+	return true, nil
+}
 
-	if next.res != nil {
+// maintain carries the decomposition across the staged delta with
+// core.Maintain at the dataset's worker fan-out — internally the
+// parallel delta-count and parallel re-peel phases, whose split is
+// surfaced in the record's DeltaTime/PeelTime.
+//
+//bitlint:owner
+func (ep *epoch) maintain() error {
+	res2, stats, err := core.Maintain(ep.base.g, ep.base.res, ep.next.g, ep.rm, core.MaintainOptions{
+		Algorithm: ep.base.algo,
+		Workers:   ep.workers,
+		Ranges:    ep.ranges,
+		Cancel:    ep.eng.closed,
+	})
+	if err != nil {
+		return err
+	}
+	ep.next.res = res2
+	ep.stats = stats
+	ep.rec.DeltaTime = stats.DeltaTime
+	ep.rec.PeelTime = stats.ClosureTime + stats.PeelTime
+	ep.info.Maintained = true
+	ep.info.FellBack = stats.FellBack
+	ep.info.Candidates = stats.Candidates
+	ep.info.ChangedPhi = stats.ChangedPhi
+	return nil
+}
+
+// index updates the community index onto the maintained decomposition
+// (parallel, bounded by the maintenance's changed-level ceiling).
+//
+//bitlint:owner
+func (ep *epoch) index() {
+	t0 := time.Now()
+	ep.next.idx = community.UpdateIndexParallel(ep.base.idx, ep.next.g, ep.next.res.Phi, ep.rm, ep.stats.MaxChangedLevel, ep.workers)
+	ep.rec.IndexTime = time.Since(t0)
+}
+
+// publish makes the epoch's snapshot the served one: pre-warm the
+// fresh cache while the previous snapshot still answers, then swap
+// atomically under the write lock and append the epoch's record to the
+// mutation log ring.
+//
+//bitlint:owner
+func (ep *epoch) publish() {
+	t0 := time.Now()
+	if ep.next.res != nil {
 		// Pre-warm before the swap: queries keep answering from the old
 		// snapshot while the new one's cache is primed, and the first
 		// request against the new version can already hit.
-		e.firePublish(ds.name, next)
+		ep.eng.firePublish(ep.ds.name, ep.next)
 	}
+	ds := ep.ds
 	ds.mu.Lock()
-	ds.snap = next
-	ds.log = append(ds.log, MutationRecord{
-		Version:    info.Version,
-		Requests:   len(batch),
-		Inserted:   info.Inserted,
-		Deleted:    info.Deleted,
-		Maintained: info.Maintained,
-		FellBack:   info.FellBack,
-		Candidates: info.Candidates,
-		ChangedPhi: info.ChangedPhi,
-		Duration:   info.Duration,
-	})
-	if len(ds.log) > mutationLogCap {
-		ds.log = ds.log[len(ds.log)-mutationLogCap:]
-	}
+	ds.snap = ep.next
+	ds.epochs++
+	ep.rec.Epoch = ds.epochs
+	ep.rec.Version = ep.info.Version
+	ep.rec.Requests = len(ep.batch)
+	ep.rec.Inserted = ep.info.Inserted
+	ep.rec.Deleted = ep.info.Deleted
+	ep.rec.Maintained = ep.info.Maintained
+	ep.rec.FellBack = ep.info.FellBack
+	ep.rec.Candidates = ep.info.Candidates
+	ep.rec.ChangedPhi = ep.info.ChangedPhi
+	ep.rec.Workers = ep.workers
+	ep.rec.PublishTime = time.Since(t0)
+	ep.rec.Duration = time.Since(ep.start)
+	ep.info.Duration = ep.rec.Duration
+	ds.log.add(ep.rec)
 	ds.mu.Unlock()
-	finish(info, nil)
+}
+
+// applyBatch runs one epoch: stage -> maintain -> index -> publish.
+// Failures before publish keep the previous snapshot serving and
+// report the error to every waiter of the batch.
+func (ds *dataset) applyBatch(e *Engine, batch []*mutOp) {
+	ds.workMu.Lock()
+	ep := newEpoch(e, ds, batch)
+	finish := func(err error) {
+		ds.workMu.Unlock()
+		for _, op := range batch {
+			op.done <- mutOutcome{info: ep.info, err: err}
+		}
+	}
+
+	staged, err := ep.stage()
+	if err != nil || !staged {
+		finish(err)
+		return
+	}
+	if ep.base.res != nil {
+		if err := ep.maintain(); err != nil {
+			// Keep serving the old snapshot; the mutation is dropped.
+			ep.info = MutateResult{}
+			finish(err)
+			return
+		}
+		ep.index()
+	}
+	ep.publish()
+	finish(nil)
 }
 
 // Shutdown cancels all in-flight decompositions and pending

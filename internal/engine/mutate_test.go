@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -272,6 +273,150 @@ func TestMutateUnderLoad(t *testing.T) {
 		}(int64(100 + q))
 	}
 	wg.Wait()
+}
+
+// TestMutateUnderLoadParallel drives concurrent waited mutations and
+// snapshot queries with the maintenance fan-out enabled (workers 4)
+// and GOMAXPROCS raised, so the epoch pipeline runs genuinely
+// concurrent: epoch N+1 stages while epoch N maintains, queries serve
+// the previous snapshot lock-free throughout, and every applied batch
+// lands one mutation-log record. Run under -race in CI. Afterwards it
+// audits the log against the ring contract — contiguous epoch numbers,
+// the newest records retained at a small cap, the configured fan-out
+// and per-phase wall times recorded — and cross-validates the final
+// snapshot against a fresh decomposition.
+func TestMutateUnderLoadParallel(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	ctx := context.Background()
+	e := New()
+	const logCap = 8
+	e.SetMutationLogCap(logCap)
+	base := gen.Uniform(60, 60, 700, 9)
+	if err := e.Register("d", base); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Decompose(ctx, "d", Options{Algorithm: core.BiTBUPlusPlus, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var qwg, mwg sync.WaitGroup
+
+	// Queriers hammer the served snapshot while epochs apply; every
+	// View must be a coherent single-version decomposition.
+	for q := 0; q < 3; q++ {
+		qwg.Add(1)
+		go func(seed int64) {
+			defer qwg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				vw, err := e.View("d")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				levels, err := vw.Levels()
+				if err != nil || len(levels) == 0 {
+					t.Errorf("version %d: levels %v err %v", vw.Version(), levels, err)
+					return
+				}
+				if _, _, err := vw.TopCommunities(levels[rng.Intn(len(levels))], 5); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(7 + q))
+	}
+
+	// Two mutators issue waited batches concurrently, so requests
+	// coalesce across them and consecutive epochs overlap in the
+	// pipeline. Each batch carries one guaranteed-fresh insert (a
+	// mutator-owned new upper vertex, distinct lower per round) so
+	// every round applies and the epoch counter outruns the ring cap.
+	const rounds = 16
+	for m := 0; m < 2; m++ {
+		mwg.Add(1)
+		go func(m int) {
+			defer mwg.Done()
+			rng := rand.New(rand.NewSource(int64(31 + m)))
+			for b := 0; b < rounds; b++ {
+				req := MutateRequest{Wait: true, Insert: [][2]int{{61 + m, (7*b + m) % 60}}}
+				for i := 0; i < rng.Intn(3); i++ {
+					p := [2]int{rng.Intn(62), rng.Intn(62)}
+					if rng.Intn(2) == 0 {
+						req.Insert = append(req.Insert, p)
+					} else {
+						req.Delete = append(req.Delete, p)
+					}
+				}
+				if _, err := e.Mutate(ctx, "d", req); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(m)
+	}
+	mwg.Wait()
+	close(stop)
+	qwg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Ring contract: each waited mutator round lands in its own epoch,
+	// so at least 2*rounds epochs applied and the cap-8 ring wrapped,
+	// keeping only the newest records with contiguous epoch numbers.
+	log, err := e.MutationLog("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != logCap {
+		t.Fatalf("log kept %d records, want the full ring of %d", len(log), logCap)
+	}
+	last := log[len(log)-1]
+	if last.Epoch < 2*rounds {
+		t.Fatalf("last epoch %d, want >= %d applied batches", last.Epoch, 2*rounds)
+	}
+	for i, rec := range log {
+		if want := last.Epoch - int64(logCap-1-i); rec.Epoch != want {
+			t.Fatalf("record %d: epoch %d, want contiguous %d", i, rec.Epoch, want)
+		}
+		if i > 0 && rec.Version <= log[i-1].Version {
+			t.Fatalf("record %d: version %d not ascending after %d", i, rec.Version, log[i-1].Version)
+		}
+		if rec.Workers != 4 {
+			t.Fatalf("record %d: workers %d, want 4", i, rec.Workers)
+		}
+		if rec.Requests < 1 || !rec.Maintained {
+			t.Fatalf("record %d: %+v not a maintained batch", i, rec)
+		}
+		if rec.Duration <= 0 || rec.StageTime < 0 || rec.IndexTime < 0 || rec.PublishTime <= 0 {
+			t.Fatalf("record %d: implausible phase times %+v", i, rec)
+		}
+		if !rec.FellBack && rec.Candidates > 0 && rec.PeelTime <= 0 {
+			t.Fatalf("record %d: re-peeled %d candidates in no time: %+v", i, rec.Candidates, rec)
+		}
+	}
+
+	// The pipelined, parallel-maintained end state must equal a fresh
+	// decomposition of the final graph.
+	vw, err := e.View("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Decompose(vw.snap.g, core.Options{Algorithm: core.BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vw.snap.res.Phi, want.Phi) {
+		t.Fatal("maintained phi differs from fresh decomposition after parallel epochs")
+	}
 }
 
 func sortInt64s(s []int64) {

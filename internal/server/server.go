@@ -706,6 +706,7 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request, rc reqCtx
 	if log, err := s.eng.MutationLog(rc.name); err == nil && len(log) > 0 {
 		last := log[len(log)-1]
 		out["last_mutation"] = map[string]any{
+			"epoch":       last.Epoch,
 			"version":     last.Version,
 			"requests":    last.Requests,
 			"inserted":    last.Inserted,
@@ -714,6 +715,12 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request, rc reqCtx
 			"fell_back":   last.FellBack,
 			"candidates":  last.Candidates,
 			"changed_phi": last.ChangedPhi,
+			"workers":     last.Workers,
+			"stage_ms":    last.StageTime.Milliseconds(),
+			"delta_ms":    last.DeltaTime.Milliseconds(),
+			"peel_ms":     last.PeelTime.Milliseconds(),
+			"index_ms":    last.IndexTime.Milliseconds(),
+			"publish_ms":  last.PublishTime.Milliseconds(),
 			"apply_ms":    last.Duration.Milliseconds(),
 		}
 	}
