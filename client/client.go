@@ -325,6 +325,27 @@ func (d *DatasetClient) Decompose(ctx context.Context, req DecomposeRequest) (Da
 	return out, nil
 }
 
+// Job reads the live progress of one decomposition job (obtained from
+// Dataset.JobID of a Decompose response). Polling it while the job
+// runs observes Done/Percent advancing; retention is bounded, so very
+// old ids answer CodeNotFound.
+func (d *DatasetClient) Job(ctx context.Context, id int64) (JobInfo, error) {
+	var out JobInfo
+	if err := d.c.get(ctx, d.path+"/jobs/"+strconv.FormatInt(id, 10), nil, &out); err != nil {
+		return JobInfo{}, err
+	}
+	return out, nil
+}
+
+// Jobs lists the dataset's retained decomposition jobs, oldest first.
+func (d *DatasetClient) Jobs(ctx context.Context) ([]JobInfo, error) {
+	var out JobList
+	if err := d.c.get(ctx, d.path+"/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
 // Mutate stages edge insertions/deletions. With Wait set the call
 // returns after the batch is part of the served snapshot and pins the
 // handle to the resulting version, so subsequent reads see the write.

@@ -1,0 +1,77 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/gen"
+)
+
+// TestClientJobs follows a background decomposition through the typed
+// client: the 202 Dataset carries the job id, Job polls it to
+// completion, Jobs lists it, and the dataset's memory stats cohere.
+func TestClientJobs(t *testing.T) {
+	eng, c := newServer(t)
+	ctx := context.Background()
+	if err := eng.Register("big", gen.Zipf(200, 200, 20000, 1.3, 1.3, 7)); err != nil {
+		t.Fatal(err)
+	}
+	h := c.Dataset("big")
+
+	ds, err := h.Decompose(ctx, client.DecomposeRequest{Algorithm: "bu++"})
+	if err != nil {
+		t.Fatalf("background decompose: %v", err)
+	}
+	if ds.JobID <= 0 {
+		t.Fatalf("decompose response carries no job id: %+v", ds)
+	}
+
+	var ji client.JobInfo
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if ji, err = h.Job(ctx, ds.JobID); err != nil {
+			t.Fatalf("Job: %v", err)
+		}
+		if ji.ID != ds.JobID || ji.Dataset != "big" {
+			t.Fatalf("job payload %+v", ji)
+		}
+		if ji.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished; last %+v", ji)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ji.Percent != 100 || ji.Stage != "done" || ji.Done != ji.Total || ji.Total == 0 {
+		t.Fatalf("terminal job %+v, want done at 100%%", ji)
+	}
+
+	jobs, err := h.Jobs(ctx)
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != ds.JobID {
+		t.Fatalf("Jobs = %+v, want the one job", jobs)
+	}
+
+	if ds, err = h.Get(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ds.JobID != ji.ID {
+		t.Fatalf("dataset job_id %d, want %d", ds.JobID, ji.ID)
+	}
+	mem := ds.Memory
+	if mem.TotalBytes != mem.GraphBytes+mem.ResultBytes+mem.IndexBytes || mem.TotalBytes <= 0 {
+		t.Fatalf("incoherent memory stats %+v", mem)
+	}
+
+	// Unknown job ids surface the typed not-found error.
+	var apiErr *client.APIError
+	if _, err := h.Job(ctx, ds.JobID+99); !errors.As(err, &apiErr) || apiErr.Code != client.CodeNotFound {
+		t.Fatalf("unknown job: %v, want APIError with code not_found", err)
+	}
+}

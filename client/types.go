@@ -4,21 +4,55 @@ package client
 // field for field; the client package deliberately does not import the
 // server so it stays extractable as a standalone module.
 
+// MemoryStats is the resident footprint of a dataset's served
+// snapshot, broken down by structure.
+type MemoryStats struct {
+	GraphBytes   int64   `json:"graph_bytes"`
+	ResultBytes  int64   `json:"result_bytes,omitempty"`
+	IndexBytes   int64   `json:"index_bytes,omitempty"`
+	TotalBytes   int64   `json:"total_bytes"`
+	BytesPerEdge float64 `json:"bytes_per_edge"`
+}
+
 // Dataset is one row of the dataset listing: the registered graph, its
 // serving version and decomposition status.
 type Dataset struct {
-	Name        string `json:"name"`
-	Upper       int    `json:"upper"`
-	Lower       int    `json:"lower"`
-	Edges       int    `json:"edges"`
-	Version     int64  `json:"version"`
-	Pending     int    `json:"pending,omitempty"`
-	Status      string `json:"status"`
-	Algorithm   string `json:"algorithm,omitempty"`
-	MaxPhi      int64  `json:"max_phi,omitempty"`
-	Levels      int    `json:"levels,omitempty"`
-	DecomposeMS int64  `json:"decompose_ms,omitempty"`
-	Error       string `json:"error,omitempty"`
+	Name        string      `json:"name"`
+	Upper       int         `json:"upper"`
+	Lower       int         `json:"lower"`
+	Edges       int         `json:"edges"`
+	Version     int64       `json:"version"`
+	Pending     int         `json:"pending,omitempty"`
+	Status      string      `json:"status"`
+	Algorithm   string      `json:"algorithm,omitempty"`
+	MaxPhi      int64       `json:"max_phi,omitempty"`
+	Levels      int         `json:"levels,omitempty"`
+	DecomposeMS int64       `json:"decompose_ms,omitempty"`
+	JobID       int64       `json:"job_id,omitempty"`
+	Memory      MemoryStats `json:"memory"`
+	Error       string      `json:"error,omitempty"`
+}
+
+// JobInfo is a point-in-time read of one decomposition job. Done and
+// Total count edges whose bitruss number is finalized; polling a
+// running job observes them advance through the peel.
+type JobInfo struct {
+	ID        int64   `json:"id"`
+	Dataset   string  `json:"dataset"`
+	Algorithm string  `json:"algorithm"`
+	State     string  `json:"state"` // running, done, failed
+	Stage     string  `json:"stage"` // counting, index, extract, peel, done
+	Done      int64   `json:"done"`
+	Total     int64   `json:"total"`
+	Percent   float64 `json:"percent"`
+	ElapsedMS int64   `json:"elapsed_ms"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// JobList is the dataset's retained decomposition jobs, oldest first.
+type JobList struct {
+	Dataset string    `json:"dataset"`
+	Jobs    []JobInfo `json:"jobs"`
 }
 
 // CreateDatasetRequest registers a dataset from a server-side file

@@ -82,6 +82,20 @@ func (b *Builder) SetLayerSizes(nUpper, nLower int) {
 	}
 }
 
+// Grow pre-allocates capacity for n additional edges, so streaming
+// loaders that know the edge count up front (binary headers, generator
+// models) pay one allocation instead of the append doubling ladder.
+func (b *Builder) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if cap(b.edges)-len(b.edges) < n {
+		grown := make([]layerEdge, len(b.edges), len(b.edges)+n)
+		copy(grown, b.edges)
+		b.edges = grown
+	}
+}
+
 // Duplicates reports how many duplicate edges the last Build merged.
 func (b *Builder) Duplicates() int { return b.duplicates }
 

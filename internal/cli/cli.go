@@ -17,6 +17,7 @@ import (
 
 	"repro/client"
 	"repro/internal/bigraph"
+	"repro/internal/bloom"
 	"repro/internal/butterfly"
 	"repro/internal/community"
 	"repro/internal/core"
@@ -338,12 +339,16 @@ func BGGen(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	out := fs.String("out", "", "output file (required; .bg = binary)")
 	oneBased := fs.Bool("one-based", false, "write 1-based text ids")
+	stream := fs.Bool("stream", false, "stream edges straight to -out without materializing the graph (uniform, zipf, zipf+bg; flat memory at any -m)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *out == "" {
 		fmt.Fprintln(stderr, "bggen: -out is required")
 		return ErrUsage
+	}
+	if *stream {
+		return bgGenStream(*model, *nu, *nl, *m, *su, *sl, *bg, *seed, *out, *oneBased, stdout)
 	}
 
 	var g *bigraph.Graph
@@ -379,6 +384,46 @@ func BGGen(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// bgGenStream is the -stream path of bggen: edges go from the
+// generator's emit callback straight into an EdgeFileWriter, so the
+// peak footprint is one write buffer regardless of -m. Only the models
+// with streaming generators qualify; duplicates among the drawn edges
+// are merged at load time (exactly as the materialized path merges
+// them at build time), so a streamed file loads to the same graph.
+func bgGenStream(model string, nu, nl, m int, su, sl float64, bg int, seed int64, out string, oneBased bool, stdout io.Writer) error {
+	total := m
+	if model == "zipf+bg" {
+		total = m + bg
+	}
+	w, err := dataio.NewEdgeFileWriter(out, nu, nl, total, dataio.TextOptions{OneBased: oneBased})
+	if err != nil {
+		return err
+	}
+	emit := func(u, v int) {
+		// Errors latch in the writer and surface at Close; the draw loop
+		// must keep running regardless to stay aligned with the model's
+		// deterministic RNG sequence.
+		_ = w.Add(u, v)
+	}
+	switch model {
+	case "uniform":
+		gen.StreamUniform(nu, nl, m, seed, emit)
+	case "zipf":
+		gen.StreamZipf(nu, nl, m, su, sl, seed, emit)
+	case "zipf+bg":
+		gen.StreamZipfPlusUniform(nu, nl, m, su, sl, bg, seed, emit)
+	default:
+		w.Close()
+		os.Remove(out)
+		return fmt.Errorf("%w: model %q cannot stream (use uniform, zipf or zipf+bg)", ErrUsage, model)
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "streamed %s: |U|=%d |L|=%d %d edge rows (duplicates merge at load)\n", out, nu, nl, w.Added())
+	return nil
+}
+
 // ParseBlocks parses a "UxLxD,UxLxD" planted-block specification.
 func ParseBlocks(spec string) ([]gen.BlockConfig, error) {
 	if spec == "" {
@@ -407,6 +452,7 @@ func BGStat(args []string, stdout, stderr io.Writer) error {
 	oneBased := fs.Bool("one-based", false, "treat text vertex ids as 1-based")
 	phi := fs.Bool("phi", true, "also compute the maximum bitruss number (runs BiT-BU++)")
 	tipFlag := fs.Bool("tip", false, "also compute the maximum tip numbers of both layers")
+	mem := fs.Bool("mem", false, "print the per-structure memory table (graph, BE-index, result, community index) with bytes/edge")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -432,11 +478,14 @@ func BGStat(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "butterflies : %d\n", total)
 	fmt.Fprintf(stdout, "max support : %d\n", maxSup)
 	fmt.Fprintf(stdout, "wedge bound : %d (counting/index cost, Lemma 6)\n", s.WedgeBound)
-	if *phi {
-		res, err := core.Decompose(g, core.Options{Algorithm: core.BiTBUPlusPlus})
+	var res *core.Result
+	if *phi || *mem {
+		res, err = core.Decompose(g, core.Options{Algorithm: core.BiTBUPlusPlus})
 		if err != nil {
 			return err
 		}
+	}
+	if *phi {
 		fmt.Fprintf(stdout, "max bitruss : %d (kmax bound %d)\n", res.MaxPhi, res.Metrics.KMax)
 	}
 	if *tipFlag {
@@ -444,7 +493,37 @@ func BGStat(args []string, stdout, stderr io.Writer) error {
 		low := tipDecompose(g, false)
 		fmt.Fprintf(stdout, "max tip     : upper %d, lower %d\n", up, low)
 	}
+	if *mem {
+		writeMemTable(stdout, g, res)
+	}
 	return nil
+}
+
+// writeMemTable prints the per-structure resident-size table of bgstat
+// -mem: the exact bytes each accounted structure holds, per-edge cost,
+// and the serving total (graph + result + community index — what a
+// bitserved snapshot of this graph keeps resident; the BE-index is a
+// decomposition-time structure and listed separately).
+func writeMemTable(stdout io.Writer, g *bigraph.Graph, res *core.Result) {
+	m := g.NumEdges()
+	perEdge := func(b int64) float64 {
+		if m == 0 {
+			return 0
+		}
+		return float64(b) / float64(m)
+	}
+	row := func(name string, b int64) {
+		fmt.Fprintf(stdout, "  %-16s %12d B  %8.2f MB  %7.1f B/edge\n", name, b, float64(b)/(1<<20), perEdge(b))
+	}
+	fmt.Fprintf(stdout, "memory      :\n")
+	gb := g.SizeBytes()
+	rb := res.SizeBytes()
+	ib := community.NewIndex(g, res.Phi).SizeBytes()
+	row("graph (CSR)", gb)
+	row("result (φ,sup)", rb)
+	row("community index", ib)
+	row("serving total", gb+rb+ib)
+	row("BE-index", bloom.Build(g).SizeBytes())
 }
 
 // BitBench implements the `bitbench` tool: regenerate the paper's

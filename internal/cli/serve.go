@@ -96,13 +96,13 @@ func Serve(args []string, stdout, stderr io.Writer) error {
 		info, _ := eng.Info(name)
 		fmt.Fprintf(stdout, "loaded %s: |U|=%d |L|=%d |E|=%d\n", name, info.Upper, info.Lower, info.Edges)
 		if *decompose {
-			err := eng.StartDecompose(serverCtx, name, engine.Options{
+			jobID, err := eng.StartDecompose(serverCtx, name, engine.Options{
 				Algorithm: a, Tau: *tau, Workers: *workers, Ranges: *ranges,
 			})
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(stdout, "decomposing %s with %v in the background\n", name, a)
+			fmt.Fprintf(stdout, "decomposing %s with %v in the background (job %d)\n", name, a, jobID)
 		}
 	}
 

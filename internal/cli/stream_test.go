@@ -1,0 +1,133 @@
+package cli
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataio"
+	"repro/internal/gen"
+)
+
+// TestBGGenStream checks -stream against the materializing path: for
+// every streamable model and format, the streamed file must load to
+// exactly the graph the in-memory generator builds from the same seed.
+func TestBGGenStream(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name  string
+		file  string
+		extra []string
+	}{
+		{"uniform-text", "u.txt", []string{"-model", "uniform"}},
+		{"uniform-onebased", "u1.txt", []string{"-model", "uniform", "-one-based"}},
+		{"uniform-gz", "u.txt.gz", []string{"-model", "uniform"}},
+		{"uniform-binary", "u.bg", []string{"-model", "uniform"}},
+		{"zipf", "z.txt", []string{"-model", "zipf", "-su", "1.2", "-sl", "1.1"}},
+		{"zipf+bg", "zb.txt", []string{"-model", "zipf+bg", "-su", "1.2", "-sl", "1.1", "-bg", "40"}},
+	}
+	for _, tc := range cases {
+		path := filepath.Join(dir, tc.file)
+		args := append([]string{"-nu", "50", "-nl", "60", "-m", "400", "-seed", "9", "-stream", "-out", path}, tc.extra...)
+		var out, errw bytes.Buffer
+		if err := BGGen(args, &out, &errw); err != nil {
+			t.Fatalf("%s: bggen -stream: %v (stderr: %s)", tc.name, err, errw.String())
+		}
+		if !strings.Contains(out.String(), "streamed "+path) {
+			t.Errorf("%s: output %q", tc.name, out.String())
+		}
+		oneBased := false
+		var want interface {
+			NumUpper() int
+			NumLower() int
+			NumEdges() int
+		}
+		switch tc.extra[1] {
+		case "uniform":
+			want = gen.Uniform(50, 60, 400, 9)
+		case "zipf":
+			want = gen.Zipf(50, 60, 400, 1.2, 1.1, 9)
+		case "zipf+bg":
+			want = gen.ZipfPlusUniform(50, 60, 400, 1.2, 1.1, 40, 9)
+		}
+		for _, a := range tc.extra {
+			if a == "-one-based" {
+				oneBased = true
+			}
+		}
+		got, err := dataio.LoadFile(path, dataio.TextOptions{OneBased: oneBased})
+		if err != nil {
+			t.Fatalf("%s: load streamed file: %v", tc.name, err)
+		}
+		if got.NumUpper() != want.NumUpper() || got.NumLower() != want.NumLower() || got.NumEdges() != want.NumEdges() {
+			t.Errorf("%s: streamed %dx%d/%d, materialized %dx%d/%d",
+				tc.name, got.NumUpper(), got.NumLower(), got.NumEdges(),
+				want.NumUpper(), want.NumLower(), want.NumEdges())
+		}
+	}
+}
+
+// TestBGGenStreamEdges pins streamed output edge-for-edge against the
+// materialized graph, not just by shape.
+func TestBGGenStreamEdges(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.bg")
+	var out, errw bytes.Buffer
+	if err := BGGen([]string{
+		"-model", "zipf", "-nu", "40", "-nl", "40", "-m", "600",
+		"-su", "1.3", "-sl", "1.2", "-seed", "4", "-stream", "-out", path,
+	}, &out, &errw); err != nil {
+		t.Fatalf("bggen -stream: %v", err)
+	}
+	got, err := dataio.LoadFile(path, dataio.TextOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gen.Zipf(40, 40, 600, 1.3, 1.2, 4)
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("edge count %d, want %d", got.NumEdges(), want.NumEdges())
+	}
+	for e := int32(0); e < int32(want.NumEdges()); e++ {
+		if got.Edge(e) != want.Edge(e) {
+			t.Fatalf("edge %d: streamed %v, materialized %v", e, got.Edge(e), want.Edge(e))
+		}
+	}
+}
+
+// TestBGGenStreamUnsupportedModel: models without a streaming
+// generator are a usage error, not a silent fallback.
+func TestBGGenStreamUnsupportedModel(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := BGGen([]string{
+		"-model", "bloomchain", "-chain", "2", "-k", "4",
+		"-stream", "-out", filepath.Join(t.TempDir(), "x.txt"),
+	}, &out, &errw)
+	if !errors.Is(err, ErrUsage) {
+		t.Fatalf("streaming bloomchain: %v, want ErrUsage", err)
+	}
+}
+
+// TestBGStatMem: -mem prints the per-structure byte table with a
+// bytes-per-edge column.
+func TestBGStatMem(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	var out, errw bytes.Buffer
+	if err := BGGen([]string{
+		"-model", "zipf", "-nu", "60", "-nl", "60", "-m", "800",
+		"-su", "1.2", "-sl", "1.2", "-seed", "3", "-out", path,
+	}, &out, &errw); err != nil {
+		t.Fatalf("bggen: %v", err)
+	}
+	out.Reset()
+	if err := BGStat([]string{"-input", path, "-mem"}, &out, &errw); err != nil {
+		t.Fatalf("bgstat -mem: %v (stderr: %s)", err, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"memory", "graph (CSR)", "result", "community index", "serving total", "BE-index", "B/edge"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("bgstat -mem output missing %q:\n%s", want, got)
+		}
+	}
+}

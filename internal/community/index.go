@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/bigraph"
 )
@@ -61,6 +62,27 @@ type inode struct {
 	once   sync.Once
 	comm   Community   // cached with K == 0; K is stamped per query
 	cached atomic.Bool // set after comm is materialised (read by UpdateIndex)
+}
+
+// SizeBytes returns the resident heap footprint of the index's backing
+// arrays: the phi copy, level list, forest nodes, subtree edge layout,
+// introduction map and per-level component lists. Community member
+// lists memoised lazily by queries are deliberately excluded — they
+// grow with traffic, and SizeBytes is part of served dataset metadata,
+// which must be deterministic for one snapshot. The retained graph is
+// also excluded: it is shared with the snapshot and accounted once by
+// bigraph.Graph.SizeBytes.
+func (ix *Index) SizeBytes() int64 {
+	inodeSize := int64(unsafe.Sizeof(inode{}))
+	sz := int64(len(ix.phi))*8 +
+		int64(len(ix.levels))*8 +
+		int64(len(ix.nodes))*inodeSize +
+		int64(len(ix.order))*4 +
+		int64(len(ix.intro))*4
+	for i := range ix.comps {
+		sz += int64(len(ix.comps[i]))*4 + 24 // ids + slice header
+	}
+	return sz
 }
 
 // NewIndex precomputes the community hierarchy of the decomposition phi

@@ -44,6 +44,7 @@ func runBS(g *bigraph.Graph, opt Options) (*Result, error) {
 	}
 
 	cancel := canceller{ch: opt.Cancel}
+	opt.pm.setStage(StagePeel)
 	cur := append([]int64(nil), orig...) // live supports
 	for q.Len() > 0 {
 		if cancel.hit() {
@@ -51,6 +52,7 @@ func runBS(g *bigraph.Graph, opt Options) (*Result, error) {
 		}
 		e, s := q.PopMin()
 		res.Phi[e] = s
+		opt.pm.add(1)
 		ed := g.Edge(e)
 		u, v := ed.U, ed.V
 

@@ -23,6 +23,7 @@ func runBU(g *bigraph.Graph, opt Options) (*Result, error) {
 	// at the same asymptotic cost. Options.Workers therefore routes to
 	// the parallel index build rather than a separate parallel counter.
 	t0 := time.Now()
+	opt.pm.setStage(StageIndex)
 	var ix *bloom.Index
 	if opt.Workers > 1 {
 		ix = bloom.BuildParallel(g, opt.Workers)
@@ -49,6 +50,7 @@ func runBU(g *bigraph.Graph, opt Options) (*Result, error) {
 		acct.record(f)
 	}
 	cancel := canceller{ch: opt.Cancel}
+	opt.pm.setStage(StagePeel)
 	switch opt.Algorithm {
 	case BiTBU:
 		for q.Len() > 0 {
@@ -58,6 +60,7 @@ func runBU(g *bigraph.Graph, opt Options) (*Result, error) {
 			e, s := q.PopMin()
 			res.Phi[e] = s
 			ix.RemoveEdge(e, s, onUpdate)
+			opt.pm.add(1)
 		}
 	case BiTBUPlus:
 		var batch []int32
@@ -71,6 +74,7 @@ func runBU(g *bigraph.Graph, opt Options) (*Result, error) {
 				res.Phi[e] = mbs
 			}
 			ix.RemoveBatchEdgeOnly(batch, mbs, onUpdate)
+			opt.pm.add(int64(len(batch)))
 		}
 	default: // BiTBUPlusPlus
 		var batch []int32
@@ -84,6 +88,7 @@ func runBU(g *bigraph.Graph, opt Options) (*Result, error) {
 				res.Phi[e] = mbs
 			}
 			ix.RemoveBatch(batch, mbs, onUpdate)
+			opt.pm.add(int64(len(batch)))
 		}
 	}
 	res.Metrics.PeelTime = time.Since(t1)

@@ -117,6 +117,16 @@ type Options struct {
 	// it to enforce per-run time budgets (the paper terminates
 	// algorithms after 30 hours and reports INF).
 	Cancel <-chan struct{}
+	// Progress, when non-nil, observes the run: stage transitions plus
+	// a throttled count of edges whose bitruss number is final (see
+	// ProgressFunc). Multi-minute runs on large graphs stop being
+	// opaque; the engine serves it at /v1/datasets/{name}/jobs/{id}.
+	Progress ProgressFunc
+
+	// pm is the internal throttled meter wrapping Progress; Decompose
+	// installs it so the algorithm implementations and the parallel
+	// sub-phases share one counter without widening every signature.
+	pm *progressMeter
 }
 
 // ErrCancelled reports that Options.Cancel fired mid-decomposition.
@@ -188,6 +198,12 @@ type Result struct {
 	Metrics    Metrics
 }
 
+// SizeBytes returns the resident heap footprint of the result's
+// per-edge arrays (Phi and Sup): 16 bytes/edge.
+func (r *Result) SizeBytes() int64 {
+	return int64(len(r.Phi))*8 + int64(len(r.Sup))*8
+}
+
 // ErrBadTau reports an out-of-range τ.
 var ErrBadTau = errors.New("core: tau must lie in (0, 1]")
 
@@ -203,6 +219,8 @@ func Decompose(g *bigraph.Graph, opt Options) (*Result, error) {
 	if opt.Tau < 0 || opt.Tau > 1 {
 		return nil, fmt.Errorf("%w: %v", ErrBadTau, opt.Tau)
 	}
+	opt.pm = newProgressMeter(opt.Progress, int64(g.NumEdges()))
+	opt.pm.setStage(StageCounting)
 	var (
 		res *Result
 		err error
@@ -225,6 +243,7 @@ func Decompose(g *bigraph.Graph, opt Options) (*Result, error) {
 	}
 	res.Metrics.TotalTime = time.Since(start)
 	res.MaxPhi = maxOf(res.Phi)
+	opt.pm.finishAll()
 	return res, nil
 }
 

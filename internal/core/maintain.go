@@ -59,6 +59,16 @@ type MaintainOptions struct {
 	Ranges    int
 	// Cancel aborts the maintenance (and any fallback) once closed.
 	Cancel <-chan struct{}
+	// Progress, when non-nil, observes the maintenance stages (delta,
+	// closure, peel); the peel counts re-peeled candidates out of the
+	// closure size. A fallback re-decomposition reports through the
+	// same func with the full edge count as total. Same contract as
+	// Options.Progress.
+	Progress ProgressFunc
+
+	// pm is the internal throttled meter wrapping Progress, installed
+	// by Maintain (see Options.pm).
+	pm *progressMeter
 }
 
 // DefaultMaxCandidateFraction is the candidate-closure threshold above
@@ -114,6 +124,7 @@ func Maintain(oldG *bigraph.Graph, old *Result, newG *bigraph.Graph, rm *bigraph
 			ErrStale, len(old.Phi), m1, len(rm.OldToNew), len(rm.NewToOld), m2)
 	}
 	cancel := canceller{ch: opt.Cancel}
+	opt.pm = newProgressMeter(opt.Progress, 0)
 
 	if rm.Identity() {
 		res := &Result{
@@ -124,6 +135,7 @@ func Maintain(oldG *bigraph.Graph, old *Result, newG *bigraph.Graph, rm *bigraph
 			Metrics:    Metrics{Iterations: 1, KMax: old.Metrics.KMax, TotalButterflies: old.Metrics.TotalButterflies, TotalTime: time.Since(start)},
 		}
 		st.TotalTime = res.Metrics.TotalTime
+		opt.pm.finishAll()
 		return res, st, nil
 	}
 
@@ -143,6 +155,7 @@ func Maintain(oldG *bigraph.Graph, old *Result, newG *bigraph.Graph, rm *bigraph
 	// counts once per surviving edge, so the sparse map's hashing costs
 	// more than the O(|E|) arrays it saves.
 	t0 := time.Now()
+	opt.pm.setStage(StageDelta)
 	var (
 		cntDel, cntIns         map[int32]int64
 		delArr, insArr         []int64
@@ -213,6 +226,7 @@ func Maintain(oldG *bigraph.Graph, old *Result, newG *bigraph.Graph, rm *bigraph
 
 	// Seeds and butterfly closure over non-frozen edges.
 	t1 := time.Now()
+	opt.pm.setStage(StageClosure)
 	frozen := make([]bool, m2)
 	for e2 := 0; e2 < m2; e2++ {
 		if !inserted[e2] && phiCarried[e2] > kstar {
@@ -302,6 +316,8 @@ func Maintain(oldG *bigraph.Graph, old *Result, newG *bigraph.Graph, rm *bigraph
 	// genuinely outlive every candidate level). Workers > 1 runs the
 	// coarse/fine range peeler over the closure subgraph instead.
 	t2 := time.Now()
+	opt.pm.setTotal(int64(len(cand)))
+	opt.pm.setStage(StagePeel)
 	phi2 := make([]int64, m2)
 	copy(phi2, phiCarried)
 	var updates int64
@@ -340,6 +356,7 @@ func Maintain(oldG *bigraph.Graph, old *Result, newG *bigraph.Graph, rm *bigraph
 			e := cand[le]
 			phi2[e] = s
 			removed[le] = true
+			opt.pm.add(1)
 			ed := newG.Edge(e)
 			u, v := ed.U, ed.V
 
@@ -406,6 +423,7 @@ func Maintain(oldG *bigraph.Graph, old *Result, newG *bigraph.Graph, rm *bigraph
 	}
 	st.TotalTime = time.Since(start)
 	res.Metrics.TotalTime = st.TotalTime
+	opt.pm.finishAll()
 	return res, st, nil
 }
 
@@ -424,6 +442,7 @@ func maintainFallback(newG *bigraph.Graph, rm *bigraph.Remap, phiCarried []int64
 		Workers:   opt.Workers,
 		Ranges:    opt.Ranges,
 		Cancel:    opt.Cancel,
+		Progress:  opt.Progress,
 	})
 	if err != nil {
 		return nil, nil, err

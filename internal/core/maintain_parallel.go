@@ -362,7 +362,7 @@ func maintainPeelParallel(g *bigraph.Graph, closure, border []int32, frozen []bo
 		}
 	}
 	bounds := rangeBounds(idxSup, ranges)
-	fopt := Options{Cancel: opt.Cancel}
+	fopt := Options{Cancel: opt.Cancel, pm: opt.pm}
 	var rangeOf []int32
 	acct := newAccounting(nil, orig)
 	if len(bounds) == 1 {

@@ -53,6 +53,7 @@ func runBUParallel(g *bigraph.Graph, opt Options) (*Result, error) {
 	// (as in runBU, the counting process is fused into the build, here
 	// the parallel one).
 	t0 := time.Now()
+	opt.pm.setStage(StageIndex)
 	ix := bloom.BuildParallel(g, workers)
 	res.Metrics.IndexTime = time.Since(t0)
 	fullBytes := ix.SizeBytes()
@@ -73,6 +74,7 @@ func runBUParallel(g *bigraph.Graph, opt Options) (*Result, error) {
 	res.Metrics.Iterations = len(bounds)
 
 	t1 := time.Now()
+	opt.pm.setStage(StageExtract)
 	rangeOf, cdAcct, err := coarseDecompose(ix, bounds, workers, opt, orig, nil)
 	if err != nil {
 		return nil, err
@@ -81,6 +83,7 @@ func runBUParallel(g *bigraph.Graph, opt Options) (*Result, error) {
 	ix = nil // the full index is dead weight during refinement
 
 	t2 := time.Now()
+	opt.pm.setStage(StagePeel)
 	fdAcct, fdPeak, err := fineDecompose(g, rangeOf, bounds, orig, opt, workers, res.Phi)
 	if err != nil {
 		return nil, err
@@ -466,6 +469,7 @@ func fineDecompose(g *bigraph.Graph, rangeOf []int32, bounds []int64, orig []int
 						phi[parentOf(se)] = mbs
 					}
 					cix.RemoveBatch(batch, mbs, onUpdate)
+					opt.pm.add(int64(len(batch)))
 				}
 				atomic.AddInt64(&aliveBytes, -sz)
 				mu.Lock()

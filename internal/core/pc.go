@@ -57,6 +57,7 @@ func runPC(g *bigraph.Graph, opt Options) (*Result, error) {
 		// support. Edges assigned earlier always qualify (their bitruss
 		// number, hence their original support, is at least ε).
 		tx := time.Now()
+		opt.pm.setStage(StageExtract)
 		for e := 0; e < m; e++ {
 			keep[e] = origSup[e] >= eps
 		}
@@ -80,6 +81,7 @@ func runPC(g *bigraph.Graph, opt Options) (*Result, error) {
 
 		// Step 3 (Algorithm 6): compressed BE-Index over the candidate.
 		ti := time.Now()
+		opt.pm.setStage(StageIndex)
 		subAssigned := make([]bool, inner.G.NumEdges())
 		for se, pe := range parent {
 			subAssigned[se] = assigned[pe]
@@ -94,6 +96,7 @@ func runPC(g *bigraph.Graph, opt Options) (*Result, error) {
 		// when the peel value has reached ε; edges peeled below ε are
 		// handled again in a later iteration with a lower threshold.
 		tp := time.Now()
+		opt.pm.setStage(StagePeel)
 		q := newIndexedBucket(ix, subAssigned)
 		onUpdate := func(f int32, ns int64) {
 			q.Update(f, ns)
@@ -112,6 +115,7 @@ func runPC(g *bigraph.Graph, opt Options) (*Result, error) {
 					assigned[pe] = true
 					unassigned--
 				}
+				opt.pm.add(int64(len(batch)))
 			}
 			ix.RemoveBatch(batch, mbs, onUpdate)
 		}

@@ -1,0 +1,127 @@
+package core
+
+import "sync/atomic"
+
+// Stage identifies the phase a decomposition or maintenance run is in,
+// for progress reporting.
+type Stage int32
+
+const (
+	// StageCounting is the butterfly counting process.
+	StageCounting Stage = iota
+	// StageIndex is BE-Index construction.
+	StageIndex
+	// StageExtract is candidate extraction (BiT-PC) or the coarse range
+	// assignment of the parallel peeler.
+	StageExtract
+	// StagePeel is the bottom-up peel that finalizes bitruss numbers.
+	StagePeel
+	// StageDelta is the delta support counting of incremental
+	// maintenance.
+	StageDelta
+	// StageClosure is the butterfly-closure BFS of incremental
+	// maintenance.
+	StageClosure
+	// StageDone reports a finished run: done == total.
+	StageDone
+)
+
+// String returns the stage name served by the jobs API.
+func (s Stage) String() string {
+	switch s {
+	case StageCounting:
+		return "counting"
+	case StageIndex:
+		return "index"
+	case StageExtract:
+		return "extract"
+	case StagePeel:
+		return "peel"
+	case StageDelta:
+		return "delta"
+	case StageClosure:
+		return "closure"
+	case StageDone:
+		return "done"
+	default:
+		return "unknown"
+	}
+}
+
+// ProgressFunc observes a running decomposition: the current stage and
+// the number of edges whose bitruss number is final out of total (for
+// maintenance, out of the re-peeled candidate closure). Callbacks are
+// throttled to stride boundaries of the done counter plus stage
+// transitions, so the per-edge cost is one atomic add; implementations
+// must be safe for concurrent use (the parallel peeler reports from
+// every worker) and must not block — a slow callback stalls the peel.
+type ProgressFunc func(stage Stage, done, total int64)
+
+// progressStride is how many done increments may elapse between
+// callbacks. Stage transitions always report.
+const progressStride = 4096
+
+// progressMeter carries a ProgressFunc through the peel loops with
+// nil-receiver-safe, atomically throttled reporting. A nil meter (no
+// observer) costs one predictable branch per call site.
+type progressMeter struct {
+	fn    ProgressFunc
+	stage atomic.Int32
+	done  atomic.Int64
+	total atomic.Int64
+}
+
+// newProgressMeter returns nil when fn is nil so that the hot-loop
+// methods collapse to a nil check.
+func newProgressMeter(fn ProgressFunc, total int64) *progressMeter {
+	if fn == nil {
+		return nil
+	}
+	pm := &progressMeter{fn: fn}
+	pm.total.Store(total)
+	return pm
+}
+
+// setStage enters a new stage and reports immediately.
+func (pm *progressMeter) setStage(s Stage) {
+	if pm == nil {
+		return
+	}
+	pm.stage.Store(int32(s))
+	pm.report()
+}
+
+// setTotal (re)declares the denominator; maintenance learns it only
+// once the candidate closure is known.
+func (pm *progressMeter) setTotal(total int64) {
+	if pm == nil {
+		return
+	}
+	pm.total.Store(total)
+}
+
+// add credits n finalized edges, reporting when the counter crosses a
+// stride boundary.
+func (pm *progressMeter) add(n int64) {
+	if pm == nil || n <= 0 {
+		return
+	}
+	nd := pm.done.Add(n)
+	if nd/progressStride != (nd-n)/progressStride {
+		pm.report()
+	}
+}
+
+// finishAll snaps done to total and reports StageDone.
+func (pm *progressMeter) finishAll() {
+	if pm == nil {
+		return
+	}
+	pm.done.Store(pm.total.Load())
+	pm.stage.Store(int32(StageDone))
+	pm.report()
+}
+
+func (pm *progressMeter) report() {
+	pm.fn(Stage(pm.stage.Load()), pm.done.Load(), pm.total.Load())
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/gen"
+)
+
+// progressRecorder collects every callback under a lock (the parallel
+// peeler reports from multiple goroutines).
+type progressRecorder struct {
+	mu    sync.Mutex
+	calls []progressCall
+}
+
+type progressCall struct {
+	stage       Stage
+	done, total int64
+}
+
+func (r *progressRecorder) observe(stage Stage, done, total int64) {
+	r.mu.Lock()
+	r.calls = append(r.calls, progressCall{stage, done, total})
+	r.mu.Unlock()
+}
+
+func (r *progressRecorder) snapshot() []progressCall {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]progressCall(nil), r.calls...)
+}
+
+// TestDecomposeProgress runs every algorithm with an observer: the run
+// must report at least the opening and closing stages, keep done within
+// [0, total], and end exactly at (StageDone, m, m).
+func TestDecomposeProgress(t *testing.T) {
+	g := gen.Zipf(60, 60, 900, 1.2, 1.2, 17)
+	m := int64(g.NumEdges())
+	for _, algo := range []Algorithm{BiTBS, BiTBU, BiTBUPlus, BiTBUPlusPlus, BiTPC, BiTBUPlusPlusParallel} {
+		rec := &progressRecorder{}
+		if _, err := Decompose(g, Options{Algorithm: algo, Progress: rec.observe}); err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		calls := rec.snapshot()
+		if len(calls) < 2 {
+			t.Fatalf("%v: only %d progress calls, want at least stage open + done", algo, len(calls))
+		}
+		if first := calls[0]; first.stage != StageCounting || first.done != 0 {
+			t.Errorf("%v: first call %+v, want (counting, 0, %d)", algo, first, m)
+		}
+		for i, c := range calls {
+			if c.total != m {
+				t.Fatalf("%v: call %d reported total %d, want %d", algo, i, c.total, m)
+			}
+			if c.done < 0 || c.done > c.total {
+				t.Fatalf("%v: call %d reported done %d outside [0, %d]", algo, i, c.done, c.total)
+			}
+		}
+		if last := calls[len(calls)-1]; last.stage != StageDone || last.done != m {
+			t.Errorf("%v: final call %+v, want (done, %d, %d)", algo, last, m, m)
+		}
+	}
+}
+
+// TestDecomposeProgressSequentialMonotone checks that a single-threaded
+// peel reports a non-decreasing done counter. (The parallel peeler's
+// interleaving only guarantees each worker's own contribution is
+// monotone, so it is exempt.)
+func TestDecomposeProgressSequentialMonotone(t *testing.T) {
+	g := gen.Zipf(60, 60, 900, 1.2, 1.2, 17)
+	for _, algo := range []Algorithm{BiTBS, BiTBU, BiTBUPlus, BiTBUPlusPlus, BiTPC} {
+		rec := &progressRecorder{}
+		if _, err := Decompose(g, Options{Algorithm: algo, Progress: rec.observe}); err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		prev := int64(-1)
+		for i, c := range rec.snapshot() {
+			if c.done < prev {
+				t.Fatalf("%v: call %d went backwards: done %d after %d", algo, i, c.done, prev)
+			}
+			prev = c.done
+		}
+	}
+}
+
+// TestMaintainProgress observes an incremental maintenance run: the
+// total is the candidate closure (learned mid-run), and the final call
+// is (StageDone, total, total).
+func TestMaintainProgress(t *testing.T) {
+	g := gen.Zipf(40, 40, 500, 1.2, 1.2, 5)
+	res, err := Decompose(g, Options{Algorithm: BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bigraph.NewDelta(g)
+	ed := g.Edge(0)
+	d.Delete(int(ed.U)-g.NumLower(), int(ed.V))
+	d.Insert(g.NumUpper(), g.NumLower())
+	g2, rm, err := d.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &progressRecorder{}
+	if _, _, err := Maintain(g, res, g2, rm, MaintainOptions{Progress: rec.observe}); err != nil {
+		t.Fatal(err)
+	}
+	calls := rec.snapshot()
+	if len(calls) == 0 {
+		t.Fatal("maintenance reported no progress at all")
+	}
+	last := calls[len(calls)-1]
+	if last.stage != StageDone || last.done != last.total {
+		t.Fatalf("final call %+v, want StageDone with done == total", last)
+	}
+	sawStage := map[Stage]bool{}
+	for _, c := range calls {
+		sawStage[c.stage] = true
+	}
+	if !sawStage[StageDelta] {
+		t.Error("never observed the delta stage")
+	}
+}
+
+// TestProgressMeterThrottle pins the stride contract: a silent
+// observer's meter reports on stage entry, stride crossings and
+// finishAll only.
+func TestProgressMeterThrottle(t *testing.T) {
+	var calls []progressCall
+	pm := newProgressMeter(func(s Stage, done, total int64) {
+		calls = append(calls, progressCall{s, done, total})
+	}, 3*progressStride)
+	pm.setStage(StagePeel)
+	for i := 0; i < 3*progressStride-1; i++ {
+		pm.add(1)
+	}
+	pm.finishAll()
+	want := []progressCall{
+		{StagePeel, 0, 3 * progressStride},
+		{StagePeel, progressStride, 3 * progressStride},
+		{StagePeel, 2 * progressStride, 3 * progressStride},
+		{StageDone, 3 * progressStride, 3 * progressStride},
+	}
+	if len(calls) != len(want) {
+		t.Fatalf("got %d calls %v, want %d", len(calls), calls, len(want))
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("call %d = %+v, want %+v", i, calls[i], want[i])
+		}
+	}
+	if nilMeter := newProgressMeter(nil, 10); nilMeter != nil {
+		t.Fatal("nil ProgressFunc must yield a nil meter")
+	}
+}

@@ -1,0 +1,338 @@
+package dataio
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/bigraph"
+)
+
+// This file implements the streaming text reader: a byte-level scanner
+// that parses "u v" lines in place — no per-line string, no
+// strings.Fields slice, no strconv round-trip on the hot path — and
+// feeds edges to a callback one at a time, so multi-million-edge lists
+// ingest at memory bandwidth with zero allocations per edge. Line
+// splitting and field parsing are fused into a single left-to-right
+// pass: the scanner never pre-scans for the newline, so each input
+// byte is touched once. Lines containing non-ASCII bytes (unicode
+// whitespace separators, exotic digits) or anything the fast parser
+// cannot prove clean fall back to the legacy per-line logic, keeping
+// ScanText's accept/reject behaviour and error text byte-identical to
+// ReadTextLegacy; the differential test in stream_test.go pins that
+// equivalence.
+
+// maxLine mirrors the legacy scanner's 1 MiB token limit: longer lines
+// surface bufio.ErrTooLong exactly as bufio.Scanner would.
+const maxLine = 1 << 20
+
+// textScanner is the fused line splitter + field parser. Parsing is
+// optimistic: a line is decoded straight out of the read buffer, and
+// only if the parse runs into the end of buffered data with more input
+// pending does the scanner refill and retry the line — so the refill
+// machinery runs once per buffer (~1 MiB), not per line.
+type textScanner struct {
+	r         io.Reader
+	buf       []byte
+	pos       int   // next unparsed byte in buf
+	end       int   // end of buffered data in buf
+	lineStart int   // start of the current (possibly partial) line
+	lineNo    int   // completed lines consumed so far
+	err       error // sticky read error, io.EOF included
+}
+
+// ScanText streams the edge list in r: every parsed edge is handed to
+// the edge callback as layer-local 0-based indices (base adjustment
+// already applied), and every layer-size hint comment to the hint
+// callback (which may be nil). It accepts and rejects byte-for-byte
+// the same inputs as ReadTextLegacy with the same errors, but never
+// materializes a line, a field slice or the edge list — the raw text
+// goes straight from the read buffer into the callbacks with zero
+// allocations per edge.
+func ScanText(r io.Reader, opt TextOptions, hint func(nUpper, nLower int), edge func(u, v int)) error {
+	s := &textScanner{r: r, buf: make([]byte, maxLine)}
+	for {
+		// Skip whitespace; each '\n' completes a line. Non-ASCII
+		// whitespace stops the skip and reaches the slow path below.
+		for s.pos < s.end {
+			c := s.buf[s.pos]
+			if c == '\n' {
+				s.pos++
+				s.lineNo++
+				s.lineStart = s.pos
+				continue
+			}
+			if !asciiSpace(c) {
+				break
+			}
+			s.pos++
+		}
+		if s.pos == s.end {
+			if s.err != nil {
+				// Any trailing bytes were all whitespace: a blank final
+				// line for the legacy reader too.
+				if s.err == io.EOF {
+					return nil
+				}
+				return s.err
+			}
+			if err := s.refill(); err != nil {
+				return err
+			}
+			continue
+		}
+		ok, err := s.parseLine(opt, hint, edge)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// The line may be truncated at the end of the buffer:
+			// refill and re-parse it from its start. parseLine committed
+			// nothing, so the retry is a clean repeat.
+			if err := s.refill(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// refill slides the current line to the front of the buffer and reads
+// more input. A line that still has no terminator once it fills the
+// whole buffer is over the legacy 1 MiB limit: bufio.Scanner reports
+// ErrTooLong there without peeking for EOF, and so do we.
+func (s *textScanner) refill() error {
+	if s.lineStart > 0 {
+		copy(s.buf, s.buf[s.lineStart:s.end])
+		s.pos -= s.lineStart
+		s.end -= s.lineStart
+		s.lineStart = 0
+	}
+	if s.end == len(s.buf) {
+		return bufio.ErrTooLong
+	}
+	n, err := s.r.Read(s.buf[s.end:])
+	s.end += n
+	if err != nil {
+		s.err = err
+	}
+	return nil
+}
+
+// parseLine decodes the line whose first non-space byte sits at s.pos:
+// two decimal fields, anything after them ignored (as strings.Fields
+// callers do). Comment lines, malformed or overflowing numbers, and
+// non-ASCII bytes reached before the second field ends route through
+// slowLine, which replicates the legacy TrimSpace/Fields/Atoi pipeline
+// exactly, including its error text; non-ASCII never parses as a digit
+// or ASCII space, so the fast path rejects it by construction. ok is
+// false — with nothing consumed or emitted — when the line may
+// continue past the end of buffered data; the caller refills and
+// retries.
+func (s *textScanner) parseLine(opt TextOptions, hint func(int, int), edge func(int, int)) (ok bool, _ error) {
+	buf, end := s.buf, s.end
+	complete := s.err != nil // buffered input is all there is
+	if c := buf[s.pos]; c == '%' || c == '#' {
+		// Comments are rare (a header line or two per file): let the
+		// legacy path handle hint detection and its error wording.
+		return s.slowLine(opt, hint, edge)
+	}
+	// Field 1: a bare run of ASCII digits, accumulated in place. The
+	// 18-digit cap keeps the loop free of range checks (10^18-1 always
+	// fits int64); anything longer, signed ('+'/'-' prefixes are legal
+	// input), empty, or oddly terminated goes through slowLine, whose
+	// Atoi is the authority on acceptance and error text. slowLine also
+	// re-checks completeness, so routing there at a buffer edge is safe.
+	i := s.pos
+	u := 0
+	for i < end {
+		d := buf[i] - '0'
+		if d > 9 {
+			break
+		}
+		u = u*10 + int(d)
+		i++
+	}
+	if n := i - s.pos; n == 0 || n > 18 {
+		return s.slowLine(opt, hint, edge)
+	}
+	if i == end && !complete {
+		return false, nil
+	}
+	if i < end && !asciiSpace(buf[i]) {
+		return s.slowLine(opt, hint, edge)
+	}
+	// Whitespace between the fields ('\n' means the field is missing).
+	j := i
+	for j < end && buf[j] != '\n' && asciiSpace(buf[j]) {
+		j++
+	}
+	if j == end && !complete {
+		return false, nil
+	}
+	if j == end || buf[j] == '\n' {
+		// Single field: the legacy error message owns this case.
+		return s.slowLine(opt, hint, edge)
+	}
+	// Field 2, same shape.
+	v := 0
+	fieldStart := j
+	for j < end {
+		d := buf[j] - '0'
+		if d > 9 {
+			break
+		}
+		v = v*10 + int(d)
+		j++
+	}
+	if n := j - fieldStart; n == 0 || n > 18 {
+		return s.slowLine(opt, hint, edge)
+	}
+	if j == end && !complete {
+		return false, nil
+	}
+	if j < end && !asciiSpace(buf[j]) {
+		return s.slowLine(opt, hint, edge)
+	}
+	// Both fields parsed; find the line terminator before committing,
+	// so truncated lines retry and over-long lines still surface
+	// ErrTooLong rather than a premature verdict. Trailing whitespace
+	// and the newline are consumed inline — the common "u v\n" shape
+	// never pays bytes.IndexByte's call overhead; only lines with
+	// extra fields do.
+	for j < end && buf[j] != '\n' && asciiSpace(buf[j]) {
+		j++
+	}
+	var nextPos int
+	sawNL := false
+	switch {
+	case j < end && buf[j] == '\n':
+		nextPos, sawNL = j+1, true
+	case j == end:
+		if !complete {
+			return false, nil
+		}
+		nextPos = end
+	default:
+		nl := bytes.IndexByte(buf[j:end], '\n')
+		if nl < 0 {
+			if !complete {
+				return false, nil
+			}
+			nextPos = end
+		} else {
+			nextPos, sawNL = j+nl+1, true
+		}
+	}
+	if opt.OneBased {
+		u--
+		v--
+	}
+	if u < 0 || v < 0 {
+		return true, fmt.Errorf("%w: line %d: negative vertex after base adjustment", ErrFormat, s.lineNo+1)
+	}
+	edge(u, v)
+	s.pos = nextPos
+	if sawNL {
+		s.lineNo++
+		s.lineStart = nextPos
+	}
+	return true, nil
+}
+
+// slowLine hands the current line to the legacy per-line pipeline. The
+// slow path needs the whole line, so it too reports incomplete when no
+// terminator is buffered yet and more input remains.
+func (s *textScanner) slowLine(opt TextOptions, hint func(int, int), edge func(int, int)) (ok bool, _ error) {
+	nl := bytes.IndexByte(s.buf[s.pos:s.end], '\n')
+	var line []byte
+	nextPos := s.end
+	if nl >= 0 {
+		line = s.buf[s.pos : s.pos+nl]
+		nextPos = s.pos + nl + 1
+	} else {
+		if s.err == nil {
+			return false, nil
+		}
+		line = s.buf[s.pos:s.end]
+	}
+	if err := slowScanLine(string(dropCR(line)), s.lineNo+1, opt, hint, edge); err != nil {
+		return true, err
+	}
+	s.pos = nextPos
+	if nl >= 0 {
+		s.lineNo++
+		s.lineStart = nextPos
+	}
+	return true, nil
+}
+
+// dropCR mirrors bufio.ScanLines: a '\r' immediately before the '\n'
+// (or at end of input) belongs to the line terminator.
+func dropCR(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		return b[:n-1]
+	}
+	return b
+}
+
+// asciiSpace matches unicode.IsSpace over the ASCII range, which is
+// what strings.TrimSpace and strings.Fields test byte-wise there.
+func asciiSpace(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
+}
+
+// slowScanLine is the legacy per-line pipeline, verbatim: it is the
+// semantic reference the fast path defers to whenever a line is not
+// provably clean ASCII "u v".
+func slowScanLine(raw string, lineNo int, opt TextOptions, hint func(int, int), edge func(int, int)) error {
+	text := strings.TrimSpace(raw)
+	if text == "" || strings.HasPrefix(text, "%") || strings.HasPrefix(text, "#") {
+		nu, nl, found, err := parseLayerHint(text)
+		if err != nil {
+			return fmt.Errorf("%w: line %d: %v", ErrFormat, lineNo, err)
+		}
+		if found && hint != nil {
+			hint(nu, nl)
+		}
+		return nil
+	}
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		return fmt.Errorf("%w: line %d: want 'u v', got %q", ErrFormat, lineNo, text)
+	}
+	u, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return fmt.Errorf("%w: line %d: %v", ErrFormat, lineNo, err)
+	}
+	v, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return fmt.Errorf("%w: line %d: %v", ErrFormat, lineNo, err)
+	}
+	if opt.OneBased {
+		u--
+		v--
+	}
+	if u < 0 || v < 0 {
+		return fmt.Errorf("%w: line %d: negative vertex after base adjustment", ErrFormat, lineNo)
+	}
+	edge(u, v)
+	return nil
+}
+
+// ReadText parses an edge-list from r, streaming every edge into the
+// graph builder through ScanText. Output and errors are identical to
+// ReadTextLegacy; the hot loop allocates nothing per edge.
+func ReadText(r io.Reader, opt TextOptions) (*bigraph.Graph, error) {
+	var b bigraph.Builder
+	if err := ScanText(r, opt, b.SetLayerSizes, b.AddEdge); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}

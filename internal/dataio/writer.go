@@ -1,0 +1,178 @@
+package dataio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ErrEdgeCount reports an EdgeFileWriter closed with a different number
+// of Add calls than it declared in its header.
+var ErrEdgeCount = errors.New("dataio: declared edge count not met")
+
+// EdgeFileWriter streams edges straight to a file without ever
+// materializing a graph, so 10M+-edge fixtures can be produced under a
+// flat memory ceiling. The format follows the path extension exactly
+// like SaveFile: ".bg" binary (the versioned "BGRH" container), else
+// text, with a trailing ".gz" adding gzip. numEdges is declared up
+// front in the header — duplicates among the streamed edges are merged
+// at load time by the graph builder, as with any edge list.
+//
+// Close must be called to finish the file; for binary output it writes
+// the CRC-32C trailer and fails with ErrEdgeCount unless exactly
+// numEdges edges were added (the header's count is load-bearing there).
+type EdgeFileWriter struct {
+	f      *os.File
+	zw     *gzip.Writer
+	bw     *bufio.Writer
+	h      hash.Hash32 // CRC-32C, binary format only
+	buf    []byte      // row/record staging, reused
+	binary bool
+	base   int // 1 for one-based text output
+	nUpper int
+	nLower int
+	want   int // declared edge count
+	added  int
+	err    error // sticky first error
+}
+
+// NewEdgeFileWriter creates path and writes the format header for an
+// nUpper x nLower graph of numEdges edges.
+func NewEdgeFileWriter(path string, nUpper, nLower, numEdges int, opt TextOptions) (*EdgeFileWriter, error) {
+	if nUpper < 0 || nLower < 0 || numEdges < 0 {
+		return nil, fmt.Errorf("dataio: negative shape %dx%d, %d edges", nUpper, nLower, numEdges)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &EdgeFileWriter{
+		f:      f,
+		nUpper: nUpper,
+		nLower: nLower,
+		want:   numEdges,
+		buf:    make([]byte, 0, 1<<13),
+	}
+	if opt.OneBased {
+		w.base = 1
+	}
+	inner := path
+	var out io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		w.zw = gzip.NewWriter(f)
+		out = w.zw
+		inner = strings.TrimSuffix(path, ".gz")
+	}
+	w.bw = bufio.NewWriterSize(out, 1<<16)
+	w.binary = strings.HasSuffix(inner, ".bg")
+	if w.binary {
+		w.h = crc32.New(castagnoli)
+		hdr := make([]byte, 0, 4+binaryHeaderSize)
+		hdr = append(hdr, binaryMagic...)
+		hdr = binary.LittleEndian.AppendUint16(hdr, binaryVersion)
+		hdr = binary.LittleEndian.AppendUint16(hdr, 0) // flags
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(nUpper))
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(nLower))
+		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(numEdges))
+		w.write(hdr)
+	} else {
+		w.write(fmt.Appendf(nil, "%% bipartite graph |U|=%d |L|=%d |E|=%d\n", nUpper, nLower, numEdges))
+	}
+	if w.err != nil {
+		f.Close()
+		return nil, w.err
+	}
+	return w, nil
+}
+
+// write sends p to the buffered output, folding it into the checksum
+// in binary mode, and latches the first error.
+func (w *EdgeFileWriter) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.bw.Write(p); err != nil {
+		w.err = err
+		return
+	}
+	if w.h != nil {
+		w.h.Write(p)
+	}
+}
+
+// Add appends one edge as layer-local 0-based indices. Rows are staged
+// in a reused buffer, so the per-edge cost is a bounds check and a few
+// appends — no allocation.
+func (w *EdgeFileWriter) Add(u, v int) error {
+	if w.err != nil {
+		return w.err
+	}
+	if u < 0 || u >= w.nUpper || v < 0 || v >= w.nLower {
+		w.err = fmt.Errorf("dataio: edge (%d, %d) outside declared %dx%d layers", u, v, w.nUpper, w.nLower)
+		return w.err
+	}
+	if w.added >= w.want && w.binary {
+		w.err = fmt.Errorf("%w: more than the declared %d edges added", ErrEdgeCount, w.want)
+		return w.err
+	}
+	if w.binary {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(u))
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(v))
+	} else {
+		w.buf = strconv.AppendInt(w.buf, int64(u+w.base), 10)
+		w.buf = append(w.buf, ' ')
+		w.buf = strconv.AppendInt(w.buf, int64(v+w.base), 10)
+		w.buf = append(w.buf, '\n')
+	}
+	w.added++
+	if len(w.buf) >= cap(w.buf)-64 {
+		w.write(w.buf)
+		w.buf = w.buf[:0]
+	}
+	return w.err
+}
+
+// Added reports how many edges have been streamed so far.
+func (w *EdgeFileWriter) Added() int { return w.added }
+
+// Close flushes the remaining rows, writes the binary checksum trailer,
+// and closes the file. Binary output additionally requires the added
+// count to match the declared one; the error reports the file as
+// unusable rather than leaving a silently short payload.
+func (w *EdgeFileWriter) Close() error {
+	if len(w.buf) > 0 {
+		w.write(w.buf)
+		w.buf = w.buf[:0]
+	}
+	if w.err == nil && w.binary {
+		if w.added != w.want {
+			w.err = fmt.Errorf("%w: declared %d, added %d", ErrEdgeCount, w.want, w.added)
+		} else {
+			var trailer [4]byte
+			binary.LittleEndian.PutUint32(trailer[:], w.h.Sum32())
+			if _, err := w.bw.Write(trailer[:]); err != nil {
+				w.err = err
+			}
+		}
+	}
+	if err := w.bw.Flush(); w.err == nil && err != nil {
+		w.err = err
+	}
+	if w.zw != nil {
+		if err := w.zw.Close(); w.err == nil && err != nil {
+			w.err = err
+		}
+	}
+	if err := w.f.Close(); w.err == nil && err != nil {
+		w.err = err
+	}
+	return w.err
+}

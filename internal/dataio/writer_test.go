@@ -1,0 +1,236 @@
+package dataio
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/gen"
+)
+
+// streamGraph writes g edge by edge through an EdgeFileWriter at path.
+func streamGraph(t *testing.T, path string, g *bigraph.Graph, opt TextOptions) {
+	t.Helper()
+	w, err := NewEdgeFileWriter(path, g.NumUpper(), g.NumLower(), g.NumEdges(), opt)
+	if err != nil {
+		t.Fatalf("NewEdgeFileWriter(%s): %v", path, err)
+	}
+	nl := int32(g.NumLower())
+	for e := int32(0); e < int32(g.NumEdges()); e++ {
+		ed := g.Edge(e)
+		if err := w.Add(int(ed.U-nl), int(ed.V)); err != nil {
+			t.Fatalf("Add edge %d: %v", e, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close(%s): %v", path, err)
+	}
+	if w.Added() != g.NumEdges() {
+		t.Fatalf("Added() = %d, want %d", w.Added(), g.NumEdges())
+	}
+}
+
+// TestEdgeFileWriterFormats streams the same graph to every format the
+// writer speaks and checks each file loads back identical to the
+// materialized graph.
+func TestEdgeFileWriterFormats(t *testing.T) {
+	g := gen.Zipf(40, 50, 300, 1.2, 1.1, 7)
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		file string
+		opt  TextOptions
+	}{
+		{"g.txt", TextOptions{}},
+		{"g1.txt", TextOptions{OneBased: true}},
+		{"g.txt.gz", TextOptions{OneBased: true}},
+		{"g.bg", TextOptions{}},
+		{"g.bg.gz", TextOptions{}},
+	} {
+		path := filepath.Join(dir, tc.file)
+		streamGraph(t, path, g, tc.opt)
+		got, err := LoadFile(path, tc.opt)
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", tc.file, err)
+		}
+		if !sameGraph(g, got) {
+			t.Errorf("%s: streamed file loads a different graph", tc.file)
+		}
+	}
+}
+
+// TestEdgeFileWriterMatchesSaveFile pins the streamed binary output
+// byte-identical to WriteBinary of the materialized graph — same
+// header, same records, same checksum.
+func TestEdgeFileWriterMatchesSaveFile(t *testing.T) {
+	g := gen.Uniform(25, 35, 180, 9)
+	path := filepath.Join(t.TempDir(), "g.bg")
+	streamGraph(t, path, g, TextOptions{})
+	streamed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if err := WriteBinary(&direct, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	if !bytes.Equal(streamed, direct.Bytes()) {
+		t.Fatalf("streamed .bg differs from WriteBinary output (%d vs %d bytes)", len(streamed), direct.Len())
+	}
+}
+
+// TestEdgeFileWriterDuplicates streams a list with repeated edges; the
+// loader merges them exactly as it does for any edge list.
+func TestEdgeFileWriterDuplicates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dup.txt")
+	w, err := NewEdgeFileWriter(path, 3, 3, 6, TextOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{0, 0}, {1, 1}, {0, 0}, {2, 2}, {1, 1}, {0, 0}} {
+		if err := w.Add(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadFile(path, TextOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 || g.NumUpper() != 3 || g.NumLower() != 3 {
+		t.Fatalf("got %dx%d graph with %d edges, want 3x3 with 3", g.NumUpper(), g.NumLower(), g.NumEdges())
+	}
+}
+
+// TestEdgeFileWriterCountMismatch: a binary writer closed short of its
+// declared count must fail with ErrEdgeCount, and refuse extra edges
+// past it.
+func TestEdgeFileWriterCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+
+	w, err := NewEdgeFileWriter(filepath.Join(dir, "short.bg"), 4, 4, 3, TextOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrEdgeCount) {
+		t.Fatalf("Close after 1 of 3 edges: got %v, want ErrEdgeCount", err)
+	}
+
+	w, err = NewEdgeFileWriter(filepath.Join(dir, "over.bg"), 4, 4, 1, TextOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(1, 1); !errors.Is(err, ErrEdgeCount) {
+		t.Fatalf("Add past declared count: got %v, want ErrEdgeCount", err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrEdgeCount) {
+		t.Fatalf("Close keeps the latched error: got %v", err)
+	}
+}
+
+// TestEdgeFileWriterOutOfRange rejects edges outside the declared
+// layer shape at Add time.
+func TestEdgeFileWriterOutOfRange(t *testing.T) {
+	w, err := NewEdgeFileWriter(filepath.Join(t.TempDir(), "oob.txt"), 2, 2, 1, TextOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(2, 0); err == nil {
+		t.Fatal("Add(2, 0) on a 2x2 writer: want an error")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close after out-of-range Add: want the latched error")
+	}
+}
+
+// TestBinaryChecksumDetectsCorruption flips one payload byte of a
+// streamed "BGRH" file; the CRC-32C trailer must catch it.
+func TestBinaryChecksumDetectsCorruption(t *testing.T) {
+	g := gen.Uniform(10, 10, 40, 5)
+	path := filepath.Join(t.TempDir(), "c.bg")
+	streamGraph(t, path, g, TextOptions{})
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a low-order bit of one edge record: the record stays in
+	// range, so only the checksum can notice.
+	corrupt := bytes.Clone(raw)
+	corrupt[4+binaryHeaderSize] ^= 0x01
+	_, rerr := ReadBinary(bytes.NewReader(corrupt))
+	if rerr == nil || !strings.Contains(rerr.Error(), "checksum mismatch") {
+		t.Fatalf("corrupted payload: got %v, want checksum mismatch", rerr)
+	}
+	if !errors.Is(rerr, ErrFormat) {
+		t.Fatalf("checksum error should wrap ErrFormat, got %v", rerr)
+	}
+
+	// Flipping the trailer itself must fail the same way.
+	corrupt = bytes.Clone(raw)
+	corrupt[len(corrupt)-1] ^= 0xff
+	if _, err := ReadBinary(bytes.NewReader(corrupt)); err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("corrupted trailer: got %v, want checksum mismatch", err)
+	}
+
+	// The pristine bytes still load, so the corruption cases above fail
+	// for the right reason.
+	if got, err := ReadBinary(bytes.NewReader(raw)); err != nil || !sameGraph(g, got) {
+		t.Fatalf("pristine file failed to load: %v", err)
+	}
+}
+
+// TestBinaryLegacyPayloadStillLoads hand-builds a checksum-free "BGR1"
+// container and loads it through the same ReadBinary entry point.
+func TestBinaryLegacyPayloadStillLoads(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("BGR1")
+	le := func(v uint32) {
+		buf.Write([]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+	}
+	le(2) // upper
+	le(3) // lower
+	le(2) // edges
+	le(0)
+	le(1) // edge (0, 1)
+	le(1)
+	le(2) // edge (1, 2)
+	g, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("legacy BGR1 payload: %v", err)
+	}
+	if g.NumUpper() != 2 || g.NumLower() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("legacy payload loaded as %dx%d/%d, want 2x3/2", g.NumUpper(), g.NumLower(), g.NumEdges())
+	}
+}
+
+// TestBinaryVersionGate rejects future versions and unknown flags
+// rather than misreading them.
+func TestBinaryVersionGate(t *testing.T) {
+	g := gen.Uniform(5, 5, 10, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	future := bytes.Clone(buf.Bytes())
+	future[4] = 0xff // version low byte
+	if _, err := ReadBinary(bytes.NewReader(future)); err == nil || !strings.Contains(err.Error(), "unsupported binary version") {
+		t.Fatalf("future version: got %v, want unsupported-version error", err)
+	}
+	flagged := bytes.Clone(buf.Bytes())
+	flagged[6] = 0x01 // flags low byte
+	if _, err := ReadBinary(bytes.NewReader(flagged)); err == nil || !strings.Contains(err.Error(), "unknown header flags") {
+		t.Fatalf("unknown flags: got %v, want unknown-flags error", err)
+	}
+}

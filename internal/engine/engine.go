@@ -87,6 +87,21 @@ type Options struct {
 	Ranges  int
 }
 
+// MemoryStats is the resident footprint of one dataset's served
+// snapshot, broken down by structure. Every figure is computed from
+// slice lengths — cheap enough for every Info call — and counts the
+// data arrays, not allocator slack. The figures are deterministic for
+// one snapshot (lazily memoised query state is excluded), so two reads
+// of the same version always agree; the query-response cache is
+// reported separately via View.CacheStats.
+type MemoryStats struct {
+	GraphBytes   int64   // CSR adjacency + edge list + rank order
+	ResultBytes  int64   // φ and support arrays
+	IndexBytes   int64   // community hierarchy index structure
+	TotalBytes   int64   // sum of the above
+	BytesPerEdge float64 // TotalBytes / edges (0 on an empty graph)
+}
+
 // DatasetInfo is a read-only snapshot of one dataset.
 type DatasetInfo struct {
 	Name      string
@@ -101,6 +116,8 @@ type DatasetInfo struct {
 	Levels    int           // populated bitruss levels when ready
 	TotalTime time.Duration // decomposition wall time when ready
 	Err       string        // failure message when Status == StatusFailed
+	JobID     int64         // in-flight or most recent decomposition job (0 = none)
+	Mem       MemoryStats   // resident footprint of the served snapshot
 }
 
 // snapshot is one immutable serving state of a dataset: a graph
@@ -241,7 +258,7 @@ type mutOutcome struct {
 type dataset struct {
 	name string
 
-	mu      sync.RWMutex // guards snap, status, err, cancel, done, log, epochs, workers, ranges
+	mu      sync.RWMutex // guards snap, status, err, cancel, done, log, jobs, epochs, workers, ranges
 	snap    *snapshot
 	status  Status
 	runAlgo core.Algorithm // algorithm of the in-flight run
@@ -249,6 +266,7 @@ type dataset struct {
 	cancel  context.CancelFunc
 	done    chan struct{} // closed when the in-flight decomposition ends
 	log     *mutLog
+	jobs    *jobLog
 	epochs  int64 // applied-batch count; stamps MutationRecord.Epoch
 	// workers/ranges of the cached decomposition: fan-out for the
 	// maintenance and index phases of subsequent epochs.
@@ -272,6 +290,7 @@ type Engine struct {
 	mu       sync.RWMutex
 	datasets map[string]*dataset
 
+	jobSeq        atomic.Int64 // process-unique decomposition job ids
 	cacheMaxBytes atomic.Int64 // per-snapshot response cache bound; <= 0 disables
 	mutLogCap     atomic.Int64 // mutation-log ring capacity for new datasets
 	onPublish     atomic.Value // func(dataset string, v *View), may hold nil
@@ -365,6 +384,7 @@ func (e *Engine) Register(name string, g *bigraph.Graph) error {
 		snap:   &snapshot{version: g.Version(), g: g, cache: e.newCache()},
 		status: StatusLoaded,
 		log:    newMutLog(int(e.mutLogCap.Load())),
+		jobs:   newJobLog(DefaultJobLogCap),
 	}
 	return nil
 }
@@ -465,7 +485,29 @@ func (ds *dataset) info() DatasetInfo {
 	if ds.err != nil {
 		info.Err = ds.err.Error()
 	}
+	if j := ds.jobs.latest(); j != nil {
+		info.JobID = j.id
+	}
+	info.Mem = snap.memory()
 	return info
+}
+
+// memory sizes the snapshot's resident structures. Safe on a serving
+// snapshot: every SizeBytes walks immutable arrays, so the figures are
+// stable for the snapshot's whole lifetime.
+func (s *snapshot) memory() MemoryStats {
+	mem := MemoryStats{GraphBytes: s.g.SizeBytes()}
+	if s.res != nil {
+		mem.ResultBytes = s.res.SizeBytes()
+	}
+	if s.idx != nil {
+		mem.IndexBytes = s.idx.SizeBytes()
+	}
+	mem.TotalBytes = mem.GraphBytes + mem.ResultBytes + mem.IndexBytes
+	if m := s.g.NumEdges(); m > 0 {
+		mem.BytesPerEdge = float64(mem.TotalBytes) / float64(m)
+	}
+	return mem
 }
 
 // MutationLog returns the dataset's applied-batch history, oldest
@@ -486,27 +528,30 @@ func (e *Engine) MutationLog(name string) ([]MutationRecord, error) {
 }
 
 // StartDecompose launches the decomposition of a dataset in the
-// background and returns immediately. ctx cancellation aborts the run
-// (it is mapped onto the core Cancel channel, so it propagates into the
+// background and returns the id of the started job immediately. The
+// job's live progress (stage, edges finalized) is readable via Job
+// while the run proceeds. ctx cancellation aborts the run (it is
+// mapped onto the core Cancel channel, so it propagates into the
 // peeling loops). A dataset holds at most one in-flight decomposition;
 // a second request returns ErrBusy. A finished (ready or failed)
 // dataset may be re-decomposed, e.g. with a different algorithm; it
 // keeps serving its previous snapshot meanwhile.
-func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) error {
+func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) (int64, error) {
 	ds, err := e.dataset(name)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if e.isClosed() {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	runCtx, cancel := context.WithCancel(ctx)
 
+	j := &job{id: e.jobSeq.Add(1), dataset: name, algo: opt.Algorithm, started: time.Now()}
 	ds.mu.Lock()
 	if ds.status == StatusDecomposing {
 		ds.mu.Unlock()
 		cancel()
-		return fmt.Errorf("%w: %q", ErrBusy, name)
+		return 0, fmt.Errorf("%w: %q", ErrBusy, name)
 	}
 	ds.status = StatusDecomposing
 	ds.runAlgo = opt.Algorithm
@@ -514,6 +559,7 @@ func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) e
 	ds.cancel = cancel
 	done := make(chan struct{})
 	ds.done = done
+	ds.jobs.add(j)
 	ds.mu.Unlock()
 
 	go func() {
@@ -531,6 +577,7 @@ func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) e
 			Workers:   opt.Workers,
 			Ranges:    opt.Ranges,
 			Cancel:    runCtx.Done(),
+			Progress:  j.observe,
 		})
 		var idx *community.Index
 		if err == nil {
@@ -550,6 +597,10 @@ func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) e
 			// entries already encoded.
 			e.firePublish(ds.name, newSnap)
 		}
+		// Latch the job's terminal state before the dataset flips to
+		// ready/failed: a poller that sees the new status cannot then
+		// read the job as still running.
+		j.finish(err)
 		ds.mu.Lock()
 		if err != nil {
 			// A failed re-decomposition must not brick a dataset that
@@ -571,7 +622,7 @@ func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) e
 		ds.mu.Unlock()
 		close(done)
 	}()
-	return nil
+	return j.id, nil
 }
 
 // Wait blocks until the dataset's in-flight decomposition (if any)
@@ -602,7 +653,7 @@ func (e *Engine) Wait(ctx context.Context, name string) error {
 // Decompose is StartDecompose + Wait: it blocks until the dataset is
 // ready or the run fails.
 func (e *Engine) Decompose(ctx context.Context, name string, opt Options) error {
-	if err := e.StartDecompose(ctx, name, opt); err != nil {
+	if _, err := e.StartDecompose(ctx, name, opt); err != nil {
 		return err
 	}
 	return e.Wait(ctx, name)

@@ -229,7 +229,7 @@ func TestConcurrentQueriesDuringDecomposition(t *testing.T) {
 	if err := e.Register("background", gen.Zipf(500, 500, 15000, 1.3, 1.3, 11)); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.StartDecompose(context.Background(), "background", Options{Algorithm: core.BiTBUPlusPlus, Workers: 2}); err != nil {
+	if _, err := e.StartDecompose(context.Background(), "background", Options{Algorithm: core.BiTBUPlusPlus, Workers: 2}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -272,7 +272,7 @@ func TestConcurrentQueriesDuringDecomposition(t *testing.T) {
 
 	// While queries fly, a second decomposition of the busy dataset is
 	// rejected (unless the first already finished, which is fine).
-	err := e.StartDecompose(context.Background(), "background", Options{})
+	_, err := e.StartDecompose(context.Background(), "background", Options{})
 	if err != nil && !errors.Is(err, ErrBusy) {
 		t.Fatalf("second decompose: %v", err)
 	}

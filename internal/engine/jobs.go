@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file is the decomposition job registry: every StartDecompose run
+// gets a process-unique id and a live progress record (stage, edges
+// finalized, total) updated lock-free from the peeling loops via
+// core.Options.Progress. Jobs are retained per dataset in a fixed
+// ring (the mutation-log pattern), so a long-lived dataset under
+// repeated re-decompositions keeps its recent history at O(cap) memory.
+
+// ErrNoJob reports a job id absent from the dataset's retained history.
+var ErrNoJob = errors.New("engine: no such job")
+
+// DefaultJobLogCap is the per-dataset decomposition-job retention.
+const DefaultJobLogCap = 64
+
+// JobState is the lifecycle state of one decomposition job.
+type JobState int32
+
+const (
+	// JobRunning: the decomposition is in flight.
+	JobRunning JobState = iota
+	// JobDone: the run finished and its snapshot is installed.
+	JobDone
+	// JobFailed: the run returned an error (cancellation included).
+	JobFailed
+)
+
+// String implements fmt.Stringer with the JSON-facing names.
+func (s JobState) String() string {
+	switch s {
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("JobState(%d)", int32(s))
+	}
+}
+
+// JobInfo is a point-in-time read of one decomposition job. Done/Total
+// count edges whose bitruss number is finalized; they move while the
+// job runs (polling GET /jobs/{id} sees them advance).
+type JobInfo struct {
+	ID      int64
+	Dataset string
+	Algo    string
+	State   JobState
+	Stage   string // current phase: counting, index, extract, peel, done
+	Done    int64  // edges with φ finalized so far
+	Total   int64  // edges in the decomposed snapshot
+	Started time.Time
+	Elapsed time.Duration // wall time so far (final once the job ends)
+	Err     string        // failure message when State == JobFailed
+}
+
+// job is the live tracking state of one run. The progress fields are
+// plain atomics written from the decomposition goroutine's progress
+// callback and read by pollers without any lock.
+type job struct {
+	id      int64
+	dataset string
+	algo    core.Algorithm
+	started time.Time
+
+	stage atomic.Int32 // core.Stage
+	done  atomic.Int64
+	total atomic.Int64
+	state atomic.Int32 // JobState
+
+	endMu sync.Mutex // guards ended, err after finish
+	ended time.Time
+	err   error
+}
+
+// observe is the core.ProgressFunc of the run; it costs three atomic
+// stores per report (and reports are stride-throttled by core).
+func (j *job) observe(stage core.Stage, done, total int64) {
+	j.stage.Store(int32(stage))
+	j.done.Store(done)
+	j.total.Store(total)
+}
+
+// finish latches the job's terminal state. Idempotent per run by
+// construction (called once from the decomposition goroutine).
+func (j *job) finish(err error) {
+	j.endMu.Lock()
+	j.ended = time.Now()
+	j.err = err
+	j.endMu.Unlock()
+	// State flips last: a poller that sees a terminal state also sees
+	// the end time and error already latched.
+	if err != nil {
+		j.state.Store(int32(JobFailed))
+	} else {
+		j.state.Store(int32(JobDone))
+	}
+}
+
+// snapshot reads the job into an immutable JobInfo.
+func (j *job) snapshot() JobInfo {
+	info := JobInfo{
+		ID:      j.id,
+		Dataset: j.dataset,
+		Algo:    j.algo.String(),
+		State:   JobState(j.state.Load()),
+		Stage:   core.Stage(j.stage.Load()).String(),
+		Done:    j.done.Load(),
+		Total:   j.total.Load(),
+		Started: j.started,
+	}
+	if info.State == JobRunning {
+		info.Elapsed = time.Since(j.started)
+		return info
+	}
+	j.endMu.Lock()
+	info.Elapsed = j.ended.Sub(j.started)
+	if j.err != nil {
+		info.Err = j.err.Error()
+	}
+	j.endMu.Unlock()
+	return info
+}
+
+// jobLog is a fixed-capacity ring of a dataset's decomposition jobs,
+// newest last — the same retention shape as the mutation log.
+type jobLog struct {
+	buf  []*job
+	head int
+	n    int
+}
+
+func newJobLog(capacity int) *jobLog {
+	if capacity <= 0 {
+		capacity = DefaultJobLogCap
+	}
+	return &jobLog{buf: make([]*job, capacity)}
+}
+
+func (l *jobLog) add(j *job) {
+	if l.n < len(l.buf) {
+		l.buf[(l.head+l.n)%len(l.buf)] = j
+		l.n++
+		return
+	}
+	l.buf[l.head] = j
+	l.head = (l.head + 1) % len(l.buf)
+}
+
+// find returns the retained job with the given id, or nil.
+func (l *jobLog) find(id int64) *job {
+	for i := 0; i < l.n; i++ {
+		if j := l.buf[(l.head+i)%len(l.buf)]; j.id == id {
+			return j
+		}
+	}
+	return nil
+}
+
+// latest returns the most recently started job, or nil.
+func (l *jobLog) latest() *job {
+	if l.n == 0 {
+		return nil
+	}
+	return l.buf[(l.head+l.n-1)%len(l.buf)]
+}
+
+// all returns the retained jobs oldest-first.
+func (l *jobLog) all() []*job {
+	out := make([]*job, l.n)
+	for i := range out {
+		out[i] = l.buf[(l.head+i)%len(l.buf)]
+	}
+	return out
+}
+
+// Job returns a point-in-time read of one decomposition job of a
+// dataset. Polling it while the job runs observes Done advancing
+// through the peel; retention is bounded (DefaultJobLogCap newest
+// jobs), so very old ids report ErrNoJob.
+func (e *Engine) Job(name string, id int64) (JobInfo, error) {
+	ds, err := e.dataset(name)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	ds.mu.RLock()
+	j := ds.jobs.find(id)
+	ds.mu.RUnlock()
+	if j == nil {
+		return JobInfo{}, fmt.Errorf("%w: dataset %q job %d", ErrNoJob, name, id)
+	}
+	return j.snapshot(), nil
+}
+
+// Jobs returns the dataset's retained decomposition jobs oldest-first.
+func (e *Engine) Jobs(name string) ([]JobInfo, error) {
+	ds, err := e.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	ds.mu.RLock()
+	jobs := ds.jobs.all()
+	ds.mu.RUnlock()
+	out := make([]JobInfo, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot()
+	}
+	return out, nil
+}

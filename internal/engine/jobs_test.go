@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/testgraphs"
+)
+
+// TestJobLifecycle drives one decomposition through StartDecompose and
+// watches it through the job API: running or done while in flight,
+// terminal done with a full counter afterwards, and visible in both
+// Info and Jobs.
+func TestJobLifecycle(t *testing.T) {
+	e := New()
+	defer e.Shutdown(context.Background())
+	g := gen.Zipf(80, 80, 2000, 1.2, 1.2, 3)
+	if err := e.Register("d", g); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := e.Job("d", 1); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("job before any decompose: %v, want ErrNoJob", err)
+	}
+
+	id, err := e.StartDecompose(context.Background(), "d", Options{Algorithm: core.BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= 0 {
+		t.Fatalf("job id = %d, want positive", id)
+	}
+
+	// The job is observable immediately, before completion is certain.
+	ji, err := e.Job("d", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ji.ID != id || ji.Dataset != "d" || ji.Algo != "BiT-BU++" {
+		t.Fatalf("job info = %+v", ji)
+	}
+	if ji.State != JobRunning && ji.State != JobDone {
+		t.Fatalf("mid-flight state %v", ji.State)
+	}
+
+	if err := e.Wait(context.Background(), "d"); err != nil {
+		t.Fatal(err)
+	}
+	ji, err = e.Job("d", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ji.State != JobDone || ji.Stage != "done" {
+		t.Fatalf("after wait: state %v stage %q, want done/done", ji.State, ji.Stage)
+	}
+	if ji.Done != int64(g.NumEdges()) || ji.Total != int64(g.NumEdges()) {
+		t.Fatalf("after wait: done %d / total %d, want %d / %d", ji.Done, ji.Total, g.NumEdges(), g.NumEdges())
+	}
+	if ji.Err != "" {
+		t.Fatalf("unexpected job error %q", ji.Err)
+	}
+	if ji.Elapsed < 0 || ji.Elapsed > time.Minute {
+		t.Fatalf("implausible elapsed %v", ji.Elapsed)
+	}
+
+	info, err := e.Info("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.JobID != id {
+		t.Fatalf("info.JobID = %d, want %d", info.JobID, id)
+	}
+
+	jobs, err := e.Jobs("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != id {
+		t.Fatalf("Jobs = %+v, want exactly job %d", jobs, id)
+	}
+}
+
+// TestJobIDsAdvance: successive runs get distinct increasing ids and
+// the ring retains both, oldest first.
+func TestJobIDsAdvance(t *testing.T) {
+	e := readyEngine(t, "d")
+	defer e.Shutdown(context.Background())
+	first, err := e.Info("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Decompose(context.Background(), "d", Options{Algorithm: core.BiTBU}); err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Info("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.JobID <= first.JobID {
+		t.Fatalf("job ids did not advance: %d then %d", first.JobID, second.JobID)
+	}
+	jobs, err := e.Jobs("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].ID != first.JobID || jobs[1].ID != second.JobID {
+		t.Fatalf("Jobs = %+v, want [%d, %d]", jobs, first.JobID, second.JobID)
+	}
+}
+
+// TestJobFailureRecorded: a failed decomposition ends as a failed job
+// carrying the error text.
+func TestJobFailureRecorded(t *testing.T) {
+	e := New()
+	defer e.Shutdown(context.Background())
+	if err := e.Register("d", testgraphs.Figure1()); err != nil {
+		t.Fatal(err)
+	}
+	id, err := e.StartDecompose(context.Background(), "d", Options{Algorithm: core.Algorithm(99)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e.Wait(context.Background(), "d") // surfaces the stored failure; the job records it too
+	ji, err := e.Job("d", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ji.State != JobFailed || ji.Err == "" {
+		t.Fatalf("failed run recorded as %+v", ji)
+	}
+}
+
+// TestJobLogRing: the per-dataset ring keeps only the most recent
+// DefaultJobLogCap jobs and find misses evicted ids.
+func TestJobLogRing(t *testing.T) {
+	l := newJobLog(3)
+	for i := int64(1); i <= 5; i++ {
+		l.add(&job{id: i})
+	}
+	if j := l.find(1); j != nil {
+		t.Fatal("evicted job 1 still found")
+	}
+	all := l.all()
+	if len(all) != 3 || all[0].id != 3 || all[2].id != 5 {
+		t.Fatalf("ring holds %v, want jobs 3..5 oldest first", all)
+	}
+	if l.latest().id != 5 {
+		t.Fatalf("latest = %d, want 5", l.latest().id)
+	}
+}
+
+// TestMemoryStats: a decomposed dataset reports a coherent breakdown —
+// every structure non-zero, total the exact sum, bytes/edge positive —
+// and two consecutive reads agree (served metadata is deterministic
+// per snapshot).
+func TestMemoryStats(t *testing.T) {
+	e := readyEngine(t, "d")
+	defer e.Shutdown(context.Background())
+	info, err := e.Info("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := info.Mem
+	if mem.GraphBytes <= 0 || mem.ResultBytes <= 0 || mem.IndexBytes <= 0 {
+		t.Fatalf("memory breakdown has zero component: %+v", mem)
+	}
+	if mem.TotalBytes != mem.GraphBytes+mem.ResultBytes+mem.IndexBytes {
+		t.Fatalf("total %d is not the sum of %d+%d+%d", mem.TotalBytes, mem.GraphBytes, mem.ResultBytes, mem.IndexBytes)
+	}
+	if mem.BytesPerEdge <= 0 {
+		t.Fatalf("bytes/edge = %v, want positive", mem.BytesPerEdge)
+	}
+	again, err := e.Info("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Mem != mem {
+		t.Fatalf("memory stats changed between reads: %+v then %+v", mem, again.Mem)
+	}
+}
+
+// TestJobProgressObservedMidRun polls a decomposition of a graph large
+// enough to take a few milliseconds and requires at least one
+// non-terminal observation with a plausible counter.
+func TestJobProgressObservedMidRun(t *testing.T) {
+	e := New()
+	defer e.Shutdown(context.Background())
+	g := gen.Zipf(300, 300, 30000, 1.3, 1.3, 11)
+	if err := e.Register("d", g); err != nil {
+		t.Fatal(err)
+	}
+	id, err := e.StartDecompose(context.Background(), "d", Options{Algorithm: core.BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRunning := false
+	for {
+		ji, err := e.Job("d", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ji.Done < 0 || (ji.Total > 0 && ji.Done > ji.Total) {
+			t.Fatalf("implausible counters %d/%d", ji.Done, ji.Total)
+		}
+		if ji.State == JobRunning {
+			sawRunning = true
+		}
+		if ji.State == JobDone {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if !sawRunning {
+		t.Log("decomposition finished before the first poll; mid-run visibility not exercised")
+	}
+}

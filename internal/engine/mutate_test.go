@@ -476,7 +476,7 @@ func TestShutdownCancelsBackgroundWork(t *testing.T) {
 	if err := e.Register("slow", gen.Uniform(300, 300, 30000, 7)); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.StartDecompose(ctx, "slow", Options{Algorithm: core.BiTBS}); err != nil {
+	if _, err := e.StartDecompose(ctx, "slow", Options{Algorithm: core.BiTBS}); err != nil {
 		t.Fatal(err)
 	}
 	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
@@ -484,7 +484,7 @@ func TestShutdownCancelsBackgroundWork(t *testing.T) {
 	if err := e.Shutdown(sctx); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
-	if err := e.StartDecompose(ctx, "slow", Options{}); !errors.Is(err, ErrClosed) {
+	if _, err := e.StartDecompose(ctx, "slow", Options{}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("post-shutdown decompose err = %v", err)
 	}
 	if _, err := e.Mutate(ctx, "slow", MutateRequest{Insert: [][2]int{{0, 0}}}); !errors.Is(err, ErrClosed) {

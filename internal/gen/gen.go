@@ -24,16 +24,25 @@ import (
 	"repro/internal/bigraph"
 )
 
+// StreamUniform draws the m uniform random edges of Uniform(seed) in
+// the same deterministic order, handing each to emit instead of
+// materializing a graph — the streaming fixture writers build
+// 10M+-edge files under a flat memory ceiling this way.
+func StreamUniform(nUpper, nLower, m int, seed int64, emit func(u, v int)) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < m; i++ {
+		emit(rng.Intn(nUpper), rng.Intn(nLower))
+	}
+}
+
 // Uniform returns a bipartite G(nUpper, nLower, m) graph: m edges drawn
 // uniformly at random (duplicates merged, so the result can hold fewer
 // than m edges).
 func Uniform(nUpper, nLower, m int, seed int64) *bigraph.Graph {
-	rng := rand.New(rand.NewSource(seed))
 	var b bigraph.Builder
 	b.SetLayerSizes(nUpper, nLower)
-	for i := 0; i < m; i++ {
-		b.AddEdge(rng.Intn(nUpper), rng.Intn(nLower))
-	}
+	b.Grow(m)
+	StreamUniform(nUpper, nLower, m, seed, b.AddEdge)
 	return b.MustBuild()
 }
 
@@ -43,15 +52,22 @@ func Uniform(nUpper, nLower, m int, seed int64) *bigraph.Graph {
 // concentrates edges on fewer hubs; s in [1.1, 3] is typical for
 // real-world graphs). Duplicates are merged.
 func Zipf(nUpper, nLower, m int, sUpper, sLower float64, seed int64) *bigraph.Graph {
+	var b bigraph.Builder
+	b.SetLayerSizes(nUpper, nLower)
+	b.Grow(m)
+	StreamZipf(nUpper, nLower, m, sUpper, sLower, seed, b.AddEdge)
+	return b.MustBuild()
+}
+
+// StreamZipf draws the edges of Zipf(seed) in the same deterministic
+// order, handing each to emit instead of materializing a graph.
+func StreamZipf(nUpper, nLower, m int, sUpper, sLower float64, seed int64, emit func(u, v int)) {
 	rng := rand.New(rand.NewSource(seed))
 	upper := newZipfSampler(rng, sUpper, nUpper)
 	lower := newZipfSampler(rng, sLower, nLower)
-	var b bigraph.Builder
-	b.SetLayerSizes(nUpper, nLower)
 	for i := 0; i < m; i++ {
-		b.AddEdge(upper.sample(), lower.sample())
+		emit(upper.sample(), lower.sample())
 	}
-	return b.MustBuild()
 }
 
 // zipfSampler draws values in [0, n) with P(k) ∝ 1/(k+1)^s via inverse
@@ -129,18 +145,26 @@ func Blocks(nUpper, nLower int, blocks []BlockConfig, backgroundEdges int, seed 
 // supports while the background diversifies the support distribution,
 // matching the mixture shape of real web/tagging graphs.
 func ZipfPlusUniform(nUpper, nLower, m int, sUpper, sLower float64, background int, seed int64) *bigraph.Graph {
+	var b bigraph.Builder
+	b.SetLayerSizes(nUpper, nLower)
+	b.Grow(m + background)
+	StreamZipfPlusUniform(nUpper, nLower, m, sUpper, sLower, background, seed, b.AddEdge)
+	return b.MustBuild()
+}
+
+// StreamZipfPlusUniform draws the edges of ZipfPlusUniform(seed) in the
+// same deterministic order, handing each to emit instead of
+// materializing a graph.
+func StreamZipfPlusUniform(nUpper, nLower, m int, sUpper, sLower float64, background int, seed int64, emit func(u, v int)) {
 	rng := rand.New(rand.NewSource(seed))
 	upper := newZipfSampler(rng, sUpper, nUpper)
 	lower := newZipfSampler(rng, sLower, nLower)
-	var b bigraph.Builder
-	b.SetLayerSizes(nUpper, nLower)
 	for i := 0; i < m; i++ {
-		b.AddEdge(upper.sample(), lower.sample())
+		emit(upper.sample(), lower.sample())
 	}
 	for i := 0; i < background; i++ {
-		b.AddEdge(rng.Intn(nUpper), rng.Intn(nLower))
+		emit(rng.Intn(nUpper), rng.Intn(nLower))
 	}
-	return b.MustBuild()
 }
 
 // BloomChain concatenates c blooms of bloom number k that share no

@@ -95,7 +95,7 @@ func classify(err error) (code string, status int) {
 		return CodeDatasetNotFound, http.StatusNotFound
 	case errors.Is(err, engine.ErrNoEdge):
 		return CodeEdgeNotFound, http.StatusNotFound
-	case errors.Is(err, engine.ErrNoCommunity), errors.Is(err, errNotFound):
+	case errors.Is(err, engine.ErrNoCommunity), errors.Is(err, engine.ErrNoJob), errors.Is(err, errNotFound):
 		return CodeNotFound, http.StatusNotFound
 	case errors.Is(err, engine.ErrExists):
 		return CodeDatasetExists, http.StatusConflict

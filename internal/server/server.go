@@ -16,6 +16,8 @@
 //	DELETE /v1/datasets/{name}/edges                  delete {edges, wait}: deletion-only sugar
 //	GET    /v1/datasets/{name}/version                served snapshot version + pending mutations
 //	POST   /v1/datasets/{name}/decompose              {algorithm, tau, workers, ranges, wait}
+//	GET    /v1/datasets/{name}/jobs                   retained decomposition jobs, oldest first
+//	GET    /v1/datasets/{name}/jobs/{id}              live progress of one decomposition job
 //	GET    /v1/datasets/{name}/phi?u=U&v=V            bitruss number of one edge
 //	GET    /v1/datasets/{name}/support?u=U&v=V        butterfly support (works pre-decomposition)
 //	GET    /v1/datasets/{name}/levels                 populated bitruss levels
@@ -174,6 +176,8 @@ func routeTable() []route {
 		{http.MethodDelete, "/v1/datasets/{name}/edges", "/datasets/{name}/edges", namePath, false, (*Server).handleDeleteEdges},
 		{http.MethodGet, "/v1/datasets/{name}/version", "/datasets/{name}/version", namePath, false, (*Server).handleVersion},
 		{http.MethodPost, "/v1/datasets/{name}/decompose", "/decompose", nameBody, false, (*Server).handleDecompose},
+		{http.MethodGet, "/v1/datasets/{name}/jobs", "", namePath, false, (*Server).handleJobs},
+		{http.MethodGet, "/v1/datasets/{name}/jobs/{id}", "", namePath, false, (*Server).handleJob},
 		{http.MethodGet, "/v1/datasets/{name}/phi", "/phi", nameQuery, true, (*Server).handlePhi},
 		{http.MethodGet, "/v1/datasets/{name}/support", "/support", nameQuery, true, (*Server).handleSupport},
 		{http.MethodGet, "/v1/datasets/{name}/levels", "/levels", nameQuery, false, (*Server).handleLevels},
@@ -507,20 +511,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request, rc reqCtx
 	s.writeJSON(w, r, rc, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// memoryJSON is the wire form of engine.MemoryStats: the resident
+// footprint of the dataset's served snapshot, broken down by structure.
+type memoryJSON struct {
+	GraphBytes   int64   `json:"graph_bytes"`
+	ResultBytes  int64   `json:"result_bytes,omitempty"`
+	IndexBytes   int64   `json:"index_bytes,omitempty"`
+	TotalBytes   int64   `json:"total_bytes"`
+	BytesPerEdge float64 `json:"bytes_per_edge"`
+}
+
 // datasetJSON is the wire form of engine.DatasetInfo.
 type datasetJSON struct {
-	Name    string `json:"name"`
-	Upper   int    `json:"upper"`
-	Lower   int    `json:"lower"`
-	Edges   int    `json:"edges"`
-	Version int64  `json:"version"`
-	Pending int    `json:"pending,omitempty"`
-	Status  string `json:"status"`
-	Algo    string `json:"algorithm,omitempty"`
-	MaxPhi  int64  `json:"max_phi,omitempty"`
-	Levels  int    `json:"levels,omitempty"`
-	TimeMS  int64  `json:"decompose_ms,omitempty"`
-	Message string `json:"error,omitempty"`
+	Name    string     `json:"name"`
+	Upper   int        `json:"upper"`
+	Lower   int        `json:"lower"`
+	Edges   int        `json:"edges"`
+	Version int64      `json:"version"`
+	Pending int        `json:"pending,omitempty"`
+	Status  string     `json:"status"`
+	Algo    string     `json:"algorithm,omitempty"`
+	MaxPhi  int64      `json:"max_phi,omitempty"`
+	Levels  int        `json:"levels,omitempty"`
+	TimeMS  int64      `json:"decompose_ms,omitempty"`
+	JobID   int64      `json:"job_id,omitempty"`
+	Memory  memoryJSON `json:"memory"`
+	Message string     `json:"error,omitempty"`
 }
 
 func toDatasetJSON(i engine.DatasetInfo) datasetJSON {
@@ -536,6 +552,14 @@ func toDatasetJSON(i engine.DatasetInfo) datasetJSON {
 		MaxPhi:  i.MaxPhi,
 		Levels:  i.Levels,
 		TimeMS:  i.TotalTime.Milliseconds(),
+		JobID:   i.JobID,
+		Memory: memoryJSON{
+			GraphBytes:   i.Mem.GraphBytes,
+			ResultBytes:  i.Mem.ResultBytes,
+			IndexBytes:   i.Mem.IndexBytes,
+			TotalBytes:   i.Mem.TotalBytes,
+			BytesPerEdge: i.Mem.BytesPerEdge,
+		},
 		Message: i.Err,
 	}
 }
@@ -779,7 +803,7 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request, rc reqC
 			return
 		}
 		status = http.StatusOK
-	} else if err := s.eng.StartDecompose(context.WithoutCancel(r.Context()), name, opt); err != nil {
+	} else if _, err := s.eng.StartDecompose(context.WithoutCancel(r.Context()), name, opt); err != nil {
 		s.writeError(w, rc, err)
 		return
 	}
@@ -789,6 +813,76 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request, rc reqC
 		return
 	}
 	s.writeJSON(w, r, rc, status, toDatasetJSON(info))
+}
+
+// jobJSON is the wire form of engine.JobInfo. done/total count edges
+// whose bitruss number is finalized; polling a running job sees them
+// advance through the peel.
+type jobJSON struct {
+	ID        int64   `json:"id"`
+	Dataset   string  `json:"dataset"`
+	Algo      string  `json:"algorithm"`
+	State     string  `json:"state"`
+	Stage     string  `json:"stage"`
+	Done      int64   `json:"done"`
+	Total     int64   `json:"total"`
+	Percent   float64 `json:"percent"`
+	ElapsedMS int64   `json:"elapsed_ms"`
+	Message   string  `json:"error,omitempty"`
+}
+
+func toJobJSON(i engine.JobInfo) jobJSON {
+	out := jobJSON{
+		ID:        i.ID,
+		Dataset:   i.Dataset,
+		Algo:      i.Algo,
+		State:     i.State.String(),
+		Stage:     i.Stage,
+		Done:      i.Done,
+		Total:     i.Total,
+		ElapsedMS: i.Elapsed.Milliseconds(),
+		Message:   i.Err,
+	}
+	switch {
+	case i.Total > 0:
+		out.Percent = 100 * float64(i.Done) / float64(i.Total)
+	case i.State == engine.JobDone:
+		out.Percent = 100
+	}
+	return out
+}
+
+// Job responses are deliberately uncached: their whole point is to
+// change between polls of the same URL, so they never touch the
+// per-snapshot response cache.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request, rc reqCtx) {
+	jobs, err := s.eng.Jobs(rc.name)
+	if err != nil {
+		s.writeError(w, rc, err)
+		return
+	}
+	out := make([]jobJSON, len(jobs))
+	for i, j := range jobs {
+		out[i] = toJobJSON(j)
+	}
+	s.writeJSON(w, r, rc, http.StatusOK, struct {
+		Dataset string    `json:"dataset"`
+		Jobs    []jobJSON `json:"jobs"`
+	}{Dataset: rc.name, Jobs: out})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, rc reqCtx) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		s.writeError(w, rc, badRequestf("job id: %v", err))
+		return
+	}
+	info, err := s.eng.Job(rc.name, id)
+	if err != nil {
+		s.writeError(w, rc, err)
+		return
+	}
+	s.writeJSON(w, r, rc, http.StatusOK, toJobJSON(info))
 }
 
 // queryInt parses a required integer query parameter. Handlers parse
