@@ -102,12 +102,20 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		attempts += c.retries
 	}
 	var lastErr error
+	// retryIn carries the server's Retry-After hint from one attempt to
+	// the next; 0 falls back to linear backoff.
+	var retryIn time.Duration
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			wait := retryIn
+			if wait == 0 {
+				wait = time.Duration(attempt) * c.backoff
+			}
+			retryIn = 0
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(time.Duration(attempt) * c.backoff):
+			case <-time.After(wait):
 			}
 		}
 		var rd io.Reader
@@ -138,7 +146,14 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 			return nil
 		case apiErr.StatusCode == http.StatusServiceUnavailable:
 			lastErr = apiErr
-			continue // 503: the server is draining; retry when idempotent
+			// 503: the server is draining or a dataset is recovering;
+			// retry when idempotent, pacing by the server's Retry-After
+			// hint (capped — a hint must never park a request for longer
+			// than the client's own policy would tolerate).
+			if retryIn = apiErr.RetryAfter; retryIn > maxRetryAfter {
+				retryIn = maxRetryAfter
+			}
+			continue
 		default:
 			return apiErr
 		}
@@ -164,8 +179,14 @@ func consume(resp *http.Response, out any) (*APIError, error) {
 		}
 		return nil, nil
 	}
-	return decodeAPIError(resp.StatusCode, data), nil
+	ae := decodeAPIError(resp.StatusCode, data)
+	ae.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+	return ae, nil
 }
+
+// maxRetryAfter caps how long the retry loop sleeps on a server's
+// Retry-After hint.
+const maxRetryAfter = 5 * time.Second
 
 // get is a typed GET against a dataset-scoped path.
 func (c *Client) get(ctx context.Context, path string, query url.Values, out any) error {

@@ -278,6 +278,56 @@ func TestClientRetryOn503(t *testing.T) {
 	}
 }
 
+// TestClientHonorsRetryAfter pins the Retry-After contract: a 503
+// carrying the header makes the retry loop wait at least that long
+// (instead of its own shorter backoff), and the parsed value surfaces
+// on the APIError.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	var gap atomic.Int64   // ns between first and second request
+	var first atomic.Int64 // UnixNano of the first request
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch hits.Add(1) {
+		case 1:
+			first.Store(time.Now().UnixNano())
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":{"code":"recovering","message":"engine: dataset recovering: \"d\""}}`))
+		default:
+			gap.Store(time.Now().UnixNano() - first.Load())
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"status":"ok"}`))
+		}
+	}))
+	defer ts.Close()
+
+	// Backoff is a microsecond: any wait near a second must come from
+	// the server's hint, not the client's own policy.
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()), client.WithRetry(1, time.Microsecond))
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health should have ridden out the recovering 503: %v", err)
+	}
+	if got := time.Duration(gap.Load()); got < 900*time.Millisecond {
+		t.Fatalf("second attempt after %v, want >= ~1s per Retry-After", got)
+	}
+
+	// A non-idempotent request must not be retried; the hint surfaces
+	// on the error for the caller instead.
+	hits.Store(0)
+	_, err := c.Dataset("d").Mutate(context.Background(), client.MutateRequest{Insert: [][2]int{{0, 0}}})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || !client.IsRecovering(err) {
+		t.Fatalf("mutation during recovery = %v, want recovering APIError", err)
+	}
+	if ae.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %v, want 1s", ae.RetryAfter)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("mutation was attempted %d times, want 1", got)
+	}
+}
+
 // TestClientStaleRead pins the version-pin contract against a server
 // stuck on an old snapshot.
 func TestClientStaleRead(t *testing.T) {

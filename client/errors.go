@@ -5,8 +5,24 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 )
+
+// parseRetryAfter reads a Retry-After header in its delay-seconds
+// form (the only form the server emits); anything unparseable or
+// negative reads as "no hint".
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
 
 // Stable v1 error codes, mirrored from the server contract. Branch on
 // these (or the Is* helpers) instead of matching message strings.
@@ -19,6 +35,7 @@ const (
 	CodeDecomposeBusy    = "decompose_in_flight"
 	CodeNotDecomposed    = "not_decomposed"
 	CodeShuttingDown     = "shutting_down"
+	CodeRecovering       = "recovering"
 	CodeUnsupportedMedia = "unsupported_media_type"
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeRouteNotFound    = "route_not_found"
@@ -44,6 +61,11 @@ type APIError struct {
 	Code       string
 	Message    string
 	Details    map[string]any
+	// RetryAfter is the server's Retry-After hint (0 when the response
+	// carried none). The retry loop honours it for idempotent requests;
+	// callers handling write rejections can use it to pace their own
+	// retries.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -93,11 +115,20 @@ func IsConflict(err error) bool {
 	return hasStatus(err, http.StatusConflict)
 }
 
-// IsUnavailable reports whether err is the server draining (503 after
-// shutdown began). Idempotent calls retry this automatically; seeing
-// it from a mutation means the write was rejected.
+// IsUnavailable reports whether err is a 503: the server draining
+// after shutdown began, or a dataset still recovering from its durable
+// state. Idempotent calls retry this automatically (honouring the
+// server's Retry-After hint); seeing it from a mutation means the
+// write was rejected.
 func IsUnavailable(err error) bool {
 	return hasStatus(err, http.StatusServiceUnavailable)
+}
+
+// IsRecovering reports whether err is the dataset rebuilding from its
+// durable state after a restart; the request can be retried once
+// recovery finishes.
+func IsRecovering(err error) bool {
+	return HasCode(err, CodeRecovering)
 }
 
 // HasCode reports whether err is an *APIError carrying the given

@@ -1,11 +1,16 @@
 // Command bgstat prints the Table II summary row for a bipartite graph
 // file: layer sizes, edge count, butterfly count, maximum butterfly
-// support, and (optionally) the maximum bitruss and tip numbers.
+// support, and (optionally) the maximum bitruss and tip numbers. With
+// -data-dir it instead inspects a bitserved durability directory
+// offline: every snapshot generation's validity, version and edge
+// count, and every WAL segment's records and version span, using the
+// same validation the engine's recovery path applies.
 //
 // Usage:
 //
 //	bgstat -input graph.txt
 //	bgstat -input graph.bg -phi=false -tip
+//	bgstat -data-dir /var/lib/bitserved
 package main
 
 import (

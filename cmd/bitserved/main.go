@@ -2,7 +2,12 @@
 // resident bitruss query engine: it keeps decomposed datasets and
 // their community hierarchy indexes in memory and answers φ, k-bitruss
 // and community queries concurrently while further datasets decompose
-// in the background. See the README for the endpoint reference.
+// in the background. With -data-dir it is crash-safe: every applied
+// mutation batch is write-ahead logged and fsynced before it is
+// acknowledged, datasets snapshot durably every -snapshot-every
+// batches, and on restart persisted datasets recover in the
+// background (serving 503 "recovering" with Retry-After meanwhile).
+// See the README for the endpoint reference and the durability story.
 package main
 
 import (

@@ -159,3 +159,28 @@ func FromEdges(pairs [][2]int) (*Graph, error) {
 	}
 	return b.Build()
 }
+
+// Restore reconstructs a Graph from its persisted form: explicit layer
+// sizes, the edge slice in edge-id order with global vertex ids
+// (ownership is taken), and the mutation version — the exact inverse
+// of serialising Edges() and Version(). Unlike Builder.Build it
+// neither sorts nor deduplicates, so edge ids come out exactly as
+// given and per-edge state persisted alongside (bitruss numbers,
+// supports) stays aligned. This matters for mutated graphs:
+// Delta.Apply orders edges by survival-then-insertion, not by (U, V),
+// and a sorting rebuild would scramble the ids. The edges must already
+// be in range and duplicate-free (snapshot payloads are checksummed;
+// the ranges are still verified here).
+func Restore(nUpper, nLower int, edges []Edge, version int64) (*Graph, error) {
+	if nUpper < 0 || nLower < 0 || nUpper > MaxLayerSize || nLower > MaxLayerSize {
+		return nil, fmt.Errorf("%w: layer sizes %d x %d", ErrVertexOutOfRange, nUpper, nLower)
+	}
+	for i, e := range edges {
+		if e.V < 0 || int(e.V) >= nLower || int(e.U) < nLower || int(e.U) >= nLower+nUpper {
+			return nil, fmt.Errorf("%w: edge %d (%d, %d)", ErrVertexOutOfRange, i, e.U, e.V)
+		}
+	}
+	g := build(int32(nUpper), int32(nLower), edges)
+	g.version = version
+	return g, nil
+}

@@ -128,6 +128,53 @@ type Remap struct {
 // insertions, no deletions).
 func (rm *Remap) Identity() bool { return len(rm.Inserted) == 0 && len(rm.Deleted) == 0 }
 
+// Compose chains rm (relating graph A to graph B) with next (relating
+// B to C) into one remap relating A directly to C, as if the two
+// mutations had been applied as a single delta. An edge that was
+// inserted after A and deleted again before C exists at neither end,
+// so it appears in neither Inserted nor Deleted of the result. Since
+// both inputs are monotone on surviving edges, so is the composition.
+func (rm *Remap) Compose(next *Remap) *Remap {
+	out := &Remap{
+		OldToNew:   make([]int32, len(rm.OldToNew)),
+		NewToOld:   make([]int32, len(next.NewToOld)),
+		LowerGrown: rm.LowerGrown + next.LowerGrown,
+		UpperGrown: rm.UpperGrown + next.UpperGrown,
+	}
+	for a, b := range rm.OldToNew {
+		c := int32(-1)
+		if b >= 0 {
+			c = next.OldToNew[b]
+		}
+		out.OldToNew[a] = c
+		if c < 0 {
+			out.Deleted = append(out.Deleted, int32(a))
+		}
+	}
+	for c, b := range next.NewToOld {
+		a := int32(-1)
+		if b >= 0 {
+			a = rm.NewToOld[b]
+		}
+		out.NewToOld[c] = a
+		if a < 0 {
+			out.Inserted = append(out.Inserted, int32(c))
+		}
+	}
+	return out
+}
+
+// WithVersion returns a graph sharing all of g's storage but carrying
+// the given version. Graphs are immutable once built, so the copy is
+// safe; the dynamic layer uses this when one materialised delta stands
+// in for a contiguous run of single-version mutations (WAL replay
+// folds the whole run into a single Apply).
+func (g *Graph) WithVersion(v int64) *Graph {
+	g2 := *g
+	g2.version = v
+	return &g2
+}
+
 // Apply materialises the staged mutations as a new Graph whose version
 // is base.Version()+1, together with the edge-id remap table. The base
 // graph is not modified.

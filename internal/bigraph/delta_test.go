@@ -204,3 +204,126 @@ func TestDeltaMatchesRebuild(t *testing.T) {
 		}
 	}
 }
+
+// remapEquiv asserts that rm relates a to c exactly as endpoint
+// identity does: every a-edge maps to the c-edge with the same
+// layer-local endpoints (or -1 when absent from c), and Inserted /
+// Deleted list precisely the asymmetric differences.
+func remapEquiv(t *testing.T, a, c *Graph, rm *Remap) {
+	t.Helper()
+	if len(rm.OldToNew) != a.NumEdges() || len(rm.NewToOld) != c.NumEdges() {
+		t.Fatalf("remap sizes %d/%d, want %d/%d", len(rm.OldToNew), len(rm.NewToOld), a.NumEdges(), c.NumEdges())
+	}
+	cID := make(map[[2]int]int32, c.NumEdges())
+	cnl := int32(c.NumLower())
+	for e := int32(0); e < int32(c.NumEdges()); e++ {
+		ed := c.Edge(e)
+		cID[[2]int{int(ed.U - cnl), int(ed.V)}] = e
+	}
+	anl := int32(a.NumLower())
+	var wantDeleted []int32
+	for e := int32(0); e < int32(a.NumEdges()); e++ {
+		ed := a.Edge(e)
+		cid, ok := cID[[2]int{int(ed.U - anl), int(ed.V)}]
+		if !ok {
+			cid = -1
+			wantDeleted = append(wantDeleted, e)
+		}
+		if rm.OldToNew[e] != cid {
+			t.Fatalf("OldToNew[%d] = %d, want %d", e, rm.OldToNew[e], cid)
+		}
+		if cid >= 0 && rm.NewToOld[cid] != e {
+			t.Fatalf("NewToOld[%d] = %d, want %d", cid, rm.NewToOld[cid], e)
+		}
+	}
+	var wantInserted []int32
+	for e := int32(0); e < int32(c.NumEdges()); e++ {
+		if rm.NewToOld[e] < 0 {
+			wantInserted = append(wantInserted, e)
+		}
+	}
+	if len(rm.Deleted) != len(wantDeleted) || len(rm.Inserted) != len(wantInserted) {
+		t.Fatalf("Deleted/Inserted lengths %d/%d, want %d/%d", len(rm.Deleted), len(rm.Inserted), len(wantDeleted), len(wantInserted))
+	}
+	for i, e := range wantDeleted {
+		if rm.Deleted[i] != e {
+			t.Fatalf("Deleted[%d] = %d, want %d", i, rm.Deleted[i], e)
+		}
+	}
+	for i, e := range wantInserted {
+		if rm.Inserted[i] != e {
+			t.Fatalf("Inserted[%d] = %d, want %d", i, rm.Inserted[i], e)
+		}
+	}
+	if rm.LowerGrown != int32(c.NumLower()-a.NumLower()) || rm.UpperGrown != int32(c.NumUpper()-a.NumUpper()) {
+		t.Fatalf("grown %d/%d, want %d/%d", rm.LowerGrown, rm.UpperGrown, c.NumLower()-a.NumLower(), c.NumUpper()-a.NumUpper())
+	}
+}
+
+func TestRemapCompose(t *testing.T) {
+	base, err := FromEdges([][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 2}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := NewDelta(base)
+	d1.Insert(3, 3) // grows both layers; deleted again in step 2
+	d1.Insert(0, 2)
+	d1.Delete(1, 1)
+	g1, rm1, err := d1.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDelta(g1)
+	d2.Delete(3, 3) // kills step 1's insert: in neither composed list
+	d2.Delete(0, 0) // kills a base edge
+	d2.Insert(4, 1) // grows the upper layer further
+	g2, rm2, err := d2.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	remapEquiv(t, base, g1, rm1)
+	remapEquiv(t, g1, g2, rm2)
+	remapEquiv(t, base, g2, rm1.Compose(rm2))
+}
+
+func TestRemapComposeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		nu, nl := 4+rng.Intn(5), 4+rng.Intn(5)
+		var b Builder
+		for i := 0; i < 18; i++ {
+			b.AddEdge(rng.Intn(nu), rng.Intn(nl))
+		}
+		g0, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A chain of 2-4 deltas; the composition of their remaps must
+		// equal the endpoint-identity remap from the first graph to the
+		// last.
+		g := g0
+		var crm *Remap
+		for step := 0; step < 2+rng.Intn(3); step++ {
+			d := NewDelta(g)
+			for op := 0; op < 1+rng.Intn(6); op++ {
+				u, v := rng.Intn(nu+3), rng.Intn(nl+3)
+				if rng.Intn(3) == 0 {
+					d.Delete(u, v)
+				} else {
+					d.Insert(u, v)
+				}
+			}
+			g2, rm, err := d.Apply()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if crm == nil {
+				crm = rm
+			} else {
+				crm = crm.Compose(rm)
+			}
+			g = g2
+		}
+		remapEquiv(t, g0, g, crm)
+	}
+}

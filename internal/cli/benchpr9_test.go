@@ -1,0 +1,216 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/bigraph"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gen"
+)
+
+// copyTree copies a directory of regular files (one level of nesting
+// is all a data directory has) — the benchmark's simulated crash
+// image, taken while the source engine still holds its handles.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteBenchPR9 emits the BENCH_pr9.json durability summary when
+// BENCH_PR9 names an output path (e.g.
+// BENCH_PR9=BENCH_pr9.json go test -run WriteBenchPR9 ./internal/cli/).
+//
+// A 60k-edge graph is decomposed and mutated under durability; the
+// data directory is copied mid-run (a crash image with a live WAL
+// suffix, since no graceful shutdown folded it); then cold-start
+// recovery from that image races a from-scratch decomposition of the
+// same final edge set. Acceptance: recovery >= 10x faster.
+//
+// Skipped without the env var so regular runs stay fast.
+func TestWriteBenchPR9(t *testing.T) {
+	out := os.Getenv("BENCH_PR9")
+	if out == "" {
+		t.Skip("set BENCH_PR9=<path> to emit the benchmark summary")
+	}
+	// ~60k edges as 30 planted 50x50 communities (the paper's
+	// fraud-detection structure, gen.Blocks): every block is dense with
+	// butterflies, so a fresh decomposition pays for all 30, while the
+	// write load lands in block 0 only — the regime where incremental
+	// maintenance (and therefore WAL replay) is local. A uniform random
+	// graph of the same size would be the wrong benchmark: butterfly
+	// adjacency percolates globally there and ANY maintenance falls
+	// back to a full re-peel, recovered or live.
+	const (
+		benchBlocks = 30
+		blockSide   = 50
+		benchUpper  = benchBlocks * blockSide
+		benchLower  = benchBlocks * blockSide
+		benchSeed   = 17
+		mutations   = 24
+	)
+	ctx := context.Background()
+	blocks := make([]gen.BlockConfig, benchBlocks)
+	for i := range blocks {
+		blocks[i] = gen.BlockConfig{Upper: blockSide, Lower: blockSide, Density: 0.8}
+	}
+	g := gen.Blocks(benchUpper, benchLower, blocks, 0, benchSeed)
+
+	liveDir := filepath.Join(t.TempDir(), "live")
+	crashDir := filepath.Join(t.TempDir(), "crash")
+
+	e := engine.New()
+	// SnapshotEvery above the mutation count: every batch stays in the
+	// WAL suffix, so recovery exercises snapshot load AND replay.
+	if err := e.EnableDurability(engine.DurabilityOptions{Dir: liveDir, SnapshotEvery: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("bench", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Decompose(ctx, "bench", engine.Options{Algorithm: core.BiTBUPlusPlus}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < mutations; i++ {
+		// Fresh upper vertices attaching into block 0's lower range:
+		// guaranteed-new edges whose butterflies stay inside the block.
+		req := engine.MutateRequest{
+			Insert: [][2]int{{benchUpper + 1 + i, i % blockSide}, {benchUpper + 1 + i, (i * 7) % blockSide}},
+			Wait:   true,
+		}
+		if _, err := e.Mutate(ctx, "bench", req); err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+	}
+	// The crash image: files as they are the instant after the last
+	// acked batch — snapshot generations plus the unfolded WAL tail.
+	copyTree(t, liveDir, crashDir)
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Timed cold start from the crash image.
+	e2 := engine.New()
+	if err := e2.EnableDurability(engine.DurabilityOptions{Dir: crashDir, SnapshotEvery: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	startRecover := time.Now()
+	names, err := e2.Recover(ctx)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("recover: %v %v", names, err)
+	}
+	if err := e2.Wait(ctx, "bench"); err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	recoverMS := float64(time.Since(startRecover).Nanoseconds()) / 1e6
+	info, err := e2.Info("bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != mutations {
+		t.Fatalf("recovered version %d, want %d", info.Version, mutations)
+	}
+	dump, err := e2.KBitrussEdges("bench", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The contender: a fresh decomposition of the same final edge set.
+	var b bigraph.Builder
+	for _, e := range dump {
+		b.AddEdge(int(e[0]), int(e[1]))
+	}
+	finalG, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	startFresh := time.Now()
+	res, err := core.Decompose(finalG, core.Options{Algorithm: core.BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshMS := float64(time.Since(startFresh).Nanoseconds()) / 1e6
+	speedup := freshMS / recoverMS
+
+	var snapBytes, walBytes int64
+	sub := filepath.Join(crashDir, "bench")
+	ents, err := os.ReadDir(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range ents {
+		fi, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		switch filepath.Ext(ent.Name()) {
+		case ".bsnp":
+			snapBytes += fi.Size()
+		case ".log":
+			walBytes += fi.Size()
+		}
+	}
+
+	summary := map[string]any{
+		"edges":              finalG.NumEdges(),
+		"mutation_batches":   mutations,
+		"max_phi":            res.MaxPhi,
+		"fresh_decompose_ms": freshMS,
+		"cold_start_ms":      recoverMS,
+		"speedup":            speedup,
+		"snapshot_bytes":     snapBytes,
+		"wal_bytes":          walBytes,
+	}
+	t.Logf("cold start %.1f ms vs fresh decompose %.1f ms: %.1fx (snapshots %d B, wal %d B)",
+		recoverMS, freshMS, speedup, snapBytes, walBytes)
+	if speedup < 10 {
+		t.Errorf("cold start is only %.1fx faster than re-decomposition, want >= 10x", speedup)
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+}

@@ -453,11 +453,15 @@ func BGStat(args []string, stdout, stderr io.Writer) error {
 	phi := fs.Bool("phi", true, "also compute the maximum bitruss number (runs BiT-BU++)")
 	tipFlag := fs.Bool("tip", false, "also compute the maximum tip numbers of both layers")
 	mem := fs.Bool("mem", false, "print the per-structure memory table (graph, BE-index, result, community index) with bytes/edge")
+	dataDir := fs.String("data-dir", "", "inspect a bitserved durability directory (snapshot generations + WAL segments) instead of a graph file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *dataDir != "" {
+		return durStat(*dataDir, stdout)
+	}
 	if *input == "" {
-		fmt.Fprintln(stderr, "bgstat: -input is required")
+		fmt.Fprintln(stderr, "bgstat: -input or -data-dir is required")
 		return ErrUsage
 	}
 	g, err := dataio.LoadFile(*input, dataio.TextOptions{OneBased: *oneBased})

@@ -1,0 +1,96 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/engine"
+	"repro/internal/snapshot"
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+// durStat implements `bgstat -data-dir`: an offline inspection of a
+// bitserved durability directory — per dataset, every snapshot
+// generation (size, validity, graph version, edges, whether it carries
+// a decomposition) and every WAL segment (records and the version span
+// they cover). It reads with the same validation the engine's recovery
+// path uses, so "valid" here means "recovery would load it".
+func durStat(dir string, stdout io.Writer) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	found := 0
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		name, ok := engine.DecodeDatasetName(ent.Name())
+		if !ok {
+			fmt.Fprintf(stdout, "%s: not a dataset directory (undecodable name)\n", ent.Name())
+			continue
+		}
+		found++
+		fmt.Fprintf(stdout, "dataset %q (%s)\n", name, ent.Name())
+		st, err := snapshot.Open(vfs.OS(), filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return err
+		}
+		snaps, err := st.SnapSeqs()
+		if err != nil {
+			return err
+		}
+		for _, seq := range snaps {
+			path := st.SnapPath(seq)
+			size := int64(0)
+			if fi, err := os.Stat(path); err == nil {
+				size = fi.Size()
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(stdout, "  snap %06d: %v\n", seq, err)
+				continue
+			}
+			d, err := snapshot.Read(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(stdout, "  snap %06d: %d bytes, INVALID (%v)\n", seq, size, err)
+				continue
+			}
+			state := "graph only"
+			if d.HasResult {
+				state = fmt.Sprintf("decomposed (%s)", d.Algo)
+			}
+			fmt.Fprintf(stdout, "  snap %06d: %d bytes, version %d, %d edges, %s\n",
+				seq, size, d.Graph.Version(), d.Graph.NumEdges(), state)
+		}
+		wals, err := st.WALSeqs()
+		if err != nil {
+			return err
+		}
+		for _, seq := range wals {
+			recs, err := wal.Replay(vfs.OS(), st.WALPath(seq))
+			if err != nil {
+				fmt.Fprintf(stdout, "  wal  %06d: %v\n", seq, err)
+				continue
+			}
+			if len(recs) == 0 {
+				fmt.Fprintf(stdout, "  wal  %06d: empty\n", seq)
+				continue
+			}
+			ops := 0
+			for _, r := range recs {
+				ops += len(r.Ops)
+			}
+			fmt.Fprintf(stdout, "  wal  %06d: %d records (%d ops), versions %d..%d\n",
+				seq, len(recs), ops, recs[0].Version, recs[len(recs)-1].Version)
+		}
+	}
+	if found == 0 {
+		fmt.Fprintf(stdout, "no datasets under %s\n", dir)
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/bigraph"
+	"repro/internal/core"
+	"repro/internal/dataio"
+	"repro/internal/gen"
+)
+
+// TestHelperServe is not a test: it is the child process of
+// TestKillRestartRecovery. When the env var is set, the test binary
+// re-execs into a real bitserved and blocks until killed.
+func TestHelperServe(t *testing.T) {
+	raw := os.Getenv("BITSERVED_HELPER_ARGS")
+	if raw == "" {
+		t.Skip("helper process entry point, not a test")
+	}
+	var args []string
+	if err := json.Unmarshal([]byte(raw), &args); err != nil {
+		fmt.Fprintln(os.Stderr, "helper args:", err)
+		os.Exit(2)
+	}
+	if err := Serve(args, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "helper serve:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// startServed launches the test binary as a bitserved child on addr.
+func startServed(t *testing.T, addr string, args ...string) *exec.Cmd {
+	t.Helper()
+	full := append([]string{"-addr", addr}, args...)
+	raw, err := json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestHelperServe$")
+	cmd.Env = append(os.Environ(), "BITSERVED_HELPER_ARGS="+string(raw))
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+// freeAddr reserves a loopback port and releases it for the child.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// waitUp polls the health endpoint until the server answers.
+func waitUp(t *testing.T, ctx context.Context, c *client.Client) {
+	t.Helper()
+	for {
+		if err := c.Health(ctx); err == nil {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("server did not come up: %v", ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// TestKillRestartRecovery is the fault-injection harness's integration
+// arm: a real bitserved process is SIGKILLed mid write-load, restarted
+// on the same data directory, and must recover a state that (a)
+// contains every acknowledged write and (b) carries bitruss numbers
+// identical to a fresh decomposition of the recovered edge set.
+func TestKillRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns server processes")
+	}
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "data")
+	graphPath := filepath.Join(dir, "g.txt")
+	if err := dataio.SaveFile(graphPath, gen.Uniform(60, 60, 500, 13), dataio.TextOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	addr := freeAddr(t)
+	cmd := startServed(t, addr,
+		"-dataset", "g="+graphPath, "-data-dir", dataDir,
+		"-snapshot-every", "4", "-workers", "2")
+	defer func() { _ = cmd.Process.Kill(); _, _ = cmd.Process.Wait() }()
+
+	c := client.New("http://" + addr)
+	waitUp(t, ctx, c)
+	ds := c.Dataset("g")
+	if _, err := ds.WaitReady(ctx); err != nil {
+		t.Fatalf("startup decomposition: %v", err)
+	}
+
+	// Acknowledged write load: every waited batch is durable by
+	// contract the moment Mutate returns.
+	var ackedVersion int64
+	var ackedInserts [][2]int
+	for i := 0; i < 20; i++ {
+		ins := [][2]int{{61 + i, i % 60}, {i % 60, (i * 7) % 60}}
+		res, err := ds.Mutate(ctx, client.MutateRequest{Insert: ins, Wait: true})
+		if err != nil {
+			t.Fatalf("waited mutation %d: %v", i, err)
+		}
+		ackedVersion = res.Version
+		ackedInserts = append(ackedInserts, ins...)
+	}
+	// Unacknowledged tail: fired into the applier queue and immediately
+	// followed by SIGKILL. These may or may not survive; the point is
+	// the crash lands mid-load.
+	for i := 0; i < 5; i++ {
+		_, _ = ds.Mutate(ctx, client.MutateRequest{Insert: [][2]int{{90 + i, i}}})
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = cmd.Process.Wait()
+
+	// Restart on the same data directory. The -dataset flag points at
+	// the original file and must be skipped in favour of recovery.
+	addr2 := freeAddr(t)
+	cmd2 := startServed(t, addr2,
+		"-dataset", "g="+graphPath, "-data-dir", dataDir,
+		"-snapshot-every", "4", "-workers", "2")
+	defer func() { _ = cmd2.Process.Kill(); _, _ = cmd2.Process.Wait() }()
+
+	c2 := client.New("http://" + addr2)
+	waitUp(t, ctx, c2)
+	ds2 := c2.Dataset("g")
+	if _, err := ds2.WaitReady(ctx); err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	vi, err := ds2.Version(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vi.Version < ackedVersion {
+		t.Fatalf("recovered version %d is behind last acked %d", vi.Version, ackedVersion)
+	}
+
+	// Every acknowledged insert must be present in the recovered state.
+	dump, err := ds2.KBitruss(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phiOf := make(map[[2]int64]int64, len(dump.Edges))
+	for _, e := range dump.Edges {
+		phiOf[[2]int64{e.U, e.V}] = e.Phi
+	}
+	for _, ins := range ackedInserts {
+		if _, ok := phiOf[[2]int64{int64(ins[0]), int64(ins[1])}]; !ok {
+			t.Fatalf("acked insert (%d, %d) missing after recovery", ins[0], ins[1])
+		}
+	}
+
+	// The recovered bitruss numbers must equal a fresh decomposition of
+	// the recovered edge set: maintenance-carried state and from-scratch
+	// state may not diverge.
+	var b bigraph.Builder
+	for _, e := range dump.Edges {
+		b.AddEdge(int(e.U), int(e.V))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Decompose(g, core.Options{Algorithm: core.BiTBUPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := int64(g.NumLower())
+	for eid := 0; eid < g.NumEdges(); eid++ {
+		ed := g.Edge(int32(eid))
+		key := [2]int64{int64(ed.U) - nl, int64(ed.V)}
+		if got, want := phiOf[key], res.Phi[eid]; got != want {
+			t.Fatalf("edge (%d, %d): recovered phi %d, fresh decompose %d", key[0], key[1], got, want)
+		}
+	}
+	if len(dump.Edges) != g.NumEdges() {
+		t.Fatalf("dump has %d edges, rebuilt graph %d", len(dump.Edges), g.NumEdges())
+	}
+}

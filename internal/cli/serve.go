@@ -54,6 +54,8 @@ func Serve(args []string, stdout, stderr io.Writer) error {
 	prewarmLevels := fs.Int("prewarm-levels", 16, "bitruss levels whose top communities are pre-warmed on snapshot publish (0 disables)")
 	prewarmTop := fs.Int("prewarm-top", 10, "top parameter pre-warmed per level")
 	debugAddr := fs.String("debug-addr", "", "optional debug listener (pprof + expvar + serving stats), e.g. 127.0.0.1:6060")
+	dataDir := fs.String("data-dir", "", "durability directory: write-ahead-log every mutation, snapshot periodically, recover persisted datasets at startup")
+	snapshotEvery := fs.Int("snapshot-every", 0, "applied mutation batches between durable snapshots (0 = default, needs -data-dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,10 +87,36 @@ func Serve(args []string, stdout, stderr io.Writer) error {
 	srvOpts = append(srvOpts, server.WithPrewarm(*prewarmLevels, *prewarmTop))
 	api := server.New(eng, srvOpts...)
 
+	// Cold-start recovery runs before the preload loop so a -dataset
+	// flag naming an already-persisted dataset defers to the recovered
+	// (newer) state instead of re-loading the original file. Recovery
+	// itself is concurrent: the listener comes up immediately and the
+	// recovering datasets answer 503 + Retry-After until they are back.
+	recovered := map[string]bool{}
+	if *dataDir != "" {
+		if err := eng.EnableDurability(engine.DurabilityOptions{Dir: *dataDir, SnapshotEvery: *snapshotEvery}); err != nil {
+			return err
+		}
+		names, err := eng.Recover(serverCtx)
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			recovered[name] = true
+			fmt.Fprintf(stdout, "recovering %s from %s in the background\n", name, *dataDir)
+		}
+	} else if *snapshotEvery != 0 {
+		return fmt.Errorf("%w: -snapshot-every needs -data-dir", ErrUsage)
+	}
+
 	for _, spec := range datasets {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {
 			return fmt.Errorf("%w: -dataset wants name=path, got %q", ErrUsage, spec)
+		}
+		if recovered[name] {
+			fmt.Fprintf(stdout, "skipping -dataset %s: recovering it from %s instead\n", name, *dataDir)
+			continue
 		}
 		if err := eng.Load(name, path, *oneBased); err != nil {
 			return err

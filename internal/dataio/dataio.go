@@ -192,14 +192,36 @@ func WriteBinary(w io.Writer, g *bigraph.Graph) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	h := crc32.New(castagnoli)
 	mw := io.MultiWriter(bw, h)
-	hdr := make([]byte, 0, 4+binaryHeaderSize)
+	hdr := make([]byte, 0, 4+4)
 	hdr = append(hdr, binaryMagic...)
 	hdr = binary.LittleEndian.AppendUint16(hdr, binaryVersion)
 	hdr = binary.LittleEndian.AppendUint16(hdr, 0) // flags
+	if _, err := mw.Write(hdr); err != nil {
+		return err
+	}
+	if err := WriteEdgeSection(mw, g); err != nil {
+		return err
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], h.Sum32())
+	if _, err := bw.Write(trailer[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeSection writes the BGRH edge section — uint32 upper-layer
+// size, uint32 lower-layer size, uint64 edge count, then the edges in
+// edge-id order as (upper, lower) layer-local uint32 pairs — to w.
+// It is the shared payload core of the binary container and of the
+// durability snapshots (internal/snapshot), which frame it with their
+// own headers and checksums.
+func WriteEdgeSection(w io.Writer, g *bigraph.Graph) error {
+	hdr := make([]byte, 0, 16)
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(g.NumUpper()))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(g.NumLower()))
 	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(g.NumEdges()))
-	if _, err := mw.Write(hdr); err != nil {
+	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
 	nl := int32(g.NumLower())
@@ -209,23 +231,69 @@ func WriteBinary(w io.Writer, g *bigraph.Graph) error {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(ed.U-nl))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(ed.V))
 		if len(buf) == cap(buf) {
-			if _, err := mw.Write(buf); err != nil {
+			if _, err := w.Write(buf); err != nil {
 				return err
 			}
 			buf = buf[:0]
 		}
 	}
 	if len(buf) > 0 {
-		if _, err := mw.Write(buf); err != nil {
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}
-	var trailer [4]byte
-	binary.LittleEndian.PutUint32(trailer[:], h.Sum32())
-	if _, err := bw.Write(trailer[:]); err != nil {
-		return err
+	return nil
+}
+
+// EdgeSink receives the parsed contents of an edge section in file
+// order. *bigraph.Builder satisfies it; the snapshot loader supplies
+// an order-preserving sink instead.
+type EdgeSink interface {
+	// SetLayerSizes announces the layer sizes before any edge.
+	SetLayerSizes(nUpper, nLower int)
+	// Grow hints the edge count (called only when it is plausible).
+	Grow(n int)
+	// AddEdge delivers one edge as layer-local indices, in file order.
+	AddEdge(u, v int)
+}
+
+// ReadEdgeSection parses one edge section from r into sink, validating
+// that every pair is inside the declared layer sizes. Checksum
+// verification is the enclosing container's job.
+func ReadEdgeSection(r io.Reader, sink EdgeSink) error {
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return fmt.Errorf("%w: truncated header: %v", ErrFormat, err)
 	}
-	return bw.Flush()
+	nu := binary.LittleEndian.Uint32(hdr[0:4])
+	nlr := binary.LittleEndian.Uint32(hdr[4:8])
+	m := binary.LittleEndian.Uint64(hdr[8:16])
+	sink.SetLayerSizes(int(nu), int(nlr))
+	if m <= maxPregrowEdges {
+		sink.Grow(int(m))
+	}
+	buf := make([]byte, 1<<13)
+	var done uint64
+	for done < m {
+		n := uint64(len(buf)) / 8
+		if m-done < n {
+			n = m - done
+		}
+		chunk := buf[:n*8]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return fmt.Errorf("%w: truncated edge %d: %v", ErrFormat, done, err)
+		}
+		for off := 0; off < len(chunk); off += 8 {
+			u := binary.LittleEndian.Uint32(chunk[off:])
+			v := binary.LittleEndian.Uint32(chunk[off+4:])
+			if u >= nu || v >= nlr {
+				return fmt.Errorf("%w: edge %d out of range", ErrFormat, done+uint64(off/8))
+			}
+			sink.AddEdge(int(u), int(v))
+		}
+		done += n
+	}
+	return nil
 }
 
 // ReadBinary parses either binary container, dispatching on the magic:
@@ -281,7 +349,7 @@ func readBinaryV2(br *bufio.Reader, magic []byte) (*bigraph.Graph, error) {
 	h := crc32.New(castagnoli)
 	h.Write(magic)
 	tr := io.TeeReader(br, h)
-	hdr := make([]byte, binaryHeaderSize)
+	hdr := make([]byte, 4)
 	if _, err := io.ReadFull(tr, hdr); err != nil {
 		return nil, fmt.Errorf("%w: truncated header: %v", ErrFormat, err)
 	}
@@ -293,34 +361,9 @@ func readBinaryV2(br *bufio.Reader, magic []byte) (*bigraph.Graph, error) {
 	if flags != 0 {
 		return nil, fmt.Errorf("%w: unknown header flags %#x", ErrFormat, flags)
 	}
-	nu := binary.LittleEndian.Uint32(hdr[4:8])
-	nlr := binary.LittleEndian.Uint32(hdr[8:12])
-	m := binary.LittleEndian.Uint64(hdr[12:20])
 	var b bigraph.Builder
-	b.SetLayerSizes(int(nu), int(nlr))
-	if m <= maxPregrowEdges {
-		b.Grow(int(m))
-	}
-	buf := make([]byte, 1<<13)
-	var done uint64
-	for done < m {
-		n := uint64(len(buf)) / 8
-		if m-done < n {
-			n = m - done
-		}
-		chunk := buf[:n*8]
-		if _, err := io.ReadFull(tr, chunk); err != nil {
-			return nil, fmt.Errorf("%w: truncated edge %d: %v", ErrFormat, done, err)
-		}
-		for off := 0; off < len(chunk); off += 8 {
-			u := binary.LittleEndian.Uint32(chunk[off:])
-			v := binary.LittleEndian.Uint32(chunk[off+4:])
-			if u >= nu || v >= nlr {
-				return nil, fmt.Errorf("%w: edge %d out of range", ErrFormat, done+uint64(off/8))
-			}
-			b.AddEdge(int(u), int(v))
-		}
-		done += n
+	if err := ReadEdgeSection(tr, &b); err != nil {
+		return nil, err
 	}
 	sum := h.Sum32()
 	var trailer [4]byte

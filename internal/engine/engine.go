@@ -43,6 +43,10 @@ var (
 	ErrNoEdge        = errors.New("engine: no such edge")
 	ErrNoCommunity   = errors.New("engine: no community")
 	ErrClosed        = errors.New("engine: shut down")
+	// ErrRecovering rejects queries and writes against a dataset whose
+	// crash recovery has not finished yet; the HTTP layer maps it to
+	// 503 + Retry-After, which the typed client retries.
+	ErrRecovering = errors.New("engine: dataset recovering")
 )
 
 // Status is the lifecycle state of a dataset.
@@ -57,6 +61,10 @@ const (
 	StatusReady
 	// StatusFailed: the last decomposition attempt returned an error.
 	StatusFailed
+	// StatusRecovering: the dataset is being rebuilt from its durable
+	// snapshot and write-ahead log after a restart; queries fail with
+	// ErrRecovering until it is back.
+	StatusRecovering
 )
 
 // String implements fmt.Stringer with the JSON-facing names.
@@ -70,6 +78,8 @@ func (s Status) String() string {
 		return "ready"
 	case StatusFailed:
 		return "failed"
+	case StatusRecovering:
+		return "recovering"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -258,24 +268,31 @@ type mutOutcome struct {
 type dataset struct {
 	name string
 
-	mu      sync.RWMutex // guards snap, status, err, cancel, done, log, jobs, epochs, workers, ranges
+	mu      sync.RWMutex // guards snap, status, recovering, err, cancel, done, log, jobs, epochs, workers, ranges
 	snap    *snapshot
 	status  Status
 	runAlgo core.Algorithm // algorithm of the in-flight run
 	err     error
 	cancel  context.CancelFunc
-	done    chan struct{} // closed when the in-flight decomposition ends
+	done    chan struct{} // closed when the in-flight decomposition or recovery ends
 	log     *mutLog
 	jobs    *jobLog
 	epochs  int64 // applied-batch count; stamps MutationRecord.Epoch
+	// recovering marks a dataset still being rebuilt from durable
+	// state; queries and writes fail with ErrRecovering meanwhile.
+	recovering bool
 	// workers/ranges of the cached decomposition: fan-out for the
 	// maintenance and index phases of subsequent epochs.
 	workers int
 	ranges  int
 
-	// workMu serialises snapshot-producing work (decompositions and
-	// mutation applications); queries never take it.
+	// workMu serialises snapshot-producing work (decompositions,
+	// mutation applications, durable snapshots and recovery); queries
+	// never take it.
 	workMu sync.Mutex
+	// dur is the dataset's durability machinery (nil when durability is
+	// off), touched only under workMu.
+	dur *durableState
 
 	pendMu   sync.Mutex
 	pending  []*mutOp
@@ -294,6 +311,7 @@ type Engine struct {
 	cacheMaxBytes atomic.Int64 // per-snapshot response cache bound; <= 0 disables
 	mutLogCap     atomic.Int64 // mutation-log ring capacity for new datasets
 	onPublish     atomic.Value // func(dataset string, v *View), may hold nil
+	dur           *durConfig   // durability config (nil = off); guarded by mu
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -366,7 +384,10 @@ func (e *Engine) isClosed() bool {
 	}
 }
 
-// Register adds an in-memory graph under name.
+// Register adds an in-memory graph under name. With durability
+// enabled, the dataset's initial graph-only snapshot is persisted
+// before Register returns, so it is recoverable from its first moment;
+// a persistence failure unregisters it again.
 func (e *Engine) Register(name string, g *bigraph.Graph) error {
 	if name == "" {
 		return fmt.Errorf("engine: empty dataset name")
@@ -374,17 +395,40 @@ func (e *Engine) Register(name string, g *bigraph.Graph) error {
 	if e.isClosed() {
 		return ErrClosed
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.datasets[name]; ok {
-		return fmt.Errorf("%w: %q", ErrExists, name)
-	}
-	e.datasets[name] = &dataset{
+	ds := &dataset{
 		name:   name,
 		snap:   &snapshot{version: g.Version(), g: g, cache: e.newCache()},
 		status: StatusLoaded,
 		log:    newMutLog(int(e.mutLogCap.Load())),
 		jobs:   newJobLog(DefaultJobLogCap),
+	}
+	e.mu.Lock()
+	if _, ok := e.datasets[name]; ok {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	dur := e.dur
+	if dur != nil {
+		// Hold the work mutex across the registry insert so mutation
+		// appliers cannot run an epoch before the durable state exists
+		// (they would skip its WAL). Uncontended here: the dataset is
+		// not yet visible.
+		ds.workMu.Lock()
+	}
+	e.datasets[name] = ds
+	e.mu.Unlock()
+	if dur == nil {
+		return nil
+	}
+	err := e.setupDurable(ds, g)
+	ds.workMu.Unlock()
+	if err != nil {
+		e.mu.Lock()
+		if cur, ok := e.datasets[name]; ok && cur == ds {
+			delete(e.datasets, name)
+		}
+		e.mu.Unlock()
+		return fmt.Errorf("engine: persisting %q: %w", name, err)
 	}
 	return nil
 }
@@ -399,13 +443,18 @@ func (e *Engine) Load(name, path string, oneBased bool) error {
 	return e.Register(name, g)
 }
 
-// Remove unregisters a dataset, cancelling any in-flight decomposition.
+// Remove unregisters a dataset, cancelling any in-flight
+// decomposition. With durability enabled its persisted state is
+// deleted too — a removed dataset must not resurrect on the next
+// restart. Removal of a recovering dataset blocks until its recovery
+// goroutine finishes.
 func (e *Engine) Remove(name string) error {
 	e.mu.Lock()
 	ds, ok := e.datasets[name]
 	if ok {
 		delete(e.datasets, name)
 	}
+	cfg := e.dur
 	e.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
@@ -415,6 +464,19 @@ func (e *Engine) Remove(name string) error {
 	ds.mu.Unlock()
 	if cancel != nil {
 		cancel()
+	}
+	if cfg != nil {
+		// Serialise against in-flight epochs and recovery, then delete
+		// the durable directory. Mutations staged before removal fail
+		// their WAL appends against the closed log, which is correct:
+		// the dataset no longer exists.
+		ds.workMu.Lock()
+		ds.closeDurable()
+		err := cfg.fs.RemoveAll(cfg.datasetDir(name))
+		ds.workMu.Unlock()
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -427,6 +489,18 @@ func (e *Engine) dataset(name string) (*dataset, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	return ds, nil
+}
+
+// recoveringErr rejects work against a dataset still rebuilding from
+// durable state. Info and List stay answerable (they report the
+// "recovering" status); anything that reads or writes data waits.
+func (ds *dataset) recoveringErr() error {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if ds.recovering {
+		return fmt.Errorf("%w: %q", ErrRecovering, ds.name)
+	}
+	return nil
 }
 
 // List returns a snapshot of every dataset, sorted by name.
@@ -541,6 +615,9 @@ func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) (
 	if err != nil {
 		return 0, err
 	}
+	if err := ds.recoveringErr(); err != nil {
+		return 0, err
+	}
 	if e.isClosed() {
 		return 0, ErrClosed
 	}
@@ -620,6 +697,14 @@ func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) (
 		}
 		ds.cancel = nil
 		ds.mu.Unlock()
+		// Persist the fresh decomposition (we still hold workMu): a
+		// restart then recovers it instead of re-decomposing. Failure
+		// costs durability of the result, not the result itself.
+		if err == nil && ds.dur != nil {
+			if cerr := ds.dur.checkpoint(newSnap, opt.Workers, opt.Ranges); cerr != nil {
+				log.Printf("engine: durable snapshot of %q after decompose failed: %v", ds.name, cerr)
+			}
+		}
 		close(done)
 	}()
 	return j.id, nil
@@ -668,6 +753,9 @@ func (e *Engine) Decompose(ctx context.Context, name string, opt Options) error 
 func (e *Engine) Mutate(ctx context.Context, name string, req MutateRequest) (MutateResult, error) {
 	ds, err := e.dataset(name)
 	if err != nil {
+		return MutateResult{}, err
+	}
+	if err := ds.recoveringErr(); err != nil {
 		return MutateResult{}, err
 	}
 	if e.isClosed() {
@@ -898,9 +986,9 @@ func (ep *epoch) publish() {
 	ds.mu.Unlock()
 }
 
-// applyBatch runs one epoch: stage -> maintain -> index -> publish.
-// Failures before publish keep the previous snapshot serving and
-// report the error to every waiter of the batch.
+// applyBatch runs one epoch: stage -> maintain -> index -> log ->
+// publish. Failures before publish keep the previous snapshot serving
+// and report the error to every waiter of the batch.
 func (ds *dataset) applyBatch(e *Engine, batch []*mutOp) {
 	ds.workMu.Lock()
 	ep := newEpoch(e, ds, batch)
@@ -925,7 +1013,23 @@ func (ds *dataset) applyBatch(e *Engine, batch []*mutOp) {
 		}
 		ep.index()
 	}
+	// Write-ahead: the batch becomes durable after all fallible compute
+	// succeeded and immediately before it publishes — an fsynced record
+	// whose epoch then failed would poison replay, because the next
+	// successful batch reuses the same version number. A logging
+	// failure keeps the previous snapshot serving and fails the
+	// waiters: nothing is acknowledged that is not durable.
+	if ds.dur != nil {
+		if err := ds.dur.logBatch(ep.info.Version, batch); err != nil {
+			ep.info = MutateResult{}
+			finish(fmt.Errorf("engine: write-ahead log: %w", err))
+			return
+		}
+	}
 	ep.publish()
+	if ds.dur != nil {
+		ds.dur.maybeCheckpoint(ds.name, ep.next, ep.workers, ep.ranges)
+	}
 	finish(nil)
 }
 
@@ -977,6 +1081,24 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 		for _, ds := range all {
 			ds.appliers.Wait()
 		}
+		// Fold any WAL tail into a final snapshot (so a graceful restart
+		// cold-starts without replay), then release the durable file
+		// handles. The checkpoint is an optimisation, not a durability
+		// requirement — every logged batch was fsynced at append time —
+		// so its failure is logged and the WAL carries the tail.
+		for _, ds := range all {
+			ds.workMu.Lock()
+			if ds.dur != nil && ds.dur.since > 0 {
+				ds.mu.RLock()
+				snap, workers, ranges := ds.snap, ds.workers, ds.ranges
+				ds.mu.RUnlock()
+				if err := ds.dur.checkpoint(snap, workers, ranges); err != nil {
+					log.Printf("engine: final snapshot of %q failed (WAL retains the tail): %v", ds.name, err)
+				}
+			}
+			ds.closeDurable()
+			ds.workMu.Unlock()
+		}
 	}()
 	select {
 	case <-drained:
@@ -1002,7 +1124,11 @@ func (e *Engine) View(name string) (*View, error) {
 	}
 	ds.mu.RLock()
 	snap := ds.snap
+	recovering := ds.recovering
 	ds.mu.RUnlock()
+	if recovering {
+		return nil, fmt.Errorf("%w: %q", ErrRecovering, name)
+	}
 	return &View{name: ds.name, snap: snap}, nil
 }
 

@@ -48,6 +48,13 @@ func TestLockSafe(t *testing.T) {
 	analysistest.Run(t, analyzers.LockSafe, "locksafe")
 }
 
+func TestAtomicWrite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture loading shells out to go list")
+	}
+	analysistest.Run(t, analyzers.AtomicWrite, "atomicwrite")
+}
+
 func TestIgnoreHygiene(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fixture loading shells out to go list")
@@ -57,8 +64,8 @@ func TestIgnoreHygiene(t *testing.T) {
 
 func TestAllRegistered(t *testing.T) {
 	all := analyzers.All()
-	if len(all) != 6 {
-		t.Fatalf("expected 6 analyzers, got %d", len(all))
+	if len(all) != 7 {
+		t.Fatalf("expected 7 analyzers, got %d", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, a := range all {

@@ -1,0 +1,90 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// defaultDurablePkgs are the packages holding crash-safe on-disk
+// artifacts. Every file operation there must go through the vfs layer
+// (vfs.FS methods, vfs.WriteFileAtomic, vfs.SyncDir): a bare os call
+// bypasses both fault injection (so the crash-safety tests silently
+// stop covering it) and the temp+fsync+rename discipline. Packages
+// outside the built-in set opt in with a //bitlint:durable directive
+// on their package clause's doc comment.
+var defaultDurablePkgs = map[string]bool{
+	"repro/internal/wal":      true,
+	"repro/internal/snapshot": true,
+}
+
+// forbiddenOSWrites are the os functions that touch the filesystem and
+// therefore must be reached only through a vfs.FS in durable packages.
+// Read-only calls (Open, ReadFile, Stat, ReadDir) are listed too: a
+// durable package that reads outside the vfs cannot be exercised by
+// the fault-injection harness either.
+var forbiddenOSWrites = map[string]bool{
+	"Create":     true,
+	"CreateTemp": true,
+	"OpenFile":   true,
+	"Open":       true,
+	"WriteFile":  true,
+	"ReadFile":   true,
+	"ReadDir":    true,
+	"Rename":     true,
+	"Remove":     true,
+	"RemoveAll":  true,
+	"Truncate":   true,
+	"Mkdir":      true,
+	"MkdirAll":   true,
+}
+
+// AtomicWrite flags direct os filesystem calls in durability packages.
+var AtomicWrite = &analysis.Analyzer{
+	Name: "atomicwrite",
+	Doc: "flag direct os filesystem calls in durability packages\n\n" +
+		"The WAL and snapshot packages own the engine's crash-safety story,\n" +
+		"and that story is only as good as its testability: every byte they\n" +
+		"touch must flow through a vfs.FS so the fault-injection filesystem\n" +
+		"can cut power mid-write, and every replace must use the\n" +
+		"temp+fsync+rename helpers so a crash never tears a published file.\n" +
+		"A bare os.WriteFile / os.Create / os.Rename in those packages\n" +
+		"silently exits both regimes. Test files are exempt (they stage\n" +
+		"fixtures); other packages opt in with //bitlint:durable on the\n" +
+		"package clause's doc comment.",
+	Run: runAtomicWrite,
+}
+
+func runAtomicWrite(pass *analysis.Pass) (interface{}, error) {
+	durable := defaultDurablePkgs[pass.Pkg.Path()]
+	for _, f := range pass.Files {
+		if analysis.HasDirective(f.Doc, "durable") {
+			durable = true
+		}
+	}
+	if !durable {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if pass.TestFiles[f] {
+			continue // tests stage fixtures and corrupt files directly
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				return true
+			}
+			if forbiddenOSWrites[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"durable package calls os.%s directly; route it through a vfs.FS (vfs.WriteFileAtomic for replaces) so fault injection and atomic-rename crash safety apply",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -12,9 +12,10 @@ import (
 type directiveSite int
 
 const (
-	siteAnywhere directiveSite = iota // ignore: any line
-	siteFuncDoc                       // owner/pooled/pooledrelease: function doc comment
-	siteTypeDecl                      // snapshot: type declaration
+	siteAnywhere   directiveSite = iota // ignore: any line
+	siteFuncDoc                         // owner/pooled/pooledrelease: function doc comment
+	siteTypeDecl                        // snapshot: type declaration
+	sitePackageDoc                      // durable: package clause doc comment
 )
 
 var knownDirectives = map[string]directiveSite{
@@ -23,6 +24,7 @@ var knownDirectives = map[string]directiveSite{
 	"pooled":        siteFuncDoc,
 	"pooledrelease": siteFuncDoc,
 	"snapshot":      siteTypeDecl,
+	"durable":       sitePackageDoc,
 }
 
 // IgnoreHygiene validates //bitlint: directive syntax so a typo cannot
@@ -80,7 +82,7 @@ func runIgnoreHygiene(pass *analysis.Pass) (interface{}, error) {
 		for _, d := range analysis.FileDirectives(f) {
 			site, known := knownDirectives[d.Name]
 			if !known {
-				pass.Reportf(d.Pos, "unknown bitlint directive %q (known: ignore, owner, pooled, pooledrelease, snapshot)", d.Name)
+				pass.Reportf(d.Pos, "unknown bitlint directive %q (known: ignore, owner, pooled, pooledrelease, snapshot, durable)", d.Name)
 				continue
 			}
 			switch site {
@@ -104,6 +106,10 @@ func runIgnoreHygiene(pass *analysis.Pass) (interface{}, error) {
 			case siteTypeDecl:
 				if !typeDecl[groupOf[d.Pos]] {
 					pass.Reportf(d.Pos, "bitlint:%s must be on a type declaration; here it annotates nothing", d.Name)
+				}
+			case sitePackageDoc:
+				if groupOf[d.Pos] != f.Doc {
+					pass.Reportf(d.Pos, "bitlint:%s must be in the package clause's doc comment; here it annotates nothing", d.Name)
 				}
 			}
 		}

@@ -1,0 +1,59 @@
+// Package fixture stands in for a durability package: the directive
+// below opts it into atomicwrite the same way wal and snapshot are
+// opted in by import path.
+//
+//bitlint:durable
+package fixture
+
+import (
+	"io"
+	"os"
+)
+
+// FS is a stand-in for vfs.FS; calls through it are the sanctioned
+// path and must not be flagged.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (io.WriteCloser, error)
+	Rename(oldpath, newpath string) error
+}
+
+func throughVFS(fsys FS, path string) error {
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644) // flag constants are fine
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fsys.Rename(path+".tmp", path)
+}
+
+func bareWrites(path string) error {
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil { // want "calls os.WriteFile directly"
+		return err
+	}
+	f, err := os.Create(path) // want "calls os.Create directly"
+	if err != nil {
+		return err
+	}
+	f.Close()
+	if err := os.Rename(path+".tmp", path); err != nil { // want "calls os.Rename directly"
+		return err
+	}
+	return os.Remove(path) // want "calls os.Remove directly"
+}
+
+func bareReads(path string) ([]byte, error) {
+	if _, err := os.Open(path); err == nil { // want "calls os.Open directly"
+		return nil, err
+	}
+	return os.ReadFile(path) // want "calls os.ReadFile directly"
+}
+
+func suppressed(path string) error {
+	//bitlint:ignore atomicwrite fixture exercises the suppression path
+	return os.Truncate(path, 0)
+}
+
+// notFilesystem proves only os filesystem functions are in scope.
+func notFilesystem() string {
+	return os.Getenv("HOME")
+}

@@ -1,0 +1,24 @@
+package fixture
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Test files are exempt: staging fixtures and corrupting files on
+// purpose is exactly what durability tests do. None of these calls
+// may be flagged.
+func TestStagingIsExempt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seed")
+	if err := os.WriteFile(path, []byte("fixture"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+}

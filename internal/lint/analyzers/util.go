@@ -23,6 +23,7 @@ var analyzerNames = []string{
 	"errcode",
 	"ctxflow",
 	"locksafe",
+	"atomicwrite",
 	"ignorehygiene",
 }
 
@@ -34,6 +35,7 @@ func All() []*analysis.Analyzer {
 		ErrCode,
 		CtxFlow,
 		LockSafe,
+		AtomicWrite,
 		IgnoreHygiene,
 	}
 }

@@ -52,6 +52,9 @@ func allocEngine(t *testing.T) *engine.Engine {
 // warm cache, looking up the encoded response and writing it allocates
 // nothing at all.
 func TestCachedServeCoreZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; budgets are measured without it")
+	}
 	eng := allocEngine(t)
 	vw, err := eng.View("d")
 	if err != nil {
@@ -81,6 +84,9 @@ func TestCachedServeCoreZeroAllocs(t *testing.T) {
 // through the real handler (dispatch already done) stays within the
 // small fixed budget.
 func TestCachedHandlerAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; budgets are measured without it")
+	}
 	eng := allocEngine(t)
 	srv := New(eng)
 	w := &discardWriter{h: make(http.Header, 4)}
@@ -101,6 +107,9 @@ func TestCachedHandlerAllocBudget(t *testing.T) {
 // TestServeHTTPAllocBudget pins the whole-stack cached GET: routing,
 // dispatch, cache hit, write.
 func TestServeHTTPAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; budgets are measured without it")
+	}
 	eng := allocEngine(t)
 	srv := New(eng)
 	vw, _ := eng.View("d")
@@ -135,6 +144,9 @@ func TestServeHTTPAllocBudget(t *testing.T) {
 // fractional. The request object and body reader are reused so the
 // measurement is the serving path, not test scaffolding.
 func TestBatchAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; budgets are measured without it")
+	}
 	eng := allocEngine(t)
 	srv := New(eng)
 	vw, _ := eng.View("d")

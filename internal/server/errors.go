@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"repro/internal/engine"
 )
@@ -28,6 +29,7 @@ const (
 	CodeDecomposeBusy    = "decompose_in_flight"
 	CodeNotDecomposed    = "not_decomposed"
 	CodeShuttingDown     = "shutting_down"
+	CodeRecovering       = "recovering"
 	CodeUnsupportedMedia = "unsupported_media_type"
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeRouteNotFound    = "route_not_found"
@@ -105,6 +107,8 @@ func classify(err error) (code string, status int) {
 		return CodeNotDecomposed, http.StatusConflict
 	case errors.Is(err, engine.ErrClosed):
 		return CodeShuttingDown, http.StatusServiceUnavailable
+	case errors.Is(err, engine.ErrRecovering):
+		return CodeRecovering, http.StatusServiceUnavailable
 	case errors.Is(err, errUnsupportedMedia):
 		return CodeUnsupportedMedia, http.StatusUnsupportedMediaType
 	case errors.Is(err, errBadRequest):
@@ -123,11 +127,22 @@ func errorDetails(err error) map[string]any {
 	return nil
 }
 
+// retryAfterSeconds is the Retry-After hint attached to every
+// retryable rejection: 503s (shutting down, recovering) and the
+// decompose-in-flight conflict. One second keeps a polling client
+// snappy while a recovery or decomposition finishes; clients are free
+// to back off further on repeated rejections.
+const retryAfterSeconds = 1
+
 // writeError renders err in the request's error style: the structured
 // v1 envelope on /v1 routes, the historical flat body on legacy
-// aliases. The message string is identical in both.
+// aliases. The message string is identical in both. Retryable
+// rejections additionally carry a Retry-After header.
 func (s *Server) writeError(w http.ResponseWriter, rc reqCtx, err error) {
 	code, status := classify(err)
+	if status == http.StatusServiceUnavailable || code == CodeDecomposeBusy {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
 	if rc.v1 {
 		writeV1Error(w, status, errorPayload{Code: code, Message: err.Error(), Details: errorDetails(err)})
 		return

@@ -1,0 +1,9 @@
+//go:build race
+
+package server
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation adds allocations of its own — the
+// alloc-budget tests skip rather than pin numbers that measure the
+// detector instead of the serving path.
+const raceEnabled = true

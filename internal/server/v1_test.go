@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -143,12 +144,17 @@ func TestErrorModelConformance(t *testing.T) {
 		{"POST", "/v1/datasets/ready/edges", `{"insert":[[0,0]],"wait":true}`},
 		{"POST", "/v1/datasets/ready/decompose", `{}`},
 	} {
-		status, _, body := doRaw(t, tc.method, ts.URL+tc.path, "application/json", tc.body)
+		status, hdr, body := doRaw(t, tc.method, ts.URL+tc.path, "application/json", tc.body)
 		if status != http.StatusServiceUnavailable {
 			t.Fatalf("%s %s after shutdown = %d (%s), want 503", tc.method, tc.path, status, body)
 		}
 		if p := decodeEnvelope(t, body); p.Code != CodeShuttingDown {
 			t.Fatalf("shutdown code = %q, want %q", p.Code, CodeShuttingDown)
+		}
+		if ra := hdr.Get("Retry-After"); ra == "" {
+			t.Fatalf("%s %s: 503 without Retry-After header", tc.method, tc.path)
+		} else if _, err := strconv.Atoi(ra); err != nil {
+			t.Fatalf("Retry-After %q is not a delay in seconds", ra)
 		}
 	}
 	if status, _, _ := doRaw(t, "GET", ts.URL+"/v1/datasets/ready/levels", "", ""); status != http.StatusOK {
@@ -171,6 +177,7 @@ func TestErrorClassificationConformance(t *testing.T) {
 		status int
 	}{
 		{"decompose busy", fmt.Errorf("%w: %q", engine.ErrBusy, "ready"), CodeDecomposeBusy, http.StatusConflict},
+		{"recovering", fmt.Errorf("%w: %q", engine.ErrRecovering, "ready"), CodeRecovering, http.StatusServiceUnavailable},
 		{"unclassified is internal", errors.New("disk melted"), CodeInternal, http.StatusInternalServerError},
 	}
 	s := New(engine.New())
@@ -190,6 +197,12 @@ func TestErrorClassificationConformance(t *testing.T) {
 			}
 			if p.Message != tc.err.Error() {
 				t.Fatalf("message = %q, want %q", p.Message, tc.err.Error())
+			}
+			// Retryable rejections carry the Retry-After hint; permanent
+			// ones must not.
+			retryable := tc.status == http.StatusServiceUnavailable || tc.code == CodeDecomposeBusy
+			if got := rec.Header().Get("Retry-After") != ""; got != retryable {
+				t.Fatalf("Retry-After presence = %v, want %v", got, retryable)
 			}
 		})
 	}

@@ -1,0 +1,196 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// ErrNoSnapshot reports a store directory holding no valid snapshot —
+// the dataset cannot be recovered from it.
+var ErrNoSnapshot = errors.New("snapshot: no valid snapshot")
+
+// KeepSnapshots is how many generations a store retains: the latest
+// plus one fallback, so a snapshot that turns out corrupt on load (or
+// a crash mid-prune) still leaves a recoverable older generation with
+// the WAL segments covering the gap.
+const KeepSnapshots = 2
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".bsnp"
+	walPrefix  = "wal-"
+	walSuffix  = ".log"
+)
+
+// Store manages one dataset's durability directory: numbered snapshot
+// generations (snap-%06d.bsnp) and the matching write-ahead-log
+// segments (wal-%06d.log), where segment N holds the batches applied
+// after snapshot N was taken. Methods are not safe for concurrent use;
+// the engine serialises all durable work per dataset.
+type Store struct {
+	fs  vfs.FS
+	dir string
+}
+
+// Open opens (creating if needed) the store at dir and sweeps
+// leftover temp files — a crash between temp-write and rename abandons
+// a *.tmp that must not shadow the next atomic write.
+func Open(fsys vfs.FS, dir string) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), vfs.TmpSuffix) {
+			_ = fsys.Remove(filepath.Join(dir, ent.Name()))
+		}
+	}
+	return &Store{fs: fsys, dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SnapPath returns the path of snapshot generation seq.
+func (s *Store) SnapPath(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%06d%s", snapPrefix, seq, snapSuffix))
+}
+
+// WALPath returns the path of the WAL segment covering the batches
+// applied after snapshot generation seq.
+func (s *Store) WALPath(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%06d%s", walPrefix, seq, walSuffix))
+}
+
+// seqs lists the generation numbers present for one prefix/suffix,
+// ascending.
+func (s *Store) seqs(prefix, suffix string) ([]uint64, error) {
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, seq)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// SnapSeqs lists the snapshot generations present, ascending.
+func (s *Store) SnapSeqs() ([]uint64, error) { return s.seqs(snapPrefix, snapSuffix) }
+
+// WALSeqs lists the WAL segment numbers present, ascending.
+func (s *Store) WALSeqs() ([]uint64, error) { return s.seqs(walPrefix, walSuffix) }
+
+// Save durably writes d as snapshot generation seq (temp + fsync +
+// atomic rename), then prunes generations older than the retention
+// window together with the WAL segments they cover. Prune failures are
+// logged, not returned: stale files cost disk, never correctness.
+func (s *Store) Save(seq uint64, d *Data) error {
+	err := vfs.WriteFileAtomic(s.fs, s.SnapPath(seq), 0o644, func(w io.Writer) error {
+		return Write(w, d)
+	})
+	if err != nil {
+		return err
+	}
+	s.prune(seq)
+	return nil
+}
+
+// prune removes snapshot generations and WAL segments that the
+// retention window no longer needs: every snapshot more than
+// KeepSnapshots generations behind latest, and every WAL segment older
+// than the oldest retained snapshot (segment N is needed to roll
+// snapshot N forward, so it lives exactly as long as snapshot N does).
+func (s *Store) prune(latest uint64) {
+	snaps, err := s.SnapSeqs()
+	if err != nil {
+		log.Printf("snapshot: pruning %s: %v", s.dir, err)
+		return
+	}
+	keepFrom := uint64(0)
+	kept := 0
+	for i := len(snaps) - 1; i >= 0; i-- {
+		if snaps[i] > latest {
+			continue // never prune based on a future generation's presence
+		}
+		kept++
+		keepFrom = snaps[i]
+		if kept == KeepSnapshots {
+			break
+		}
+	}
+	if kept == 0 {
+		return
+	}
+	for _, seq := range snaps {
+		if seq < keepFrom {
+			_ = s.fs.Remove(s.SnapPath(seq))
+		}
+	}
+	wals, err := s.WALSeqs()
+	if err != nil {
+		return
+	}
+	for _, seq := range wals {
+		if seq < keepFrom {
+			_ = s.fs.Remove(s.WALPath(seq))
+		}
+	}
+}
+
+// Load reads the newest valid snapshot, falling back once per corrupt
+// generation: a snapshot that fails structural or checksum validation
+// is logged and skipped, and the next older one is tried. It returns
+// the decoded state and its generation number, or ErrNoSnapshot when
+// the directory holds no loadable snapshot at all.
+func (s *Store) Load() (*Data, uint64, error) {
+	snaps, err := s.SnapSeqs()
+	if err != nil {
+		return nil, 0, err
+	}
+	var lastErr error
+	for i := len(snaps) - 1; i >= 0; i-- {
+		seq := snaps[i]
+		d, err := s.loadOne(seq)
+		if err == nil {
+			return d, seq, nil
+		}
+		lastErr = err
+		log.Printf("snapshot: %s unreadable, falling back: %v", s.SnapPath(seq), err)
+	}
+	if lastErr != nil {
+		return nil, 0, fmt.Errorf("%w: %s: last error: %v", ErrNoSnapshot, s.dir, lastErr)
+	}
+	return nil, 0, fmt.Errorf("%w: %s", ErrNoSnapshot, s.dir)
+}
+
+func (s *Store) loadOne(seq uint64) (*Data, error) {
+	f, err := s.fs.OpenFile(s.SnapPath(seq), os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

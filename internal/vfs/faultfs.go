@@ -1,0 +1,179 @@
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"sync"
+)
+
+// ErrInjected is the error every injected fault returns; tests assert
+// on it to distinguish injected failures from real ones.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// FaultFS wraps an FS and injects write-path faults at configured
+// operation counts: failing the Nth write outright, cutting the Nth
+// write short, failing the Nth fsync, or failing the Nth rename. Ops
+// are counted process-wide across all files of the FS, in the order
+// the durability layer issues them — deterministic for a
+// single-threaded store, which is how the WAL and snapshot stores
+// drive their files.
+//
+// Once any fault fires, the FaultFS turns "dead": every subsequent
+// write, sync and rename fails too, the way a failed disk keeps
+// failing rather than recovering mid-sequence. Reads keep working (the
+// page cache outlives a dying disk long enough to matter) so recovery
+// code paths can still be exercised. Heal resurrects it.
+type FaultFS struct {
+	inner FS
+
+	mu         sync.Mutex
+	writes     int // write calls issued so far
+	syncs      int // sync calls issued so far
+	renames    int // rename calls issued so far
+	failWrite  int // fail the Nth write (1-based); 0 = disabled
+	shortWrite int // cut the Nth write short; 0 = disabled
+	failSync   int // fail the Nth sync; 0 = disabled
+	failRename int // fail the Nth rename; 0 = disabled
+	dead       bool
+}
+
+// NewFault wraps inner with no faults armed.
+func NewFault(inner FS) *FaultFS { return &FaultFS{inner: inner} }
+
+// FailWrite arms the Nth write (1-based, counted from now) to fail.
+func (f *FaultFS) FailWrite(n int) { f.arm(&f.failWrite, n) }
+
+// ShortWrite arms the Nth write (1-based, counted from now) to persist
+// only half its bytes and then fail.
+func (f *FaultFS) ShortWrite(n int) { f.arm(&f.shortWrite, n) }
+
+// FailSync arms the Nth fsync (1-based, counted from now) to fail.
+func (f *FaultFS) FailSync(n int) { f.arm(&f.failSync, n) }
+
+// FailRename arms the Nth rename (1-based, counted from now) to fail.
+func (f *FaultFS) FailRename(n int) { f.arm(&f.failRename, n) }
+
+func (f *FaultFS) arm(slot *int, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch slot {
+	case &f.failWrite, &f.shortWrite:
+		*slot = f.writes + n
+	case &f.failSync:
+		*slot = f.syncs + n
+	case &f.failRename:
+		*slot = f.renames + n
+	}
+}
+
+// Heal clears the dead state and every armed fault.
+func (f *FaultFS) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dead = false
+	f.failWrite, f.shortWrite, f.failSync, f.failRename = 0, 0, 0, 0
+}
+
+// Counters reports the write/sync/rename call counts so far.
+func (f *FaultFS) Counters() (writes, syncs, renames int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes, f.syncs, f.renames
+}
+
+// checkWrite is called once per write of n bytes; it returns how many
+// bytes to pass through and whether to fail afterwards.
+func (f *FaultFS) checkWrite(n int) (allow int, fail bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return 0, true
+	}
+	f.writes++
+	if f.failWrite != 0 && f.writes >= f.failWrite {
+		f.dead = true
+		return 0, true
+	}
+	if f.shortWrite != 0 && f.writes >= f.shortWrite {
+		f.dead = true
+		return n / 2, true
+	}
+	return n, false
+}
+
+func (f *FaultFS) checkSync() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return true
+	}
+	f.syncs++
+	if f.failSync != 0 && f.syncs >= f.failSync {
+		f.dead = true
+		return true
+	}
+	return false
+}
+
+func (f *FaultFS) checkRename() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return true
+	}
+	f.renames++
+	if f.failRename != 0 && f.renames >= f.failRename {
+		f.dead = true
+		return true
+	}
+	return false
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: inner, fs: f}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if f.checkRename() {
+		return ErrInjected
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error                     { return f.inner.Remove(name) }
+func (f *FaultFS) RemoveAll(path string) error                  { return f.inner.RemoveAll(path) }
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error { return f.inner.MkdirAll(path, perm) }
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error)   { return f.inner.ReadDir(name) }
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error)        { return f.inner.Stat(name) }
+
+// faultFile routes writes and syncs through the fault schedule.
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	allow, fail := f.fs.checkWrite(len(p))
+	if !fail {
+		return f.File.Write(p)
+	}
+	if allow > 0 {
+		n, err := f.File.Write(p[:allow])
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjected
+	}
+	return 0, ErrInjected
+}
+
+func (f *faultFile) Sync() error {
+	if f.fs.checkSync() {
+		return ErrInjected
+	}
+	return f.File.Sync()
+}

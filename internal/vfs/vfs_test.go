@@ -1,0 +1,105 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.bin")
+	payload := bytes.Repeat([]byte("abcd"), 1<<14) // larger than the buffer
+	if err := WriteFileAtomic(OS(), path, 0o644, func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	}); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %d bytes vs %d", len(got), len(payload))
+	}
+	if _, err := os.Stat(path + TmpSuffix); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestWriteFileAtomicKeepsPreviousOnFailure(t *testing.T) {
+	for name, arm := range map[string]func(*FaultFS){
+		"write":  func(f *FaultFS) { f.FailWrite(1) },
+		"short":  func(f *FaultFS) { f.ShortWrite(1) },
+		"sync":   func(f *FaultFS) { f.FailSync(1) },
+		"rename": func(f *FaultFS) { f.FailRename(1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "x.bin")
+			if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ffs := NewFault(OS())
+			arm(ffs)
+			err := WriteFileAtomic(ffs, path, 0o644, func(w io.Writer) error {
+				_, err := w.Write(bytes.Repeat([]byte("new!"), 1<<15))
+				return err
+			})
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("want ErrInjected, got %v", err)
+			}
+			got, err := os.ReadFile(path)
+			if err != nil || string(got) != "previous" {
+				t.Fatalf("previous file damaged: %q, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestFaultFSStaysDead(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFault(OS())
+	ffs.FailWrite(1)
+	f, err := ffs.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("a")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first write: want ErrInjected, got %v", err)
+	}
+	if _, err := f.Write([]byte("b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dead disk accepted a write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dead disk accepted a sync: %v", err)
+	}
+	ffs.Heal()
+	if _, err := f.Write([]byte("c")); err != nil {
+		t.Fatalf("healed disk rejected a write: %v", err)
+	}
+}
+
+func TestFaultFSShortWriteCountsBytes(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFault(OS())
+	ffs.ShortWrite(1)
+	f, err := ffs.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) || n != 5 {
+		t.Fatalf("short write: n=%d err=%v, want 5 bytes + ErrInjected", n, err)
+	}
+	st, err := os.Stat(filepath.Join(dir, "f"))
+	if err != nil || st.Size() != 5 {
+		t.Fatalf("on-disk size %d, want 5 (%v)", st.Size(), err)
+	}
+}

@@ -1,0 +1,201 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Version: 1, Ops: []Op{{U: 0, V: 1}, {U: 2, V: 3}}},
+		{Version: 2, Ops: []Op{{Del: true, U: 0, V: 1}}},
+		{Version: 3, Ops: []Op{{U: 5, V: 5}, {Del: true, U: 2, V: 3}, {U: 9, V: 0}}},
+	}
+}
+
+func writeLog(t *testing.T, path string, recs []Record) {
+	t.Helper()
+	l, err := Create(vfs.OS(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	want := testRecords()
+	writeLog(t, path, want)
+	l, got, err := Open(vfs.OS(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\n got %v\nwant %v", got, want)
+	}
+	// The reopened log must keep appending cleanly.
+	if err := l.Append(Record{Version: 4, Ops: []Op{{U: 1, V: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	got2, err := Replay(vfs.OS(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != 4 || got2[3].Version != 4 {
+		t.Fatalf("append after reopen lost: %v", got2)
+	}
+}
+
+func TestMissingFileOpensEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "absent.log")
+	l, recs, err := Open(vfs.OS(), path)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("open absent: recs=%v err=%v", recs, err)
+	}
+	l.Close()
+}
+
+// TestTruncationAtEveryByte cuts the log mid-way through its last
+// record at every possible byte offset: replay must always return the
+// first two records intact and reject the torn third, and a
+// subsequent Open+Append must produce a clean log again.
+func TestTruncationAtEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.log")
+	recs := testRecords()
+	writeLog(t, full, recs)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastStart := frameLen(recs[0]) + frameLen(recs[1])
+	if lastStart+frameLen(recs[2]) != len(data) {
+		t.Fatalf("frame length math off: %d + %d != %d", lastStart, frameLen(recs[2]), len(data))
+	}
+	for cut := lastStart; cut < len(data); cut++ {
+		t.Run(fmt.Sprintf("cut@%d", cut), func(t *testing.T) {
+			path := filepath.Join(dir, fmt.Sprintf("cut%d.log", cut))
+			if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l, got, err := Open(vfs.OS(), path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, recs[:2]) {
+				t.Fatalf("torn tail leaked: got %v", got)
+			}
+			// After truncation the log must accept and retain appends.
+			if err := l.Append(recs[2]); err != nil {
+				t.Fatal(err)
+			}
+			l.Close()
+			again, err := Replay(vfs.OS(), path)
+			if err != nil || !reflect.DeepEqual(again, recs) {
+				t.Fatalf("append after truncation: %v, %v", again, err)
+			}
+		})
+	}
+}
+
+// TestChecksumFailureRejectsTail flips one payload byte of the middle
+// record: it and everything after it must be rejected.
+func TestChecksumFailureRejectsTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	recs := testRecords()
+	writeLog(t, path, recs)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameLen(recs[0])+frameHeaderSize+3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(vfs.OS(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs[:1]) {
+		t.Fatalf("corrupt record accepted: %v", got)
+	}
+}
+
+// TestCorruptLengthPrefixStops makes the last frame declare an absurd
+// payload length; replay must stop rather than allocate it.
+func TestCorruptLengthPrefixStops(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	recs := testRecords()
+	writeLog(t, path, recs)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := frameLen(recs[0]) + frameLen(recs[1])
+	data[off], data[off+1], data[off+2], data[off+3] = 0xff, 0xff, 0xff, 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(vfs.OS(), path)
+	if err != nil || !reflect.DeepEqual(got, recs[:2]) {
+		t.Fatalf("corrupt length: got %v, %v", got, err)
+	}
+}
+
+// TestAppendFaultLeavesPriorRecords injects a write failure during an
+// append: the failed record must not surface on replay, and earlier
+// records must survive — a failed-but-accepted record would violate
+// the durability contract.
+func TestAppendFaultLeavesPriorRecords(t *testing.T) {
+	for name, arm := range map[string]func(*vfs.FaultFS){
+		"write": func(f *vfs.FaultFS) { f.FailWrite(1) },
+		"short": func(f *vfs.FaultFS) { f.ShortWrite(1) },
+		"sync":  func(f *vfs.FaultFS) { f.FailSync(1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "w.log")
+			recs := testRecords()
+			writeLog(t, path, recs[:2])
+			ffs := vfs.NewFault(vfs.OS())
+			l, got, err := Open(ffs, path)
+			if err != nil || len(got) != 2 {
+				t.Fatalf("open: %v, %v", got, err)
+			}
+			arm(ffs)
+			if err := l.Append(recs[2]); !errors.Is(err, vfs.ErrInjected) {
+				t.Fatalf("append under fault: want ErrInjected, got %v", err)
+			}
+			if err := l.Append(recs[2]); !errors.Is(err, ErrBroken) {
+				t.Fatalf("append after fault: want ErrBroken, got %v", err)
+			}
+			l.Close()
+			ffs.Heal()
+			after, err := Replay(ffs, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(after, recs[:2]) {
+				t.Fatalf("faulted append corrupted the log: %v", after)
+			}
+		})
+	}
+}
+
+func frameLen(rec Record) int {
+	return frameHeaderSize + 12 + len(rec.Ops)*9
+}
