@@ -1,0 +1,131 @@
+package client
+
+// Typed methods for the analytics query family: tip decomposition
+// (/tip, /theta) and maximal biclique enumeration (/bicliques). Like
+// every other read they are version-pinned through the handle and
+// decode failures into *APIError with the stable analytics codes
+// (CodeTipNotComputed, CodeEnumerationTooLarge, CodeVertexNotFound).
+
+import (
+	"context"
+	"net/url"
+	"strconv"
+)
+
+// TipResult summarises the tip decomposition of one layer. Vertex and
+// Theta are set when the request named a vertex.
+type TipResult struct {
+	Dataset          string `json:"dataset"`
+	Version          int64  `json:"version"`
+	Layer            string `json:"layer"`
+	Vertices         int    `json:"vertices"`
+	MaxTheta         int64  `json:"max_theta"`
+	TotalButterflies int64  `json:"total_butterflies"`
+	SizeBytes        int64  `json:"size_bytes"`
+	Vertex           *int64 `json:"vertex,omitempty"`
+	Theta            *int64 `json:"theta,omitempty"`
+}
+
+func (r *TipResult) version() int64 { return r.Version }
+
+// ThetaResult is the tip number θ(v) of one layer-local vertex.
+type ThetaResult struct {
+	Dataset string `json:"dataset"`
+	Version int64  `json:"version"`
+	Layer   string `json:"layer"`
+	Vertex  int64  `json:"vertex"`
+	Theta   int64  `json:"theta"`
+}
+
+func (r *ThetaResult) version() int64 { return r.Version }
+
+// Biclique is one maximal biclique: layer-local vertex ids, both sides
+// ascending.
+type Biclique struct {
+	Upper []int32 `json:"upper"`
+	Lower []int32 `json:"lower"`
+}
+
+// BicliquesOptions selects one page of a biclique enumeration.
+// MinUpper/MinLower below 1 request the server default (1). Limit is
+// the page size (0 = server default); Cursor continues a walk — a
+// cursor carries its thresholds, so requests repeating it may omit
+// them (explicit mismatching thresholds are rejected).
+type BicliquesOptions struct {
+	MinUpper int
+	MinLower int
+	Limit    int
+	Cursor   string
+}
+
+// BicliquesPage is one page of a maximal-biclique enumeration in the
+// server's deterministic order.
+type BicliquesPage struct {
+	Dataset    string     `json:"dataset"`
+	Version    int64      `json:"version"`
+	MinUpper   int        `json:"min_upper"`
+	MinLower   int        `json:"min_lower"`
+	Total      int        `json:"total"`
+	Bicliques  []Biclique `json:"bicliques"`
+	NextCursor string     `json:"next_cursor,omitempty"`
+}
+
+func (r *BicliquesPage) version() int64 { return r.Version }
+
+// Tip returns the tip-decomposition summary of one layer.
+func (d *DatasetClient) Tip(ctx context.Context, layer Layer) (TipResult, error) {
+	q := url.Values{}
+	q.Set("layer", string(layer))
+	return pinnedGet[TipResult](ctx, d, d.path+"/tip", q)
+}
+
+// Theta returns the tip number θ(v) of one layer-local vertex.
+func (d *DatasetClient) Theta(ctx context.Context, layer Layer, vertex int) (ThetaResult, error) {
+	q := url.Values{}
+	q.Set("layer", string(layer))
+	q.Set("vertex", strconv.Itoa(vertex))
+	return pinnedGet[ThetaResult](ctx, d, d.path+"/theta", q)
+}
+
+// BicliquesPage returns one page of the maximal-biclique enumeration
+// at the given thresholds; follow NextCursor (or use BicliquesAll) to
+// walk the rest.
+func (d *DatasetClient) BicliquesPage(ctx context.Context, opts BicliquesOptions) (BicliquesPage, error) {
+	q := url.Values{}
+	if opts.MinUpper > 0 {
+		q.Set("min_upper", strconv.Itoa(opts.MinUpper))
+	}
+	if opts.MinLower > 0 {
+		q.Set("min_lower", strconv.Itoa(opts.MinLower))
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	if opts.Cursor != "" {
+		q.Set("cursor", opts.Cursor)
+	}
+	return pinnedGet[BicliquesPage](ctx, d, d.path+"/bicliques", q)
+}
+
+// BicliquesAll walks every page of the enumeration at the given
+// thresholds (page size limit, 0 = server default) and returns the
+// concatenated bicliques. The walk rejects pages from an older
+// snapshot than the first page's version, so the result never mixes
+// versions backwards.
+func (d *DatasetClient) BicliquesAll(ctx context.Context, minUpper, minLower, limit int) ([]Biclique, error) {
+	var all []Biclique
+	opts := BicliquesOptions{MinUpper: minUpper, MinLower: minLower, Limit: limit}
+	for {
+		page, err := d.BicliquesPage(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Bicliques...)
+		if page.NextCursor == "" {
+			return all, nil
+		}
+		// The cursor carries the thresholds; repeating it alone keeps the
+		// walk consistent with the token.
+		opts = BicliquesOptions{Limit: limit, Cursor: page.NextCursor}
+	}
+}

@@ -40,6 +40,11 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeRouteNotFound    = "route_not_found"
 	CodeInternal         = "internal"
+
+	// Analytics codes.
+	CodeTipNotComputed      = "tip_not_computed"
+	CodeEnumerationTooLarge = "enumeration_too_large"
+	CodeVertexNotFound      = "vertex_not_found"
 )
 
 // ErrMalformedResponse marks a delivered 2xx response whose body did

@@ -10,6 +10,7 @@ type MemoryStats struct {
 	GraphBytes   int64   `json:"graph_bytes"`
 	ResultBytes  int64   `json:"result_bytes,omitempty"`
 	IndexBytes   int64   `json:"index_bytes,omitempty"`
+	TipBytes     int64   `json:"tip_bytes,omitempty"`
 	TotalBytes   int64   `json:"total_bytes"`
 	BytesPerEdge float64 `json:"bytes_per_edge"`
 }

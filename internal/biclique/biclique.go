@@ -1,0 +1,314 @@
+// Package biclique enumerates maximal bicliques of a bipartite graph
+// in the style of BBK (Baudin, Magnien, Tabourier, "BBK: a simpler,
+// faster algorithm for enumerating maximal bicliques in large sparse
+// bipartite graphs", PAPERS.md): a Bron–Kerbosch-shaped recursion
+// specialised to two layers, where the growing side R is extended one
+// candidate at a time, the opposite side L shrinks to the common
+// neighbourhood, fully-adjacent candidates are absorbed into R, and an
+// excluded set Q guarantees each maximal biclique is emitted exactly
+// once.
+//
+// A biclique (A ⊆ U, B ⊆ L) has every pair (a, b) adjacent; it is
+// maximal when no vertex of either layer can be added. Maximal
+// bicliques are the densest possible bipartite structures — every
+// C(|A|,2)·C(|B|,2) choice of two-and-two is a butterfly — which makes
+// them the natural "exact community" companion to the bitruss and tip
+// decompositions this repository serves.
+//
+// Size thresholds MinUpper/MinLower prune the search: because L only
+// shrinks and A ⊆ R ∪ P along any branch, a branch whose bounds fall
+// below the thresholds cannot contain a reportable maximal biclique,
+// so pruning never loses results (maximality itself is checked
+// unconditionally, so no non-maximal biclique is ever emitted).
+//
+// Output is deterministic: vertices inside a biclique are ascending,
+// and the result list is sorted lexicographically by the upper side
+// (which uniquely identifies a maximal biclique, since B is the common
+// neighbourhood of A). That stable total order is what the serving
+// layer's cursor pagination indexes into.
+package biclique
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/bigraph"
+	"repro/internal/core"
+)
+
+// ErrTooLarge reports an enumeration aborted because it exceeded
+// Options.Limit maximal bicliques.
+var ErrTooLarge = errors.New("biclique: enumeration exceeds configured limit")
+
+// Options configures an enumeration.
+type Options struct {
+	// MinUpper and MinLower are inclusive minimum side sizes; values
+	// below 1 are treated as 1 (both sides of a biclique are
+	// non-empty).
+	MinUpper int
+	MinLower int
+	// Limit, when > 0, aborts the enumeration with ErrTooLarge as soon
+	// as more than Limit bicliques have been found. This bounds the
+	// memory of serving huge enumerations.
+	Limit int
+	// Progress, when non-nil, observes the run under
+	// core.StageEnumerate: done counts fully-processed top-level
+	// branches out of the number of upper-layer vertices. Same
+	// contract as core.ProgressFunc: concurrent-safe, non-blocking.
+	Progress core.ProgressFunc
+}
+
+// Biclique is one maximal biclique in layer-local vertex ids, both
+// sides sorted ascending.
+type Biclique struct {
+	Upper []int32
+	Lower []int32
+}
+
+// Result is a complete enumeration.
+type Result struct {
+	// Bicliques is sorted lexicographically by Upper then Lower.
+	Bicliques []Biclique
+	// MaxUpper and MaxLower are the largest side sizes seen.
+	MaxUpper int
+	MaxLower int
+}
+
+// SizeBytes returns the resident size of the enumeration (vertex ids
+// plus per-biclique headers), for memory accounting.
+func (r *Result) SizeBytes() int64 {
+	if r == nil {
+		return 0
+	}
+	var b int64
+	for i := range r.Bicliques {
+		b += int64(len(r.Bicliques[i].Upper)+len(r.Bicliques[i].Lower)) * 4
+	}
+	return b + int64(len(r.Bicliques))*48 + 16
+}
+
+// Enumerate lists every maximal biclique of g meeting the thresholds.
+// The recursion grows the upper side; candidates are processed in
+// ascending vertex order, so two runs over the same graph produce
+// identical results.
+func Enumerate(g *bigraph.Graph, opt Options) (*Result, error) {
+	if opt.MinUpper < 1 {
+		opt.MinUpper = 1
+	}
+	if opt.MinLower < 1 {
+		opt.MinLower = 1
+	}
+	nu, nl := g.NumUpper(), g.NumLower()
+
+	// Id-sorted lower neighbourhoods of every upper vertex (bigraph
+	// adjacency is rank-sorted, the merge intersections need id order).
+	adj := make([][]int32, nu)
+	for u := 0; u < nu; u++ {
+		nbrs, _ := g.Neighbors(int32(nl + u))
+		cp := make([]int32, len(nbrs))
+		copy(cp, nbrs)
+		sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+		adj[u] = cp
+	}
+
+	e := &enumerator{adj: adj, opt: opt, pm: newMeter(opt.Progress, int64(nu))}
+	e.pm.stage(core.StageEnumerate)
+
+	// Initial state: R empty, every lower vertex vacuously adjacent to
+	// all of R, every upper vertex with neighbours a candidate.
+	L := make([]int32, nl)
+	for v := range L {
+		L[v] = int32(v)
+	}
+	P := make([]int32, 0, nu)
+	for u := 0; u < nu; u++ {
+		if len(adj[u]) > 0 {
+			P = append(P, int32(u))
+		}
+	}
+	if err := e.expand(L, nil, P, nil, true); err != nil {
+		return nil, err
+	}
+	e.pm.done()
+
+	res := &Result{Bicliques: e.out}
+	sort.Slice(res.Bicliques, func(i, j int) bool {
+		return lessInt32(res.Bicliques[i].Upper, res.Bicliques[j].Upper)
+	})
+	for i := range res.Bicliques {
+		if n := len(res.Bicliques[i].Upper); n > res.MaxUpper {
+			res.MaxUpper = n
+		}
+		if n := len(res.Bicliques[i].Lower); n > res.MaxLower {
+			res.MaxLower = n
+		}
+	}
+	return res, nil
+}
+
+type enumerator struct {
+	adj [][]int32
+	opt Options
+	out []Biclique
+	pm  *meter
+}
+
+// expand is the BBK recursion. L is the common neighbourhood of R (the
+// invariant that makes lower-side maximality automatic); P holds
+// candidates that intersect L; Q holds already-processed vertices used
+// to reject non-maximal branches. All slices are ascending. top marks
+// the outermost level for progress accounting.
+func (e *enumerator) expand(L, R, P, Q []int32, top bool) error {
+	for len(P) > 0 {
+		x := P[0]
+		P = P[1:]
+		Lp := intersect(L, e.adj[x])
+		// A branch whose lower side already misses MinLower can never
+		// recover it: L only shrinks deeper in the recursion.
+		if len(Lp) >= e.opt.MinLower {
+			Rp := make([]int32, len(R), len(R)+1+len(P))
+			copy(Rp, R)
+			Rp = append(Rp, x)
+			// Maximality: a previously-processed vertex covering all of
+			// L' means this biclique was already emitted in its branch.
+			maximal := true
+			var Qp []int32
+			for _, v := range Q {
+				c := intersectCount(Lp, e.adj[v])
+				if c == len(Lp) {
+					maximal = false
+					break
+				}
+				if c > 0 {
+					Qp = append(Qp, v)
+				}
+			}
+			if maximal {
+				var Pp []int32
+				for _, v := range P {
+					c := intersectCount(Lp, e.adj[v])
+					switch {
+					case c == len(Lp):
+						Rp = append(Rp, v) // fully adjacent: absorb into R
+					case c > 0:
+						Pp = append(Pp, v)
+					}
+				}
+				sort.Slice(Rp, func(i, j int) bool { return Rp[i] < Rp[j] })
+				if len(Rp) >= e.opt.MinUpper {
+					lower := make([]int32, len(Lp))
+					copy(lower, Lp)
+					e.out = append(e.out, Biclique{Upper: Rp, Lower: lower})
+					if e.opt.Limit > 0 && len(e.out) > e.opt.Limit {
+						return ErrTooLarge
+					}
+				}
+				// The upper side of anything deeper is within R' ∪ P'.
+				if len(Pp) > 0 && len(Rp)+len(Pp) >= e.opt.MinUpper {
+					if err := e.expand(Lp, Rp, Pp, Qp, false); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		Q = append(Q, x)
+		if top {
+			e.pm.add(1)
+		}
+	}
+	return nil
+}
+
+// intersect returns a ∩ b for ascending slices.
+func intersect(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// intersectCount returns |a ∩ b| for ascending slices.
+func intersectCount(a, b []int32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+func lessInt32(a, b []int32) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// meter is the package-local ProgressFunc throttle (core keeps its
+// meter unexported): nil-safe, stride-batched, concurrent-safe.
+type meter struct {
+	fn    core.ProgressFunc
+	st    atomic.Int32
+	cnt   atomic.Int64
+	total atomic.Int64
+}
+
+const meterStride = 64
+
+func newMeter(fn core.ProgressFunc, total int64) *meter {
+	if fn == nil {
+		return nil
+	}
+	m := &meter{fn: fn}
+	m.total.Store(total)
+	return m
+}
+
+func (m *meter) stage(s core.Stage) {
+	if m == nil {
+		return
+	}
+	m.st.Store(int32(s))
+	m.fn(s, m.cnt.Load(), m.total.Load())
+}
+
+func (m *meter) add(n int64) {
+	if m == nil || n <= 0 {
+		return
+	}
+	nd := m.cnt.Add(n)
+	if nd/meterStride != (nd-n)/meterStride {
+		m.fn(core.Stage(m.st.Load()), nd, m.total.Load())
+	}
+}
+
+func (m *meter) done() {
+	if m == nil {
+		return
+	}
+	m.cnt.Store(m.total.Load())
+	m.st.Store(int32(core.StageDone))
+	m.fn(core.StageDone, m.cnt.Load(), m.total.Load())
+}

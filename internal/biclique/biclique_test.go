@@ -1,0 +1,293 @@
+package biclique
+
+import (
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/core"
+	"repro/internal/testgraphs"
+)
+
+// naiveEnumerate is the definition-based reference: every non-empty
+// subset A of the upper layer is closed (B = ∩N(A), A* = ∩N(B)); the
+// pair is a maximal biclique exactly when A is its own closure. Each
+// maximal biclique is found from at least one subset (A itself), and
+// deduplication by upper side keeps it once. Exponential in the upper
+// layer, so only usable on the testgraphs models.
+func naiveEnumerate(g *bigraph.Graph, minUpper, minLower int) []Biclique {
+	nu, nl := g.NumUpper(), g.NumLower()
+	if nu > 20 {
+		panic("naiveEnumerate: upper layer too large")
+	}
+	if minUpper < 1 {
+		minUpper = 1
+	}
+	if minLower < 1 {
+		minLower = 1
+	}
+	adjOf := func(u int) map[int32]bool {
+		nbrs, _ := g.Neighbors(int32(nl + u))
+		m := make(map[int32]bool, len(nbrs))
+		for _, v := range nbrs {
+			m[v] = true
+		}
+		return m
+	}
+	adj := make([]map[int32]bool, nu)
+	for u := 0; u < nu; u++ {
+		adj[u] = adjOf(u)
+	}
+	seen := make(map[string]bool)
+	var out []Biclique
+	for mask := 1; mask < 1<<nu; mask++ {
+		var a []int32
+		for u := 0; u < nu; u++ {
+			if mask&(1<<u) != 0 {
+				a = append(a, int32(u))
+			}
+		}
+		// B = common neighbours of A.
+		var b []int32
+		for v := int32(0); v < int32(nl); v++ {
+			all := true
+			for _, u := range a {
+				if !adj[u][v] {
+					all = false
+					break
+				}
+			}
+			if all {
+				b = append(b, v)
+			}
+		}
+		if len(b) == 0 {
+			continue
+		}
+		// A* = common neighbours of B; maximal iff A* == A.
+		var aStar []int32
+		for u := 0; u < nu; u++ {
+			all := true
+			for _, v := range b {
+				if !adj[u][v] {
+					all = false
+					break
+				}
+			}
+			if all {
+				aStar = append(aStar, int32(u))
+			}
+		}
+		if !reflect.DeepEqual(a, aStar) {
+			continue
+		}
+		if len(a) < minUpper || len(b) < minLower {
+			continue
+		}
+		key := ""
+		for _, u := range a {
+			key += string(rune(u)) + ","
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Biclique{Upper: a, Lower: b})
+	}
+	sortBicliques(out)
+	return out
+}
+
+func sortBicliques(bs []Biclique) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && lessInt32(bs[j].Upper, bs[j-1].Upper); j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}
+
+func randomGraph(nu, nl, m int, seed int64) *bigraph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var b bigraph.Builder
+	b.SetLayerSizes(nu, nl)
+	for i := 0; i < m; i++ {
+		b.AddEdge(rng.Intn(nu), rng.Intn(nl))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestAgainstNaiveTestgraphs cross-validates BBK against the
+// definition-based enumerator across the testgraphs matrix and a grid
+// of thresholds.
+func TestAgainstNaiveTestgraphs(t *testing.T) {
+	graphs := map[string]*bigraph.Graph{
+		"figure1":     testgraphs.Figure1(),
+		"bloom4":      testgraphs.Bloom(4),
+		"figure2a":    testgraphs.Figure2a(3),
+		"complete3x4": testgraphs.CompleteBiclique(3, 4),
+		"star5":       testgraphs.Star(5),
+	}
+	for name, g := range graphs {
+		for _, th := range [][2]int{{1, 1}, {2, 2}, {2, 3}, {3, 1}} {
+			res, err := Enumerate(g, Options{MinUpper: th[0], MinLower: th[1]})
+			if err != nil {
+				t.Fatalf("%s %v: %v", name, th, err)
+			}
+			want := naiveEnumerate(g, th[0], th[1])
+			if len(res.Bicliques) != len(want) {
+				t.Fatalf("%s %v: got %d bicliques, want %d", name, th, len(res.Bicliques), len(want))
+			}
+			for i := range want {
+				if !reflect.DeepEqual(res.Bicliques[i], want[i]) {
+					t.Fatalf("%s %v: biclique %d: got %v, want %v", name, th, i, res.Bicliques[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAgainstNaiveRandom(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		g := randomGraph(10, 12, 55, seed)
+		res, err := Enumerate(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveEnumerate(g, 1, 1)
+		if len(res.Bicliques) != len(want) {
+			t.Fatalf("seed %d: got %d bicliques, want %d", seed, len(res.Bicliques), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(res.Bicliques[i], want[i]) {
+				t.Fatalf("seed %d: biclique %d: got %v, want %v", seed, i, res.Bicliques[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCompleteBiclique pins the closed form: K(a,b) has exactly one
+// maximal biclique — the whole graph.
+func TestCompleteBiclique(t *testing.T) {
+	res, err := Enumerate(testgraphs.CompleteBiclique(4, 6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bicliques) != 1 {
+		t.Fatalf("got %d bicliques, want 1", len(res.Bicliques))
+	}
+	bc := res.Bicliques[0]
+	if len(bc.Upper) != 4 || len(bc.Lower) != 6 {
+		t.Fatalf("got %dx%d, want 4x6", len(bc.Upper), len(bc.Lower))
+	}
+	if res.MaxUpper != 4 || res.MaxLower != 6 {
+		t.Fatalf("MaxUpper/MaxLower = %d/%d, want 4/6", res.MaxUpper, res.MaxLower)
+	}
+}
+
+// TestStar pins the star: every edge is its own maximal biclique (the
+// centre with one leaf is not maximal; the centre with ALL leaves is
+// the single maximal biclique).
+func TestStar(t *testing.T) {
+	res, err := Enumerate(testgraphs.Star(7), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bicliques) != 1 {
+		t.Fatalf("got %d bicliques, want 1", len(res.Bicliques))
+	}
+	if len(res.Bicliques[0].Lower) != 7 {
+		t.Fatalf("lower side %d, want 7", len(res.Bicliques[0].Lower))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := randomGraph(12, 14, 90, 3)
+	a, err := Enumerate(g, Options{MinUpper: 2, MinLower: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Enumerate(g, Options{MinUpper: 2, MinLower: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two runs over the same graph differ")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	g := randomGraph(12, 14, 90, 4)
+	full, err := Enumerate(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Bicliques) < 2 {
+		t.Skip("graph too sparse for the limit test")
+	}
+	if _, err := Enumerate(g, Options{Limit: 1}); err != ErrTooLarge {
+		t.Fatalf("limit 1: got %v, want ErrTooLarge", err)
+	}
+	if _, err := Enumerate(g, Options{Limit: len(full.Bicliques)}); err != nil {
+		t.Fatalf("limit == count must succeed: %v", err)
+	}
+}
+
+func TestProgress(t *testing.T) {
+	var calls atomic.Int64
+	var sawEnumerate, sawDone atomic.Bool
+	g := testgraphs.Bloom(6)
+	_, err := Enumerate(g, Options{Progress: func(stage core.Stage, done, total int64) {
+		calls.Add(1)
+		switch stage {
+		case core.StageEnumerate:
+			sawEnumerate.Store(true)
+		case core.StageDone:
+			sawDone.Store(true)
+			if done != total {
+				t.Errorf("done stage: %d/%d", done, total)
+			}
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawEnumerate.Load() || !sawDone.Load() || calls.Load() < 2 {
+		t.Fatalf("progress coverage: enumerate=%v done=%v calls=%d",
+			sawEnumerate.Load(), sawDone.Load(), calls.Load())
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	res, err := Enumerate(testgraphs.Bloom(5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SizeBytes() <= 0 {
+		t.Fatalf("SizeBytes = %d, want > 0", res.SizeBytes())
+	}
+	var nilRes *Result
+	if nilRes.SizeBytes() != 0 {
+		t.Fatal("nil result must account as 0 bytes")
+	}
+}
+
+func BenchmarkBicliqueEnum(b *testing.B) {
+	g := randomGraph(300, 300, 3000, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Enumerate(g, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Bicliques) == 0 {
+			b.Fatal("no bicliques")
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/biclique"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/server"
+	"repro/internal/tip"
+)
+
+// TestWriteBenchPR10 emits the BENCH_pr10.json analytics summary when
+// BENCH_PR10 names an output path (e.g.
+// BENCH_PR10=BENCH_pr10.json go test -run WriteBenchPR10 ./internal/cli/).
+//
+// Three measurements back the PR's claims: BBK biclique enumeration
+// throughput on a random graph, tip decomposition serial vs parallel
+// wall time on the same graph, and the served /tip endpoint's median
+// latency through the cached vs the uncached handler.
+//
+// Skipped without the env var so regular runs stay fast.
+func TestWriteBenchPR10(t *testing.T) {
+	out := os.Getenv("BENCH_PR10")
+	if out == "" {
+		t.Skip("set BENCH_PR10=<path> to emit the benchmark summary")
+	}
+	const (
+		benchUpper = 3000
+		benchLower = 3000
+		benchEdges = 45000
+		benchSeed  = 23
+	)
+	g := gen.Uniform(benchUpper, benchLower, benchEdges, benchSeed)
+	// The tip timing uses a denser graph: parallel tip's win is in the
+	// butterfly-counting phase, which needs real wedge volume to show.
+	tipG := gen.Uniform(8000, 8000, 400000, benchSeed)
+
+	// Tip decomposition: serial vs parallel on the peeled upper layer.
+	// Best of three keeps scheduler noise out of the ratio.
+	timeTip := func(workers int) float64 {
+		best := time.Duration(1 << 62)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			res := tip.DecomposeOptions(tipG, true, tip.Options{Workers: workers})
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			if res.MaxTheta == 0 {
+				t.Fatal("degenerate benchmark graph")
+			}
+		}
+		return float64(best.Nanoseconds()) / 1e6
+	}
+	serialMS := timeTip(1)
+	parallelMS := timeTip(0) // 0 = all cores
+
+	// BBK enumeration throughput at the serving default thresholds.
+	var enumRes *biclique.Result
+	startEnum := time.Now()
+	enumRes, err := biclique.Enumerate(g, biclique.Options{MinUpper: 2, MinLower: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enumMS := float64(time.Since(startEnum).Nanoseconds()) / 1e6
+	enumPerSec := float64(len(enumRes.Bicliques)) / (enumMS / 1e3)
+
+	// Served latency: median GET /tip through the cached handler (after
+	// a warming read) vs the uncached one.
+	eng := engine.New()
+	if err := eng.Register("bench", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Decompose(context.Background(), "bench", engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	cached := httptest.NewServer(server.New(eng).Handler())
+	defer cached.Close()
+	uncached := httptest.NewServer(server.New(eng, server.WithoutQueryCache()).Handler())
+	defer uncached.Close()
+
+	medianGet := func(ts *httptest.Server, path string) float64 {
+		const n = 60
+		lat := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			resp, err := ts.Client().Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Fatalf("%s: status %d", path, resp.StatusCode)
+			}
+			lat = append(lat, time.Since(start))
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return float64(lat[len(lat)/2].Nanoseconds()) / 1e6
+	}
+	const tipPath = "/v1/datasets/bench/tip?layer=upper"
+	// Warm both engines' memo and the cached server's entry first, so
+	// the measurement isolates the serving path, not the decomposition.
+	medianGet(cached, tipPath)
+	cachedMS := medianGet(cached, tipPath)
+	uncachedMS := medianGet(uncached, tipPath)
+	// /bicliques with a big page is where the response cache earns its
+	// keep: the uncached path re-encodes thousands of bicliques per hit.
+	const bicPath = "/v1/datasets/bench/bicliques?min_upper=2&min_lower=2&limit=5000"
+	medianGet(cached, bicPath)
+	bicCachedMS := medianGet(cached, bicPath)
+	bicUncachedMS := medianGet(uncached, bicPath)
+
+	summary := map[string]any{
+		"upper":                     benchUpper,
+		"lower":                     benchLower,
+		"edges":                     benchEdges,
+		"tip_graph_edges":           tipG.NumEdges(),
+		"tip_serial_ms":             serialMS,
+		"tip_parallel_ms":           parallelMS,
+		"tip_parallel_speedup":      serialMS / parallelMS,
+		"bicliques":                 len(enumRes.Bicliques),
+		"biclique_enum_ms":          enumMS,
+		"bicliques_per_sec":         enumPerSec,
+		"cpus":                      runtime.NumCPU(),
+		"tip_cached_p50_ms":         cachedMS,
+		"tip_uncached_p50_ms":       uncachedMS,
+		"bicliques_cached_p50_ms":   bicCachedMS,
+		"bicliques_uncached_p50_ms": bicUncachedMS,
+		"cached_latency_factor":     bicUncachedMS / bicCachedMS,
+	}
+	t.Logf("tip %0.1f ms serial / %0.1f ms parallel (%d cpus); %d bicliques in %0.1f ms (%.0f/s); /tip p50 %0.3f/%0.3f ms cached/uncached; /bicliques p50 %0.3f/%0.3f ms",
+		serialMS, parallelMS, runtime.NumCPU(), len(enumRes.Bicliques), enumMS, enumPerSec, cachedMS, uncachedMS, bicCachedMS, bicUncachedMS)
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+}

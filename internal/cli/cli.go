@@ -24,6 +24,7 @@ import (
 	"repro/internal/dataio"
 	"repro/internal/exp"
 	"repro/internal/gen"
+	"repro/internal/tip"
 )
 
 // ErrUsage reports invalid command-line arguments.
@@ -43,7 +44,9 @@ func Bitruss(args []string, stdout, stderr io.Writer) error {
 	output := fs.String("output", "", "write per-edge 'u v phi' lines here ('-' = stdout)")
 	summary := fs.Bool("summary", true, "print the decomposition summary")
 	communities := fs.Int64("communities", -1, "also list the communities of the k-bitruss at this level (-1 = off)")
-	top := fs.Int("top", -1, "cap the -communities listing to the n largest (-1 = all)")
+	top := fs.Int("top", -1, "cap the -communities and -bicliques listings to the n largest/first (-1 = all)")
+	tipFlag := fs.Bool("tip", false, "also compute the tip decomposition of both layers (honours -workers)")
+	bicliques := fs.String("bicliques", "", "also enumerate maximal bicliques at 'AxB' minimum side sizes (e.g. 2x2)")
 	mutate := fs.String("mutate", "", "replay a mutation file ('+ u v' / '- u v' lines, blank line or --- ends a batch) with incremental maintenance after the initial decomposition")
 	remote := fs.String("remote", "", "replay -mutate against a running bitserved instance (base URL) through the typed v1 client instead of in process")
 	remoteDS := fs.String("remote-dataset", "", "dataset name on the -remote server (required with -remote)")
@@ -102,6 +105,18 @@ func Bitruss(args []string, stdout, stderr io.Writer) error {
 	if *mutate != "" {
 		g, res, err = replayMutations(g, res, a, *mutate, *oneBased, stdout)
 		if err != nil {
+			return err
+		}
+	}
+	if *tipFlag {
+		writeTipSummary(stdout, g, *workers)
+	}
+	if *bicliques != "" {
+		var mu, ml int
+		if _, err := fmt.Sscanf(*bicliques, "%dx%d", &mu, &ml); err != nil || mu < 1 || ml < 1 {
+			return fmt.Errorf("%w: -bicliques wants 'AxB' with positive sides, got %q", ErrUsage, *bicliques)
+		}
+		if err := writeBicliques(stdout, g, mu, ml, *top); err != nil {
 			return err
 		}
 	}
@@ -493,8 +508,8 @@ func BGStat(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "max bitruss : %d (kmax bound %d)\n", res.MaxPhi, res.Metrics.KMax)
 	}
 	if *tipFlag {
-		up := tipDecompose(g, true)
-		low := tipDecompose(g, false)
+		up := tipDecompose(g, true, 0)
+		low := tipDecompose(g, false, 0)
 		fmt.Fprintf(stdout, "max tip     : upper %d, lower %d\n", up, low)
 	}
 	if *mem {
@@ -528,6 +543,12 @@ func writeMemTable(stdout io.Writer, g *bigraph.Graph, res *core.Result) {
 	row("community index", ib)
 	row("serving total", gb+rb+ib)
 	row("BE-index", bloom.Build(g).SizeBytes())
+	// Tip state is lazily materialised by the serving engine (it joins
+	// the serving total once a tip query lands on the snapshot); report
+	// what it would cost.
+	tu := tip.Decompose(g, true)
+	tl := tip.Decompose(g, false)
+	row("tip θ (lazy)", tu.SizeBytes()+tl.SizeBytes())
 }
 
 // BitBench implements the `bitbench` tool: regenerate the paper's

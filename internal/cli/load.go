@@ -42,7 +42,13 @@ import (
 // shape as ledgers drain. Writes wait for application, so concurrent
 // writers coalesce into applier batches and the measured write
 // latency covers the full maintenance epoch.
-var LoadEndpoints = []string{"levels", "communities", "community_of", "kbitruss", "phi", "support", "batch", "insert", "delete"}
+// "tip" and "theta" hit the tip-decomposition endpoints (the engine
+// memoises the decomposition per snapshot, so after the first request
+// these measure the cached read path); "bicliques" walks the full
+// cursor-paginated enumeration at min 2x2, one page per request —
+// each worker carries its own cursor, so a biclique op issues the next
+// page of its private walk (restarting after the last page).
+var LoadEndpoints = []string{"levels", "communities", "community_of", "kbitruss", "phi", "support", "batch", "insert", "delete", "tip", "theta", "bicliques"}
 
 // batchSize is the number of lookups per "batch" request.
 const batchSize = 16
@@ -243,6 +249,7 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadReport, error) {
 		upper      int          // worker-owned fresh upper vertex
 		ledger     []int        // lowers currently attached to upper
 		inLedger   map[int]bool // membership index over ledger
+		bicCursor  string       // this worker's private /bicliques walk position
 	}
 	// write issues one waited mutation. Inserts attach unledgered
 	// sampled lowers to the worker's upper vertex; deletes detach
@@ -347,6 +354,27 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadReport, error) {
 			return write(st, rng, false)
 		case "delete":
 			return write(st, rng, true)
+		case "tip":
+			layer := client.UpperLayer
+			if rng.Intn(2) == 1 {
+				layer = client.LowerLayer
+			}
+			_, err := ds.Tip(runCtx, layer)
+			return err
+		case "theta":
+			e := edges[rng.Intn(len(edges))]
+			_, err := ds.Theta(runCtx, client.UpperLayer, int(e.U))
+			return err
+		case "bicliques":
+			page, err := ds.BicliquesPage(runCtx, client.BicliquesOptions{
+				MinUpper: 2, MinLower: 2, Cursor: st.bicCursor,
+			})
+			if err != nil {
+				st.bicCursor = "" // mutations can invalidate offsets; restart the walk
+				return err
+			}
+			st.bicCursor = page.NextCursor // empty after the last page: restart
+			return nil
 		default:
 			return c.Health(runCtx)
 		}
@@ -514,7 +542,7 @@ func Load(args []string, stdout, stderr io.Writer) error {
 	dataset := fs.String("dataset", "", "dataset to query (required)")
 	workers := fs.Int("workers", 8, "closed-loop concurrency")
 	duration := fs.Duration("duration", 10*time.Second, "measured run length")
-	mixSpec := fs.String("mix", "", "endpoint mix as name=weight,... (default levels=2,communities=5,kbitruss=3,phi=2; also: support, community_of, batch, and the write ops insert, delete)")
+	mixSpec := fs.String("mix", "", "endpoint mix as name=weight,... (default levels=2,communities=5,kbitruss=3,phi=2; also: support, community_of, batch, the analytics ops tip, theta, bicliques, and the write ops insert, delete)")
 	k := fs.Int64("k", -1, "community level to query (-1 = median populated level)")
 	top := fs.Int("top", 10, "top parameter of /communities requests")
 	seed := fs.Int64("seed", 1, "workload RNG seed")

@@ -52,6 +52,9 @@ func TestLoadSmoke(t *testing.T) {
 	mix["batch"] = 2
 	mix["insert"] = 1
 	mix["delete"] = 1
+	mix["tip"] = 1
+	mix["theta"] = 1
+	mix["bicliques"] = 1
 	rep, err := RunLoad(context.Background(), LoadOptions{
 		BaseURL:  ts.URL,
 		Dataset:  "bench",
@@ -92,6 +95,38 @@ func TestLoadSmoke(t *testing.T) {
 		rep.Requests, rep.QPS, rep.P50, rep.P99, rep.NotFound)
 	t.Logf("smoke writes: %d (+%d/-%d pairs) across %d applied batches, write p50=%v p99=%v",
 		rep.Writes, rep.PairsInserted, rep.PairsDeleted, rep.AppliedBatches, rep.WP50, rep.WP99)
+}
+
+// TestLoadAnalyticsMix drives an analytics-only mix — tip summaries,
+// per-vertex θ probes and cursor-walked biclique pages — against a
+// live server and requires zero hard errors and zero error-model
+// violations, with mutations running concurrently so cursors get
+// invalidated and reset mid-walk.
+func TestLoadAnalyticsMix(t *testing.T) {
+	ts := loadTarget(t)
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL:  ts.URL,
+		Dataset:  "bench",
+		Workers:  4,
+		Duration: 300 * time.Millisecond,
+		Mix:      map[string]int{"tip": 2, "theta": 2, "bicliques": 3, "insert": 1},
+		K:        -1,
+		Client:   ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("analytics mix issued no requests")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("analytics mix hit %d hard errors (%d requests)", rep.Errors, rep.Requests)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("analytics mix saw %d responses outside the v1 error model", rep.Violations)
+	}
+	t.Logf("analytics mix: %d requests, %.0f qps, p50=%v p99=%v",
+		rep.Requests, rep.QPS, rep.P50, rep.P99)
 }
 
 // TestLoadCLI exercises the flag surface end to end.

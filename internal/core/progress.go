@@ -24,6 +24,9 @@ const (
 	StageClosure
 	// StageDone reports a finished run: done == total.
 	StageDone
+	// StageEnumerate is analytics enumeration work (maximal bicliques);
+	// appended after StageDone so existing stage values never renumber.
+	StageEnumerate
 )
 
 // String returns the stage name served by the jobs API.
@@ -43,6 +46,8 @@ func (s Stage) String() string {
 		return "closure"
 	case StageDone:
 		return "done"
+	case StageEnumerate:
+		return "enumerate"
 	default:
 		return "unknown"
 	}

@@ -321,7 +321,7 @@ func (e *Engine) registerRecovering(name string) (*dataset, error) {
 	}
 	ds := &dataset{
 		name:       name,
-		snap:       &snapshot{g: empty},
+		snap:       &snapshot{g: empty, ana: newAnalytics()},
 		status:     StatusRecovering,
 		recovering: true,
 		done:       make(chan struct{}),
@@ -468,7 +468,7 @@ replay:
 		idx = community.NewIndexParallel(g, res.Phi, data.Workers)
 	}
 	tIndex := time.Now()
-	newSnap := &snapshot{version: g.Version(), g: g, res: res, idx: idx, algo: algo, cache: e.newCache()}
+	newSnap := &snapshot{version: g.Version(), g: g, res: res, idx: idx, algo: algo, cache: e.newCache(), ana: newAnalytics()}
 
 	// Checkpoint the recovered state as a fresh generation: the replayed
 	// suffix folds into the snapshot and the WAL it covered is pruned.

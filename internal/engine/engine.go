@@ -32,6 +32,7 @@ import (
 	"repro/internal/community"
 	"repro/internal/core"
 	"repro/internal/dataio"
+	"repro/internal/tip"
 )
 
 // Errors returned by engine operations.
@@ -95,19 +96,26 @@ type Options struct {
 	// Workers and Ranges are routed to core.Options verbatim.
 	Workers int
 	Ranges  int
+	// Tip additionally computes the tip decomposition of both layers
+	// at decompose time (eager analytics): the published snapshot then
+	// serves /tip and /theta without a first-query computation, even
+	// when lazy analytics are disabled via SetLazyTip(false).
+	Tip bool
 }
 
 // MemoryStats is the resident footprint of one dataset's served
 // snapshot, broken down by structure. Every figure is computed from
 // slice lengths — cheap enough for every Info call — and counts the
-// data arrays, not allocator slack. The figures are deterministic for
-// one snapshot (lazily memoised query state is excluded), so two reads
-// of the same version always agree; the query-response cache is
-// reported separately via View.CacheStats.
+// data arrays, not allocator slack. The query-response cache is
+// reported separately via View.CacheStats. All figures except TipBytes
+// are deterministic for one snapshot; TipBytes appears (and then stays
+// constant) once the snapshot's tip state materialises — immediately
+// for Options.Tip decompositions, at the first tip query otherwise.
 type MemoryStats struct {
 	GraphBytes   int64   // CSR adjacency + edge list + rank order
 	ResultBytes  int64   // φ and support arrays
 	IndexBytes   int64   // community hierarchy index structure
+	TipBytes     int64   // materialised tip decompositions (both layers)
 	TotalBytes   int64   // sum of the above
 	BytesPerEdge float64 // TotalBytes / edges (0 on an empty graph)
 }
@@ -146,6 +154,11 @@ type snapshot struct {
 	// installing a successor drops every entry atomically, so no stale
 	// response can outlive its version.
 	cache *queryCache
+	// ana memoises the snapshot's analytics results (tip decomposition,
+	// biclique enumerations). Like cache it lives and dies with the
+	// snapshot; unlike the fields above it materialises lazily behind
+	// its own synchronisation (see the analytics type).
+	ana *analytics
 }
 
 // MutateRequest is a batch of edge mutations against a dataset, as
@@ -310,6 +323,8 @@ type Engine struct {
 	jobSeq        atomic.Int64 // process-unique decomposition job ids
 	cacheMaxBytes atomic.Int64 // per-snapshot response cache bound; <= 0 disables
 	mutLogCap     atomic.Int64 // mutation-log ring capacity for new datasets
+	lazyTipOff    atomic.Bool  // SetLazyTip(false): no on-demand tip computation
+	bicLimit      atomic.Int64 // max bicliques per enumeration (0 = default)
 	onPublish     atomic.Value // func(dataset string, v *View), may hold nil
 	dur           *durConfig   // durability config (nil = off); guarded by mu
 
@@ -397,7 +412,7 @@ func (e *Engine) Register(name string, g *bigraph.Graph) error {
 	}
 	ds := &dataset{
 		name:   name,
-		snap:   &snapshot{version: g.Version(), g: g, cache: e.newCache()},
+		snap:   &snapshot{version: g.Version(), g: g, cache: e.newCache(), ana: newAnalytics()},
 		status: StatusLoaded,
 		log:    newMutLog(int(e.mutLogCap.Load())),
 		jobs:   newJobLog(DefaultJobLogCap),
@@ -577,7 +592,8 @@ func (s *snapshot) memory() MemoryStats {
 	if s.idx != nil {
 		mem.IndexBytes = s.idx.SizeBytes()
 	}
-	mem.TotalBytes = mem.GraphBytes + mem.ResultBytes + mem.IndexBytes
+	mem.TipBytes = s.ana.tipBytes()
+	mem.TotalBytes = mem.GraphBytes + mem.ResultBytes + mem.IndexBytes + mem.TipBytes
 	if m := s.g.NumEdges(); m > 0 {
 		mem.BytesPerEdge = float64(mem.TotalBytes) / float64(m)
 	}
@@ -667,7 +683,19 @@ func (e *Engine) StartDecompose(ctx context.Context, name string, opt Options) (
 		}
 		var newSnap *snapshot
 		if err == nil {
-			newSnap = &snapshot{version: snap.version, g: snap.g, res: res, idx: idx, algo: opt.Algorithm, cache: e.newCache()}
+			newSnap = &snapshot{version: snap.version, g: snap.g, res: res, idx: idx, algo: opt.Algorithm, cache: e.newCache(), ana: newAnalytics()}
+			if opt.Tip {
+				// Eager analytics: materialise both layers' tip state into
+				// the fresh snapshot before it starts serving, so tip
+				// queries never pay a first-request computation (and work
+				// even with lazy analytics disabled).
+				for i, upper := range []bool{true, false} {
+					newSnap.ana.tipRes[i].Store(tip.DecomposeOptions(snap.g, upper, tip.Options{
+						Workers:  opt.Workers,
+						Progress: j.observe,
+					}))
+				}
+			}
 			// Pre-warm before installation: the hook fills the fresh
 			// snapshot's cache while the previous snapshot still serves,
 			// so the new version starts taking traffic with its hot
@@ -903,7 +931,7 @@ func (ep *epoch) stage() (bool, error) {
 		return false, err
 	}
 	ep.rm = rm
-	ep.next = &snapshot{version: g2.Version(), g: g2, algo: ep.base.algo, cache: ep.eng.newCache()}
+	ep.next = &snapshot{version: g2.Version(), g: g2, algo: ep.base.algo, cache: ep.eng.newCache(), ana: newAnalytics()}
 	ep.rec.StageTime = time.Since(t0)
 	ep.info = MutateResult{
 		Version:  g2.Version(),
@@ -1114,6 +1142,11 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 type View struct {
 	name string
 	snap *snapshot
+	// eng/ds are optional backrefs used by lazily computed analytics
+	// for job registration and engine-level limits; they are nil on
+	// publish-hook views, which run job-less with default limits.
+	eng *Engine
+	ds  *dataset
 }
 
 // View returns a handle onto the dataset's current snapshot.
@@ -1129,7 +1162,7 @@ func (e *Engine) View(name string) (*View, error) {
 	if recovering {
 		return nil, fmt.Errorf("%w: %q", ErrRecovering, name)
 	}
-	return &View{name: ds.name, snap: snap}, nil
+	return &View{name: ds.name, snap: snap, eng: e, ds: ds}, nil
 }
 
 // Version returns the mutation version of the viewed snapshot.

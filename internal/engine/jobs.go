@@ -72,6 +72,10 @@ type job struct {
 	id      int64
 	dataset string
 	algo    core.Algorithm
+	// label overrides the algorithm name in JobInfo.Algo for analytics
+	// jobs (e.g. "tip:upper", "bicliques(2,2)") — they share the
+	// decomposition job ring so /jobs shows every long computation.
+	label   string
 	started time.Time
 
 	stage atomic.Int32 // core.Stage
@@ -110,10 +114,14 @@ func (j *job) finish(err error) {
 
 // snapshot reads the job into an immutable JobInfo.
 func (j *job) snapshot() JobInfo {
+	algo := j.algo.String()
+	if j.label != "" {
+		algo = j.label
+	}
 	info := JobInfo{
 		ID:      j.id,
 		Dataset: j.dataset,
-		Algo:    j.algo.String(),
+		Algo:    algo,
 		State:   JobState(j.state.Load()),
 		Stage:   core.Stage(j.stage.Load()).String(),
 		Done:    j.done.Load(),

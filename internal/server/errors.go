@@ -34,6 +34,11 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeRouteNotFound    = "route_not_found"
 	CodeInternal         = "internal"
+
+	// Analytics codes (PR 10).
+	CodeTipNotComputed      = "tip_not_computed"
+	CodeEnumerationTooLarge = "enumeration_too_large"
+	CodeVertexNotFound      = "vertex_not_found"
 )
 
 // errorPayload is the inner object of the v1 error envelope.
@@ -105,6 +110,17 @@ func classify(err error) (code string, status int) {
 		return CodeDecomposeBusy, http.StatusConflict
 	case errors.Is(err, engine.ErrNotDecomposed):
 		return CodeNotDecomposed, http.StatusConflict
+	case errors.Is(err, engine.ErrTipNotComputed):
+		// 409: the resource exists but the operator disabled lazy
+		// analytics and this snapshot was decomposed without tip state —
+		// re-decomposing with tip enabled resolves the conflict.
+		return CodeTipNotComputed, http.StatusConflict
+	case errors.Is(err, engine.ErrEnumerationTooLarge):
+		// 422: the request is well-formed but the enumeration exceeds
+		// the engine's result bound; narrower thresholds can succeed.
+		return CodeEnumerationTooLarge, http.StatusUnprocessableEntity
+	case errors.Is(err, engine.ErrNoVertex):
+		return CodeVertexNotFound, http.StatusNotFound
 	case errors.Is(err, engine.ErrClosed):
 		return CodeShuttingDown, http.StatusServiceUnavailable
 	case errors.Is(err, engine.ErrRecovering):

@@ -24,6 +24,14 @@
 //	GET    /v1/datasets/{name}/communities?k=K[&top=N|&limit=N][&cursor=C]
 //	GET    /v1/datasets/{name}/community_of?layer=upper|lower&vertex=V&k=K
 //	GET    /v1/datasets/{name}/kbitruss?k=K           edges of the k-bitruss
+//	GET    /v1/datasets/{name}/tip?layer=upper|lower[&v=V]
+//	                                                  tip-decomposition summary of one layer
+//	                                                  (optionally one vertex's tip number)
+//	GET    /v1/datasets/{name}/theta?layer=upper|lower&vertex=V
+//	                                                  tip number θ(v) of one vertex
+//	GET    /v1/datasets/{name}/bicliques?min_upper=A&min_lower=B[&limit=N][&cursor=C]
+//	                                                  maximal bicliques above size thresholds,
+//	                                                  cursor-paginated
 //	POST   /v1/datasets/{name}/query                  batch of φ/support/community-of lookups,
 //	                                                  answered from one snapshot
 //
@@ -184,6 +192,9 @@ func routeTable() []route {
 		{http.MethodGet, "/v1/datasets/{name}/communities", "/communities", nameQuery, true, (*Server).handleCommunities},
 		{http.MethodGet, "/v1/datasets/{name}/community_of", "/community_of", nameQuery, true, (*Server).handleCommunityOf},
 		{http.MethodGet, "/v1/datasets/{name}/kbitruss", "/kbitruss", nameQuery, true, (*Server).handleKBitruss},
+		{http.MethodGet, "/v1/datasets/{name}/tip", "", namePath, true, (*Server).handleTip},
+		{http.MethodGet, "/v1/datasets/{name}/theta", "", namePath, true, (*Server).handleTheta},
+		{http.MethodGet, "/v1/datasets/{name}/bicliques", "", namePath, true, (*Server).handleBicliques},
 		{http.MethodPost, "/v1/datasets/{name}/query", "", namePath, false, (*Server).handleBatchQuery},
 	}
 }
@@ -517,6 +528,7 @@ type memoryJSON struct {
 	GraphBytes   int64   `json:"graph_bytes"`
 	ResultBytes  int64   `json:"result_bytes,omitempty"`
 	IndexBytes   int64   `json:"index_bytes,omitempty"`
+	TipBytes     int64   `json:"tip_bytes,omitempty"`
 	TotalBytes   int64   `json:"total_bytes"`
 	BytesPerEdge float64 `json:"bytes_per_edge"`
 }
@@ -557,6 +569,7 @@ func toDatasetJSON(i engine.DatasetInfo) datasetJSON {
 			GraphBytes:   i.Mem.GraphBytes,
 			ResultBytes:  i.Mem.ResultBytes,
 			IndexBytes:   i.Mem.IndexBytes,
+			TipBytes:     i.Mem.TipBytes,
 			TotalBytes:   i.Mem.TotalBytes,
 			BytesPerEdge: i.Mem.BytesPerEdge,
 		},

@@ -71,6 +71,11 @@ func TestErrorModelConformance(t *testing.T) {
 	if err := eng.Register("raw", gen.Uniform(5, 5, 12, 1)); err != nil {
 		t.Fatal(err)
 	}
+	// Analytics failure modes: lazy tip off means tip/theta queries are
+	// rejected on snapshots decomposed without Options.Tip, and a
+	// biclique limit of 1 makes any real enumeration overflow.
+	eng.SetLazyTip(false)
+	eng.SetBicliqueLimit(1)
 	ts := httptest.NewServer(New(eng).Handler())
 	defer ts.Close()
 
@@ -108,6 +113,14 @@ func TestErrorModelConformance(t *testing.T) {
 		{"batch missing fields", "POST", "/v1/datasets/ready/query", "application/json", `{"queries":[{"op":"phi","u":1}]}`, 400, CodeBadRequest},
 		{"wrong method", "DELETE", "/v1/healthz", "", "", 405, CodeMethodNotAllowed},
 		{"unknown route", "GET", "/v1/nope", "", "", 404, CodeRouteNotFound},
+		{"tip not computed", "GET", "/v1/datasets/ready/tip?layer=upper", "", "", 409, CodeTipNotComputed},
+		{"theta not computed", "GET", "/v1/datasets/ready/theta?vertex=0", "", "", 409, CodeTipNotComputed},
+		{"theta vertex out of range", "GET", "/v1/datasets/ready/theta?vertex=9999", "", "", 404, CodeVertexNotFound},
+		{"bad tip layer", "GET", "/v1/datasets/ready/tip?layer=middle", "", "", 400, CodeBadRequest},
+		{"enumeration too large", "GET", "/v1/datasets/ready/bicliques", "", "", 422, CodeEnumerationTooLarge},
+		{"bad biclique threshold", "GET", "/v1/datasets/ready/bicliques?min_upper=0", "", "", 400, CodeBadRequest},
+		{"bad biclique limit", "GET", "/v1/datasets/ready/bicliques?limit=-3", "", "", 400, CodeBadRequest},
+		{"malformed biclique cursor", "GET", "/v1/datasets/ready/bicliques?cursor=%21%21", "", "", 400, CodeBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -8,6 +8,10 @@ import "repro/internal/tip"
 // of a vertex is the largest k such that a k-tip — a maximal subgraph
 // whose peeled-layer vertices each participate in at least k
 // butterflies — contains v.
+//
+// This is the in-process entry point; the resident serving path is the
+// engine's View.Tip / the bitserved /v1/datasets/{name}/tip endpoint,
+// which memoises the same computation per snapshot.
 type TipResult struct {
 	// Theta maps layer-local vertex index -> tip number.
 	Theta []int64
@@ -17,15 +21,37 @@ type TipResult struct {
 	TotalButterflies int64
 }
 
+// TipOptions configures TipDecomposeOptions. The zero value runs the
+// serial peeler without progress reporting.
+type TipOptions struct {
+	// Workers parallelises butterfly counting and the level-synchronous
+	// peel when > 1; the output is byte-identical to the serial peeler.
+	Workers int
+}
+
 // TipDecompose computes the tip number of every vertex of one layer
 // (upper selects U(G); the other layer is never peeled).
 func TipDecompose(g *Graph, upper bool) *TipResult {
-	res := tip.Decompose(g.g, upper)
+	return TipDecomposeOptions(g, upper, TipOptions{})
+}
+
+// TipDecomposeOptions is TipDecompose with configuration.
+func TipDecomposeOptions(g *Graph, upper bool, opt TipOptions) *TipResult {
+	res := tip.DecomposeOptions(g.g, upper, tip.Options{Workers: opt.Workers})
 	return &TipResult{
 		Theta:            res.Theta,
 		MaxTheta:         res.MaxTheta,
 		TotalButterflies: res.TotalButterflies,
 	}
+}
+
+// SizeBytes is the resident size of the decomposition (the same
+// accounting the engine's memory stats report for memoised tip state).
+func (r *TipResult) SizeBytes() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(len(r.Theta))*8 + 16
 }
 
 // KTip returns the layer-local vertices whose tip number is at least k.
